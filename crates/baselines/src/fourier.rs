@@ -1,0 +1,208 @@
+//! The Fourier Perturbation Algorithm FPA_k ([Rastogi & Nath 2010], with the
+//! user-level sensitivity analysis of [Leukam Lako et al. 2021]).
+//!
+//! Each spatial pillar (a disjoint set of users, so parallel composition
+//! grants it the full budget) is transformed with the DFT; the `k` lowest
+//! frequencies are perturbed with Laplace noise and the rest are dropped;
+//! the inverse transform yields the DP series.
+//!
+//! Removing one user changes the pillar series by at most `clip` per step,
+//! i.e. by L2 distance `clip·√T` — which the orthonormal DFT preserves. The
+//! L1 sensitivity of the 2k real components (re/im) of `k` retained
+//! orthonormal coefficients is then bounded by `√(2k) · clip·√T =
+//! clip·√(2kT)`.
+
+use crate::mechanism::Mechanism;
+use stpt_data::ConsumptionMatrix;
+use stpt_dp::prelude::*;
+
+/// FPA_k over every pillar.
+#[derive(Debug, Clone, Copy)]
+pub struct Fourier {
+    /// Number of low-frequency coefficients retained and perturbed.
+    pub k: usize,
+}
+
+impl Fourier {
+    /// FPA with `k` retained coefficients (the paper uses 10 and 20).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Fourier { k }
+    }
+}
+
+impl Mechanism for Fourier {
+    fn name(&self) -> String {
+        format!("Fourier-{}", self.k)
+    }
+
+    fn sanitize(
+        &self,
+        c: &ConsumptionMatrix,
+        clip: f64,
+        eps_total: f64,
+        rng: &mut DpRng,
+    ) -> ConsumptionMatrix {
+        let t = c.ct();
+        let k = self.k.min(t);
+        // The √(2kT) bound applies to the *orthonormal* (1/√T-scaled) DFT
+        // coefficients (2k real components); our [`dft`] is unnormalised, so
+        // the equivalent per-component noise carries an extra √T factor.
+        let scale = clip * ((2 * k * t) as f64).sqrt() * (t as f64).sqrt() / eps_total;
+        let mut out = c.clone();
+        for (x, y) in c.pillar_coords().collect::<Vec<_>>() {
+            let pillar = c.pillar(x, y);
+            let (mut re, mut im) = dft(pillar);
+            // Perturb the k lowest frequencies, zero the rest (the
+            // symmetric conjugates are restored for a real inverse).
+            for j in 0..t {
+                let keep = j < k || (j > 0 && t - j < k);
+                if !keep {
+                    re[j] = 0.0;
+                    im[j] = 0.0;
+                }
+            }
+            for j in 0..k.min(t) {
+                re[j] += laplace_sample(scale, rng);
+                if j > 0 && j < t - j {
+                    im[j] += laplace_sample(scale, rng);
+                } else {
+                    im[j] = 0.0; // DC (and Nyquist) terms of a real signal
+                }
+                // Mirror to keep the inverse real.
+                if j > 0 {
+                    re[t - j] = re[j];
+                    im[t - j] = -im[j];
+                }
+            }
+            let rec = idft_real(&re, &im);
+            out.pillar_mut(x, y).copy_from_slice(&rec);
+        }
+        out
+    }
+}
+
+/// Naive O(T²) discrete Fourier transform of a real series, returning
+/// `(re, im)` coefficient vectors. Series here are short (hundreds of
+/// points), so the quadratic transform is plenty fast and trivially correct.
+pub fn dft(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let t = x.len();
+    let mut re = vec![0.0; t];
+    let mut im = vec![0.0; t];
+    for (j, (rj, ij)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+        let w = -2.0 * std::f64::consts::PI * j as f64 / t as f64;
+        for (n, &xn) in x.iter().enumerate() {
+            let angle = w * n as f64;
+            *rj += xn * angle.cos();
+            *ij += xn * angle.sin();
+        }
+    }
+    (re, im)
+}
+
+/// Inverse DFT returning the real part.
+pub fn idft_real(re: &[f64], im: &[f64]) -> Vec<f64> {
+    let t = re.len();
+    let mut out = vec![0.0; t];
+    for (n, o) in out.iter_mut().enumerate() {
+        let w = 2.0 * std::f64::consts::PI * n as f64 / t as f64;
+        let mut acc = 0.0;
+        for j in 0..t {
+            let angle = w * j as f64;
+            acc += re[j] * angle.cos() - im[j] * angle.sin();
+        }
+        *o = acc / t as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_roundtrip_is_identity() {
+        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64).collect();
+        let (re, im) = dft(&x);
+        let back = idft_real(&re, &im);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_dc_only() {
+        let x = vec![3.0; 16];
+        let (re, im) = dft(&x);
+        assert!((re[0] - 48.0).abs() < 1e-9);
+        for j in 1..16 {
+            assert!(re[j].abs() < 1e-9 && im[j].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dft_parseval() {
+        let x: Vec<f64> = (0..20).map(|i| ((i * 7 % 13) as f64) / 13.0).collect();
+        let (re, im) = dft(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_budget_recovers_smooth_signal() {
+        // A low-frequency signal is captured by k=10 coefficients almost
+        // exactly once noise vanishes.
+        let t = 64;
+        let mut m = ConsumptionMatrix::zeros(1, 1, t);
+        for i in 0..t {
+            m.set(0, 0, i, 5.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin());
+        }
+        let mut rng = DpRng::seed_from_u64(0);
+        let out = Fourier::new(10).sanitize(&m, 1.0, 1e9, &mut rng);
+        for i in 0..t {
+            assert!(
+                (out.get(0, 0, i) - m.get(0, 0, i)).abs() < 1e-6,
+                "t={i}: {} vs {}",
+                out.get(0, 0, i),
+                m.get(0, 0, i)
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_real_and_shape_preserved() {
+        let mut m = ConsumptionMatrix::zeros(2, 2, 30);
+        for i in 0..m.len() {
+            m.data_mut()[i] = (i % 7) as f64;
+        }
+        let mut rng = DpRng::seed_from_u64(1);
+        let out = Fourier::new(5).sanitize(&m, 1.5, 20.0, &mut rng);
+        assert_eq!(out.shape(), m.shape());
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn larger_k_keeps_more_detail_at_high_budget() {
+        // A signal with energy at a frequency above k=2 but below k=12.
+        let t = 64;
+        let mut m = ConsumptionMatrix::zeros(1, 1, t);
+        for i in 0..t {
+            let phase = 2.0 * std::f64::consts::PI * i as f64 / t as f64;
+            m.set(0, 0, i, (8.0 * phase).sin());
+        }
+        let mut rng = DpRng::seed_from_u64(2);
+        let low = Fourier::new(2).sanitize(&m, 1.0, 1e9, &mut rng);
+        let high = Fourier::new(12).sanitize(&m, 1.0, 1e9, &mut rng);
+        let err = |o: &ConsumptionMatrix| {
+            o.data()
+                .iter()
+                .zip(m.data())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        };
+        assert!(err(&high) < 1e-3, "high-k err {}", err(&high));
+        assert!(err(&low) > 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The Identity baseline (Section 3.3, [Xu et al. 2013]).
+//!
+//! Splits the budget evenly across time slices (sequential composition,
+//! Theorem 1) and adds independent Laplace noise to every cell; within a
+//! slice the spatial cells are disjoint, so parallel composition applies
+//! (Theorem 2, Theorem 5).
+
+use crate::mechanism::Mechanism;
+use stpt_data::ConsumptionMatrix;
+use stpt_dp::prelude::*;
+
+/// Per-cell Laplace with budget `ε_tot / C_t` per slice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl Mechanism for Identity {
+    fn name(&self) -> String {
+        "Identity".to_string()
+    }
+
+    fn sanitize(
+        &self,
+        c: &ConsumptionMatrix,
+        clip: f64,
+        eps_total: f64,
+        rng: &mut DpRng,
+    ) -> ConsumptionMatrix {
+        let eps_slice = Epsilon::new(eps_total / c.ct() as f64);
+        let mech = LaplaceMechanism::new(Sensitivity::new(clip), eps_slice);
+        let mut out = c.clone();
+        mech.perturb_in_place(out.data_mut(), rng);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ConsumptionMatrix {
+        ConsumptionMatrix::from_vec(2, 2, 10, (0..40).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn output_shape_matches() {
+        let m = toy();
+        let mut rng = DpRng::seed_from_u64(0);
+        let out = Identity.sanitize(&m, 1.0, 10.0, &mut rng);
+        assert_eq!(out.shape(), m.shape());
+    }
+
+    #[test]
+    fn noise_scale_matches_budget_split() {
+        // ε per slice = ε_tot/Ct; Laplace variance = 2 (clip·Ct/ε_tot)².
+        let m = ConsumptionMatrix::zeros(10, 10, 50);
+        let mut rng = DpRng::seed_from_u64(1);
+        let out = Identity.sanitize(&m, 2.0, 25.0, &mut rng);
+        let b = 2.0 * 50.0 / 25.0; // clip / (ε/Ct) = 4
+        let expect_var = 2.0 * b * b;
+        let n = out.len() as f64;
+        let mean: f64 = out.data().iter().sum::<f64>() / n;
+        let var: f64 = out.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!(
+            (var - expect_var).abs() / expect_var < 0.15,
+            "var {var} vs {expect_var}"
+        );
+    }
+
+    #[test]
+    fn huge_budget_is_nearly_exact() {
+        let m = toy();
+        let mut rng = DpRng::seed_from_u64(2);
+        let out = Identity.sanitize(&m, 1.0, 1e9, &mut rng);
+        for (a, b) in m.data().iter().zip(out.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn longer_series_get_noisier() {
+        // Identity's core weakness: noise grows linearly with Ct.
+        let short = ConsumptionMatrix::zeros(4, 4, 10);
+        let long = ConsumptionMatrix::zeros(4, 4, 1000);
+        let mut rng = DpRng::seed_from_u64(3);
+        let out_s = Identity.sanitize(&short, 1.0, 10.0, &mut rng);
+        let out_l = Identity.sanitize(&long, 1.0, 10.0, &mut rng);
+        let mad = |m: &ConsumptionMatrix| {
+            m.data().iter().map(|x| x.abs()).sum::<f64>() / m.len() as f64
+        };
+        assert!(mad(&out_l) > 10.0 * mad(&out_s));
+    }
+}

@@ -1,0 +1,370 @@
+//! LGAN-DP ([Zhang et al. 2023]): a GAN with LSTM generator and
+//! discriminator, trained with Laplace noise injected into the
+//! discriminator's gradients, then used to synthesise the released series.
+//!
+//! Faithful structural reproduction at reduced scale: both networks are
+//! single-layer LSTMs; the per-iteration noise is calibrated so the whole
+//! training run consumes `ε_total` (budget split evenly over iterations,
+//! gradient contributions clipped). Pillar series are scaled into `[0, 1]`
+//! by a public bound derived from the household count and grid size (both
+//! public metadata) before training and scaled back on release.
+
+use crate::mechanism::Mechanism;
+use stpt_data::ConsumptionMatrix;
+use stpt_dp::prelude::*;
+use stpt_nn::dense::{Activation, Dense};
+use stpt_nn::loss::bce;
+use stpt_nn::lstm::LstmCell;
+use stpt_nn::matrix::Matrix;
+use stpt_nn::optim::{Adam, Optimizer};
+use stpt_nn::param::{Param, Parameterized};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// LGAN-DP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LganDp {
+    /// Window length of generated segments.
+    pub window: usize,
+    /// LSTM hidden width for both networks.
+    pub hidden: usize,
+    /// Adversarial iterations (each trains D then G on one minibatch).
+    pub iterations: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Per-sample gradient clip bound (the DP contribution bound).
+    pub grad_clip: f64,
+    /// Upper bound on households per cell used for public scaling.
+    pub n_households: usize,
+    /// Training/generation seed.
+    pub seed: u64,
+}
+
+impl LganDp {
+    /// Scaled-down defaults that train in seconds.
+    pub fn new(n_households: usize) -> Self {
+        LganDp {
+            window: 12,
+            hidden: 16,
+            iterations: 60,
+            batch: 16,
+            lr: 5e-3,
+            grad_clip: 1.0,
+            n_households,
+            seed: 77,
+        }
+    }
+}
+
+struct Generator {
+    lstm: LstmCell,
+    head: Dense,
+}
+
+impl Parameterized for Generator {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.lstm.params_mut();
+        p.extend(self.head.params_mut());
+        p
+    }
+}
+
+impl Generator {
+    fn new(hidden: usize, rng: &mut impl Rng) -> Self {
+        Generator {
+            lstm: LstmCell::new(1, hidden, rng),
+            head: Dense::new(hidden, 1, Activation::Sigmoid, rng),
+        }
+    }
+
+    /// Generate a window from i.i.d. noise inputs; returns the sequence and
+    /// the caches needed for backprop.
+    fn forward(
+        &self,
+        noise: &[f64],
+    ) -> (Vec<f64>, Vec<stpt_nn::lstm::LstmCache>, Vec<stpt_nn::dense::DenseCache>) {
+        let hidden = self.lstm.hidden_dim();
+        let mut h = Matrix::zeros(1, hidden);
+        let mut c = Matrix::zeros(1, hidden);
+        let mut out = Vec::with_capacity(noise.len());
+        let mut lstm_caches = Vec::with_capacity(noise.len());
+        let mut head_caches = Vec::with_capacity(noise.len());
+        for &z in noise {
+            let x = Matrix::from_vec(1, 1, vec![z]);
+            let (hn, cn, cache) = self.lstm.forward(&x, &h, &c);
+            h = hn;
+            c = cn;
+            let (y, hc) = self.head.forward(&h);
+            out.push(y[(0, 0)]);
+            lstm_caches.push(cache);
+            head_caches.push(hc);
+        }
+        (out, lstm_caches, head_caches)
+    }
+
+    /// Backprop `dL/dy_t` through head and LSTM (accumulates grads).
+    fn backward(
+        &mut self,
+        lstm_caches: &[stpt_nn::lstm::LstmCache],
+        head_caches: &[stpt_nn::dense::DenseCache],
+        dy: &[f64],
+    ) {
+        let hidden = self.lstm.hidden_dim();
+        let t = dy.len();
+        let mut dh_next = Matrix::zeros(1, hidden);
+        let mut dc_next = Matrix::zeros(1, hidden);
+        for i in (0..t).rev() {
+            let dyi = Matrix::from_vec(1, 1, vec![dy[i]]);
+            let mut dh = self.head.backward(&head_caches[i], &dyi);
+            dh.add_assign(&dh_next);
+            let (_, dh_prev, dc_prev) = self.lstm.backward(&lstm_caches[i], &dh, &dc_next);
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+    }
+}
+
+struct Discriminator {
+    lstm: LstmCell,
+    head: Dense,
+}
+
+impl Parameterized for Discriminator {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.lstm.params_mut();
+        p.extend(self.head.params_mut());
+        p
+    }
+}
+
+impl Discriminator {
+    fn new(hidden: usize, rng: &mut impl Rng) -> Self {
+        Discriminator {
+            lstm: LstmCell::new(1, hidden, rng),
+            head: Dense::new(hidden, 1, Activation::Sigmoid, rng),
+        }
+    }
+
+    /// Probability that the window is real, with caches.
+    fn forward(
+        &self,
+        window: &[f64],
+    ) -> (f64, Vec<stpt_nn::lstm::LstmCache>, stpt_nn::dense::DenseCache) {
+        let hidden = self.lstm.hidden_dim();
+        let mut h = Matrix::zeros(1, hidden);
+        let mut c = Matrix::zeros(1, hidden);
+        let mut caches = Vec::with_capacity(window.len());
+        for &v in window {
+            let x = Matrix::from_vec(1, 1, vec![v]);
+            let (hn, cn, cache) = self.lstm.forward(&x, &h, &c);
+            h = hn;
+            c = cn;
+            caches.push(cache);
+        }
+        let (p, head_cache) = self.head.forward(&h);
+        (p[(0, 0)], caches, head_cache)
+    }
+
+    /// Backprop from `dL/dprob`; accumulates grads and returns `dL/dinput`
+    /// for each window position (needed to train the generator).
+    fn backward(
+        &mut self,
+        caches: &[stpt_nn::lstm::LstmCache],
+        head_cache: &stpt_nn::dense::DenseCache,
+        dprob: f64,
+    ) -> Vec<f64> {
+        let hidden = self.lstm.hidden_dim();
+        let t = caches.len();
+        let dp = Matrix::from_vec(1, 1, vec![dprob]);
+        let mut dh = self.head.backward(head_cache, &dp);
+        let mut dc = Matrix::zeros(1, hidden);
+        let mut dinput = vec![0.0; t];
+        for i in (0..t).rev() {
+            let (dx, dh_prev, dc_prev) = self.lstm.backward(&caches[i], &dh, &dc);
+            dinput[i] = dx[(0, 0)];
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        dinput
+    }
+}
+
+impl Mechanism for LganDp {
+    fn name(&self) -> String {
+        "LGAN-DP".to_string()
+    }
+
+    fn sanitize(
+        &self,
+        c: &ConsumptionMatrix,
+        clip: f64,
+        eps_total: f64,
+        rng: &mut DpRng,
+    ) -> ConsumptionMatrix {
+        // Public scaling bound: 8x the average households-per-cell mass
+        // (N and the grid size are public metadata).
+        let cells = (c.cx() * c.cy()) as f64;
+        let scale_bound = (clip * 8.0 * self.n_households as f64 / cells).max(1.0);
+        let t_len = c.ct();
+        let ws = self.window.min(t_len).max(2);
+
+        // Training windows from all pillars, scaled to [0, 1].
+        let mut windows: Vec<Vec<f64>> = Vec::new();
+        for (x, y) in c.pillar_coords().collect::<Vec<_>>() {
+            let pillar = c.pillar(x, y);
+            let mut start = 0;
+            while start + ws <= t_len {
+                windows.push(pillar[start..start + ws].iter().map(|v| v / scale_bound).collect());
+                start += ws;
+            }
+        }
+        if windows.is_empty() {
+            return c.clone();
+        }
+
+        let mut net_rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut gen = Generator::new(self.hidden, &mut net_rng);
+        let mut disc = Discriminator::new(self.hidden, &mut net_rng);
+        let mut gen_opt = Adam::new(self.lr);
+        let mut disc_opt = Adam::new(self.lr);
+
+        // DP accounting: each iteration's discriminator update touches one
+        // minibatch of real data; its gradient (clipped to grad_clip) is
+        // perturbed with budget ε/iterations. Generator updates only see
+        // the discriminator (post-processing).
+        let eps_iter = eps_total / self.iterations as f64;
+        let noise_scale = 2.0 * self.grad_clip / (eps_iter * self.batch as f64);
+
+        for _iter in 0..self.iterations {
+            // ---- Discriminator step.
+            disc.zero_grad();
+            let mut real_idx = Vec::with_capacity(self.batch);
+            for _ in 0..self.batch {
+                real_idx.push(rng.gen_range(0..windows.len()));
+            }
+            for &i in &real_idx {
+                let (p, caches, hc) = disc.forward(&windows[i]);
+                // BCE with target 1: dL/dp = (p - 1)/(p(1-p)) / batch.
+                let (_, grad) = bce(
+                    &Matrix::from_vec(1, 1, vec![p]),
+                    &Matrix::from_vec(1, 1, vec![1.0]),
+                );
+                disc.backward(&caches, &hc, grad[(0, 0)] / self.batch as f64);
+            }
+            for _ in 0..self.batch {
+                let noise: Vec<f64> = (0..ws).map(|_| rng.gen::<f64>()).collect();
+                let (fake, _, _) = gen.forward(&noise);
+                let (p, caches, hc) = disc.forward(&fake);
+                let (_, grad) = bce(
+                    &Matrix::from_vec(1, 1, vec![p]),
+                    &Matrix::from_vec(1, 1, vec![0.0]),
+                );
+                disc.backward(&caches, &hc, grad[(0, 0)] / self.batch as f64);
+            }
+            // Clip and perturb the discriminator gradients (the DP step).
+            disc.clip_grads(self.grad_clip);
+            for param in disc.params_mut() {
+                for g in param.grad.data_mut() {
+                    *g += laplace_sample(noise_scale, rng);
+                }
+            }
+            disc_opt.step(&mut disc);
+
+            // ---- Generator step (post-processing of the private D).
+            gen.zero_grad();
+            for _ in 0..self.batch {
+                let noise: Vec<f64> = (0..ws).map(|_| rng.gen::<f64>()).collect();
+                let (fake, lstm_caches, head_caches) = gen.forward(&noise);
+                let (p, dcaches, dhc) = disc.forward(&fake);
+                // Non-saturating generator loss: maximise log D(G(z)).
+                let (_, grad) = bce(
+                    &Matrix::from_vec(1, 1, vec![p]),
+                    &Matrix::from_vec(1, 1, vec![1.0]),
+                );
+                // Get dL/dinput without accumulating into D's grads twice:
+                // D's grads are zeroed right after.
+                let dinput = disc.backward(&dcaches, &dhc, grad[(0, 0)] / self.batch as f64);
+                gen.backward(&lstm_caches, &head_caches, &dinput);
+            }
+            disc.zero_grad();
+            gen.clip_grads(self.grad_clip);
+            gen_opt.step(&mut gen);
+        }
+
+        // Release: synthesise every pillar from the generator.
+        let mut out = ConsumptionMatrix::zeros(c.cx(), c.cy(), t_len);
+        for (x, y) in c.pillar_coords().collect::<Vec<_>>() {
+            let mut series = Vec::with_capacity(t_len);
+            while series.len() < t_len {
+                let noise: Vec<f64> = (0..ws).map(|_| rng.gen::<f64>()).collect();
+                let (fake, _, _) = gen.forward(&noise);
+                series.extend(fake);
+            }
+            series.truncate(t_len);
+            for (t, v) in series.into_iter().enumerate() {
+                out.set(x, y, t, v * scale_bound);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LganDp {
+        LganDp {
+            window: 6,
+            hidden: 6,
+            iterations: 5,
+            batch: 4,
+            lr: 5e-3,
+            grad_clip: 1.0,
+            n_households: 100,
+            seed: 1,
+        }
+    }
+
+    fn toy_matrix() -> ConsumptionMatrix {
+        let mut m = ConsumptionMatrix::zeros(2, 2, 24);
+        for i in 0..m.len() {
+            m.data_mut()[i] = 10.0 + (i as f64 * 0.3).sin() * 5.0;
+        }
+        m
+    }
+
+    #[test]
+    fn output_shape_and_range() {
+        let m = toy_matrix();
+        let mut rng = DpRng::seed_from_u64(0);
+        let out = tiny().sanitize(&m, 1.0, 30.0, &mut rng);
+        assert_eq!(out.shape(), m.shape());
+        // Generator output is sigmoid-scaled: within [0, scale_bound].
+        let bound = 1.0f64.max(8.0 * 100.0 / 4.0);
+        assert!(out.data().iter().all(|&v| (0.0..=bound).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let m = toy_matrix();
+        let a = tiny().sanitize(&m, 1.0, 30.0, &mut DpRng::seed_from_u64(3));
+        let b = tiny().sanitize(&m, 1.0, 30.0, &mut DpRng::seed_from_u64(3));
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn training_moves_generator_towards_data_scale() {
+        // The data lives at ~0.1–0.15 of the scaling bound. After training,
+        // generated values should be finite and non-degenerate.
+        let m = toy_matrix();
+        let mut cfg = tiny();
+        cfg.iterations = 30;
+        let mut rng = DpRng::seed_from_u64(5);
+        let out = cfg.sanitize(&m, 1.0, 1e6, &mut rng);
+        let mean = out.total() / out.len() as f64;
+        assert!(mean.is_finite() && mean > 0.0);
+    }
+}

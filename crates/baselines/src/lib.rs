@@ -1,0 +1,29 @@
+//! Baseline DP mechanisms the paper compares against (Section 5.1).
+//!
+//! | Mechanism | Source | Idea |
+//! |---|---|---|
+//! | [`Identity`] | Xu et al. 2013 | Laplace on every cell, budget split over time |
+//! | [`Fourier`] | Rastogi & Nath 2010 | perturb top-k DFT coefficients |
+//! | [`Wavelet`] | Lyu et al. 2017 | perturb top-k Haar coefficients |
+//! | [`Fast`] | Fan & Xiong 2013 | adaptive sampling + Kalman filter |
+//! | [`LganDp`] | Zhang et al. 2023 | LSTM-GAN with noisy training |
+//! | [`Wpo`] | Dvorkin & Botterud 2023 | Laplace + convex repair, event-level |
+//!
+//! All implement the [`Mechanism`] trait over the clipped consumption
+//! matrix.
+
+pub mod fast;
+pub mod fourier;
+pub mod identity;
+pub mod lgan;
+pub mod mechanism;
+pub mod wavelet;
+pub mod wpo;
+
+pub use fast::Fast;
+pub use fourier::Fourier;
+pub use identity::Identity;
+pub use lgan::LganDp;
+pub use mechanism::Mechanism;
+pub use wavelet::Wavelet;
+pub use wpo::Wpo;

@@ -1,0 +1,23 @@
+//! Common interface implemented by every baseline mechanism.
+
+use stpt_data::ConsumptionMatrix;
+use stpt_dp::DpRng;
+
+/// A DP release mechanism over the consumption matrix.
+///
+/// Implementations receive the matrix built from **clipped** readings (each
+/// user contributes at most `clip` per cell) and the total user-level
+/// privacy budget, and must return an ε_total-DP sanitised matrix.
+pub trait Mechanism {
+    /// Display name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Produce the ε_total-DP release.
+    fn sanitize(
+        &self,
+        c_cons_clipped: &ConsumptionMatrix,
+        clip: f64,
+        eps_total: f64,
+        rng: &mut DpRng,
+    ) -> ConsumptionMatrix;
+}

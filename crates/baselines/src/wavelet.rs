@@ -1,0 +1,197 @@
+//! The wavelet perturbation baseline ([Lyu et al. 2017]): substitute the
+//! DFT of FPA_k with the orthonormal discrete Haar wavelet transform, keep
+//! the `k` coarsest coefficients, perturb, and invert.
+//!
+//! Series are zero-padded to the next power of two for the transform and
+//! truncated back afterwards. With the orthonormal Haar basis the same
+//! user-level sensitivity bound as Fourier applies: one user shifts the
+//! series by ≤ `clip` per step (L2 ≤ `clip·√T`), so `k` coefficients have L1
+//! sensitivity ≤ `clip·√(kT)`.
+
+use crate::mechanism::Mechanism;
+use stpt_data::ConsumptionMatrix;
+use stpt_dp::prelude::*;
+
+/// Haar-wavelet perturbation over every pillar.
+#[derive(Debug, Clone, Copy)]
+pub struct Wavelet {
+    /// Number of coarsest coefficients retained and perturbed.
+    pub k: usize,
+}
+
+impl Wavelet {
+    /// Wavelet perturbation with `k` retained coefficients (paper: 10, 20).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Wavelet { k }
+    }
+}
+
+impl Mechanism for Wavelet {
+    fn name(&self) -> String {
+        format!("Wavelet-{}", self.k)
+    }
+
+    fn sanitize(
+        &self,
+        c: &ConsumptionMatrix,
+        clip: f64,
+        eps_total: f64,
+        rng: &mut DpRng,
+    ) -> ConsumptionMatrix {
+        let t = c.ct();
+        let k = self.k.min(t);
+        // Orthonormal Haar preserves the L2 bound on the padded series.
+        let n_padded = t.next_power_of_two();
+        let scale = clip * ((k * n_padded) as f64).sqrt() / eps_total;
+        let mut out = c.clone();
+        for (x, y) in c.pillar_coords().collect::<Vec<_>>() {
+            let mut padded = c.pillar(x, y).to_vec();
+            let n = t.next_power_of_two();
+            padded.resize(n, 0.0);
+            let mut coeffs = haar_forward(&padded);
+            // Coefficients are ordered coarse-to-fine; keep the first k.
+            for c in coeffs.iter_mut().skip(k) {
+                *c = 0.0;
+            }
+            for c in coeffs.iter_mut().take(k) {
+                *c += laplace_sample(scale, rng);
+            }
+            let rec = haar_inverse(&coeffs);
+            out.pillar_mut(x, y).copy_from_slice(&rec[..t]);
+        }
+        out
+    }
+}
+
+/// Orthonormal Haar DWT of a power-of-two-length series, returned
+/// coarse-to-fine: `[approximation, level-1 detail, level-2 details, ...]`.
+pub fn haar_forward(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let mut approx = x.to_vec();
+    let mut details: Vec<Vec<f64>> = Vec::new();
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    while approx.len() > 1 {
+        let half = approx.len() / 2;
+        let mut next = Vec::with_capacity(half);
+        let mut det = Vec::with_capacity(half);
+        for i in 0..half {
+            next.push(s * (approx[2 * i] + approx[2 * i + 1]));
+            det.push(s * (approx[2 * i] - approx[2 * i + 1]));
+        }
+        details.push(det);
+        approx = next;
+    }
+    // Assemble coarse-to-fine: scaling coefficient, then details from the
+    // coarsest level outwards.
+    let mut out = Vec::with_capacity(n);
+    out.push(approx[0]);
+    for det in details.iter().rev() {
+        out.extend_from_slice(det);
+    }
+    out
+}
+
+/// Inverse of [`haar_forward`].
+pub fn haar_inverse(coeffs: &[f64]) -> Vec<f64> {
+    let n = coeffs.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let mut approx = vec![coeffs[0]];
+    let mut offset = 1;
+    while approx.len() < n {
+        let half = approx.len();
+        let det = &coeffs[offset..offset + half];
+        offset += half;
+        let mut next = Vec::with_capacity(2 * half);
+        for i in 0..half {
+            next.push(s * (approx[i] + det[i]));
+            next.push(s * (approx[i] - det[i]));
+        }
+        approx = next;
+    }
+    approx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_roundtrip_is_identity() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).cos() * 3.0).collect();
+        let back = haar_inverse(&haar_forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn haar_of_constant_concentrates_in_scaling_coefficient() {
+        let x = vec![2.0; 8];
+        let c = haar_forward(&x);
+        // Orthonormal: scaling coefficient is 2·√8.
+        assert!((c[0] - 2.0 * (8f64).sqrt()).abs() < 1e-12);
+        assert!(c[1..].iter().all(|&d| d.abs() < 1e-12));
+    }
+
+    #[test]
+    fn haar_is_orthonormal_energy_preserving() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * 5 % 11) as f64) - 5.0).collect();
+        let c = haar_forward(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_function_needs_few_coefficients() {
+        // A half-low/half-high step is exactly representable by the scaling
+        // coefficient plus the coarsest detail.
+        let mut x = vec![1.0; 16];
+        for v in x.iter_mut().skip(8) {
+            *v = 5.0;
+        }
+        let mut c = haar_forward(&x);
+        for v in c.iter_mut().skip(2) {
+            *v = 0.0;
+        }
+        let rec = haar_inverse(&c);
+        for (a, b) in x.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sanitize_handles_non_power_of_two_lengths() {
+        let mut m = ConsumptionMatrix::zeros(2, 2, 30);
+        for i in 0..m.len() {
+            m.data_mut()[i] = (i % 4) as f64;
+        }
+        let mut rng = DpRng::seed_from_u64(0);
+        let out = Wavelet::new(10).sanitize(&m, 1.0, 20.0, &mut rng);
+        assert_eq!(out.shape(), m.shape());
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn huge_budget_recovers_piecewise_constant_signal() {
+        let t = 32;
+        let mut m = ConsumptionMatrix::zeros(1, 1, t);
+        for i in 0..t {
+            m.set(0, 0, i, if i < 16 { 2.0 } else { 6.0 });
+        }
+        let mut rng = DpRng::seed_from_u64(1);
+        let out = Wavelet::new(4).sanitize(&m, 1.0, 1e9, &mut rng);
+        for i in 0..t {
+            assert!((out.get(0, 0, i) - m.get(0, 0, i)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn haar_rejects_odd_lengths() {
+        let _ = haar_forward(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the baseline substrates.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use stpt_baselines::fourier::{dft, idft_real};
+use stpt_baselines::wavelet::{haar_forward, haar_inverse};
+use stpt_baselines::wpo::smooth_l2;
+use stpt_baselines::{Fast, Fourier, Identity, Mechanism, Wavelet, Wpo};
+use stpt_data::ConsumptionMatrix;
+use stpt_dp::DpRng;
+
+proptest! {
+    /// DFT followed by inverse DFT reproduces any real series.
+    #[test]
+    fn dft_roundtrip(x in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+        let (re, im) = dft(&x);
+        let back = idft_real(&re, &im);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// Parseval's identity holds for the unnormalised DFT.
+    #[test]
+    fn dft_parseval(x in prop::collection::vec(-10.0f64..10.0, 1..48)) {
+        let (re, im) = dft(&x);
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        let freq: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / x.len() as f64;
+        prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0));
+    }
+
+    /// Haar transform round-trips and preserves energy (orthonormality).
+    #[test]
+    fn haar_roundtrip_and_energy(exp in 0u32..7, seed in any::<u64>()) {
+        use rand::Rng;
+        let n = 1usize << exp;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let c = haar_forward(&x);
+        let back = haar_inverse(&c);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        prop_assert!((ex - ec).abs() < 1e-6 * ex.max(1.0));
+    }
+
+    /// The WPO smoother solves its normal equations for any input.
+    #[test]
+    fn smoother_satisfies_normal_equations(
+        z in prop::collection::vec(-50.0f64..50.0, 2..40),
+        lambda in 0.01f64..20.0
+    ) {
+        let w = smooth_l2(&z, lambda);
+        let n = z.len();
+        for i in 0..n {
+            let mut lhs = w[i];
+            if i > 0 {
+                lhs += lambda * (w[i] - w[i - 1]);
+            }
+            if i < n - 1 {
+                lhs += lambda * (w[i] - w[i + 1]);
+            }
+            prop_assert!((lhs - z[i]).abs() < 1e-7, "row {i}");
+        }
+    }
+
+    /// Every mechanism yields a finite, shape-preserving release on
+    /// arbitrary small matrices.
+    #[test]
+    fn mechanisms_are_total(
+        data in prop::collection::vec(0.0f64..20.0, 2 * 2 * 12),
+        eps in 0.5f64..100.0,
+        seed in any::<u64>()
+    ) {
+        let m = ConsumptionMatrix::from_vec(2, 2, 12, data);
+        let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(Identity),
+            Box::new(Fourier::new(3)),
+            Box::new(Wavelet::new(3)),
+            Box::new(Fast::default_for(12)),
+            Box::new(Wpo::default()),
+        ];
+        for mech in mechanisms {
+            let mut rng = DpRng::seed_from_u64(seed);
+            let out = mech.sanitize(&m, 1.0, eps, &mut rng);
+            prop_assert_eq!(out.shape(), m.shape());
+            prop_assert!(out.data().iter().all(|v| v.is_finite()), "{}", mech.name());
+        }
+    }
+}

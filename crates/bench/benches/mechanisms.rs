@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the end-to-end release mechanisms at reduced
+//! scale (Figure 8d measures wall-clock runtime; `fig8d` reports the
+//! paper-scale numbers, this bench tracks regressions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use stpt_baselines::{Fast, Fourier, Identity, Mechanism, Wavelet, Wpo};
+use stpt_bench::{make_instance, run_stpt_timed, stpt_config, ExperimentEnv};
+use stpt_data::{DatasetSpec, SpatialDistribution};
+use stpt_dp::DpRng;
+
+fn small_env() -> ExperimentEnv {
+    ExperimentEnv {
+        reps: 1,
+        queries: 50,
+        grid: 8,
+        hours: 60,
+        t_train: 30,
+    }
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let env = small_env();
+    let mut spec = DatasetSpec::CER;
+    spec.households = 400;
+    let inst = make_instance(&env, spec, SpatialDistribution::Uniform, 0);
+    let eps = 30.0;
+
+    let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(Identity),
+        Box::new(Fourier::new(10)),
+        Box::new(Wavelet::new(10)),
+        Box::new(Fast::default_for(env.hours)),
+        Box::new(Wpo::default()),
+    ];
+    let mut group = c.benchmark_group("mechanisms_8x8x60");
+    group.sample_size(10);
+    for mech in &mechanisms {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mech.name()),
+            mech,
+            |b, mech| {
+                let mut rng = DpRng::seed_from_u64(7);
+                b.iter(|| mech.sanitize(&inst.clipped, spec.clip, eps, &mut rng));
+            },
+        );
+    }
+    group.finish();
+
+    let mut cfg = stpt_config(&env, &spec, 0);
+    cfg.depth = 2;
+    cfg.net.embed_dim = 8;
+    cfg.net.hidden_dim = 8;
+    cfg.net.window = 4;
+    cfg.net.epochs = 2;
+    let mut group = c.benchmark_group("stpt_8x8x60");
+    group.sample_size(10);
+    group.bench_function("STPT", |b| b.iter(|| run_stpt_timed(&inst, &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the substrates: Laplace sampling, prefix
+//! sums, quadtree construction, the transforms, and one NN training epoch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use stpt_baselines::fourier::{dft, idft_real};
+use stpt_baselines::wavelet::{haar_forward, haar_inverse};
+use stpt_core::quadtree::{neighborhoods, representative_series};
+use stpt_data::ConsumptionMatrix;
+use stpt_dp::prelude::*;
+use stpt_nn::seq::{make_windows, ModelKind, NetConfig, SequenceRegressor};
+use stpt_queries::{generate_queries, PrefixSum3D, QueryClass};
+
+fn random_matrix(cx: usize, cy: usize, ct: usize) -> ConsumptionMatrix {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let data = (0..cx * cy * ct).map(|_| rng.gen_range(0.0..5.0)).collect();
+    ConsumptionMatrix::from_vec(cx, cy, ct, data)
+}
+
+fn bench_laplace(c: &mut Criterion) {
+    let mech = LaplaceMechanism::new(Sensitivity::new(1.0), Epsilon::new(0.5));
+    let mut rng = DpRng::seed_from_u64(1);
+    c.bench_function("laplace_sample_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += mech.release(black_box(1.0), &mut rng);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_prefix_sums(c: &mut Criterion) {
+    let m = random_matrix(32, 32, 220);
+    let ps = PrefixSum3D::new(&m);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let queries = generate_queries(QueryClass::Random, 1000, m.shape(), &mut rng);
+    let mut group = c.benchmark_group("prefix_build");
+    group.sample_size(20);
+    group.bench_function("prefix_sum_build_32x32x220", |b| {
+        b.iter(|| PrefixSum3D::new(black_box(&m)))
+    });
+    group.finish();
+    c.bench_function("prefix_sum_1k_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += ps.range_sum(q);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_quadtree(c: &mut Criterion) {
+    let m = random_matrix(32, 32, 100);
+    c.bench_function("quadtree_representatives_depth4", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 0..=4usize {
+                for r in neighborhoods(32, 32, d) {
+                    acc += representative_series(&m, &r, (0, 20))[0];
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let x: Vec<f64> = (0..220).map(|i| (i as f64 * 0.1).sin()).collect();
+    c.bench_function("dft_220", |b| {
+        b.iter(|| {
+            let (re, im) = dft(black_box(&x));
+            idft_real(&re, &im)
+        })
+    });
+    let y: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).cos()).collect();
+    c.bench_function("haar_256", |b| {
+        b.iter(|| haar_inverse(&haar_forward(black_box(&y))))
+    });
+}
+
+fn bench_nn_epoch(c: &mut Criterion) {
+    let series: Vec<Vec<f64>> = (0..8)
+        .map(|s| (0..40).map(|i| ((i + s) as f64 * 0.3).sin()).collect())
+        .collect();
+    let (windows, targets) = make_windows(&series, 6);
+    let mut cfg = NetConfig::fast(ModelKind::Gru);
+    cfg.epochs = 1;
+    let mut group = c.benchmark_group("nn");
+    group.sample_size(10);
+    group.bench_function("gru_train_one_epoch", |b| {
+        b.iter(|| {
+            let mut model = SequenceRegressor::new(cfg.clone());
+            model.train(black_box(&windows), black_box(&targets))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_laplace,
+    bench_prefix_sums,
+    bench_quadtree,
+    bench_transforms,
+    bench_nn_epoch
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablation sweep over STPT's structural knobs (quadtree depth ×
+//! quantisation × partition locality × budget allocation) across spatial
+//! distributions. Used to pick the library defaults; complements the
+//! Figure 8 sweeps.
+
+use serde::Serialize;
+use stpt_bench::*;
+use stpt_core::BudgetAllocation;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+use stpt_queries::QueryClass;
+
+#[derive(Serialize)]
+struct Point {
+    distribution: String,
+    depth: usize,
+    k: usize,
+    block: String,
+    t_block: String,
+    allocation: String,
+    random: f64,
+    small: f64,
+    large: f64,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    println!("# Ablation — MRE by depth / k / allocation (CER)");
+    println!("# {} reps\n", env.reps);
+    println!(
+        "{}",
+        row(&[
+            "Dist".into(),
+            "Depth".into(),
+            "k".into(),
+            "Block".into(),
+            "Tblock".into(),
+            "Alloc".into(),
+            "Random".into(),
+            "Small".into(),
+            "Large".into()
+        ])
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+
+    let mut points = Vec::new();
+    for dist in [
+        SpatialDistribution::Uniform,
+        SpatialDistribution::Normal,
+        SpatialDistribution::LaLike,
+    ] {
+        for (depth, k, block, t_block, alloc) in [
+            (3usize, 16usize, None, Some(0usize), BudgetAllocation::Optimal),
+            (3, 16, Some(4usize), Some(14), BudgetAllocation::Optimal),
+            (3, 16, Some(2), Some(7), BudgetAllocation::Optimal),
+            (3, 16, Some(8), None, BudgetAllocation::Optimal),
+            (3, 16, Some(4), None, BudgetAllocation::Optimal),
+            (3, 16, Some(2), None, BudgetAllocation::Optimal),
+            (3, 32, Some(4), None, BudgetAllocation::Optimal),
+            (3, 8, Some(4), None, BudgetAllocation::Optimal),
+            (3, 16, Some(4), None, BudgetAllocation::Uniform),
+        ] {
+            let mut sums = [0.0f64; 3];
+            for rep in 0..env.reps {
+                let inst = make_instance(&env, spec, dist, rep);
+                let mut cfg = stpt_config(&env, &spec, rep);
+                cfg.depth = depth;
+                cfg.quantization = k;
+                cfg.partition_block = block;
+                cfg.partition_t_block = t_block;
+                cfg.allocation = alloc;
+                let (out, _) = run_stpt_timed(&inst, &cfg);
+                for (i, class) in QueryClass::ALL.iter().enumerate() {
+                    sums[i] += mre_of(&env, &inst, &out.sanitized, *class, rep);
+                }
+            }
+            let n = env.reps as f64;
+            let p = Point {
+                distribution: dist.label().to_string(),
+                depth,
+                k,
+                block: block.map_or("global".to_string(), |b| b.to_string()),
+                t_block: t_block.map_or("adaptive".to_string(), |t| t.to_string()),
+                allocation: format!("{alloc:?}"),
+                random: sums[0] / n,
+                small: sums[1] / n,
+                large: sums[2] / n,
+            };
+            println!(
+                "{}",
+                row(&[
+                    p.distribution.clone(),
+                    depth.to_string(),
+                    k.to_string(),
+                    p.block.clone(),
+                    p.t_block.clone(),
+                    p.allocation.clone(),
+                    format!("{:.1}", p.random),
+                    format!("{:.1}", p.small),
+                    format!("{:.1}", p.large),
+                ])
+            );
+            points.push(p);
+        }
+    }
+    dump_json("ablate", &points);
+    println!("(wrote results/ablate.json)");
+}

@@ -1,0 +1,146 @@
+//! Figure 6: MRE of STPT vs all baselines on CER/CA/MI/TX under Uniform and
+//! Normal household distributions, for random / small / large queries.
+//!
+//! Prints one table per (dataset, query class) panel — 12 panels, matching
+//! the paper's 4×3 grid — and dumps `results/fig6.json`.
+
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+use stpt_queries::QueryClass;
+
+#[derive(Serialize)]
+struct PanelResult {
+    dataset: String,
+    class: String,
+    /// algorithm -> distribution -> mean MRE (%)
+    mre: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    println!("# Figure 6 — STPT accuracy vs benchmarks (MRE %, lower is better)");
+    println!(
+        "# grid {g}x{g}, T={h} (train {t}), eps_tot=30, {q} queries/class, {r} reps\n",
+        g = env.grid,
+        h = env.hours,
+        t = env.t_train,
+        q = env.queries,
+        r = env.reps
+    );
+
+    let dists = [SpatialDistribution::Uniform, SpatialDistribution::Normal];
+    let specs = DatasetSpec::ALL;
+
+    // (dataset, dist, rep) -> algorithm -> class -> MRE
+    let jobs: Vec<(DatasetSpec, SpatialDistribution, u64)> = specs
+        .iter()
+        .flat_map(|&s| {
+            dists
+                .iter()
+                .flat_map(move |&d| (0..env.reps).map(move |r| (s, d, r)))
+        })
+        .collect();
+
+    let results: Vec<(String, String, String, String, f64)> = jobs
+        .par_iter()
+        .flat_map(|&(spec, dist, rep)| {
+            let inst = make_instance(&env, spec, dist, rep);
+            let cfg = stpt_config(&env, &spec, rep);
+            let mut out = Vec::new();
+
+            let (stpt_out, _) = run_stpt_timed(&inst, &cfg);
+            for class in QueryClass::ALL {
+                let mre = mre_of(&env, &inst, &stpt_out.sanitized, class, rep);
+                out.push((
+                    spec.name.to_string(),
+                    dist.label().to_string(),
+                    class.label().to_string(),
+                    "STPT".to_string(),
+                    mre,
+                ));
+            }
+            for mech in baseline_roster(&spec, env.hours) {
+                let (san, _) = run_baseline(mech.as_ref(), &inst, cfg.eps_total(), rep);
+                for class in QueryClass::ALL {
+                    let mre = mre_of(&env, &inst, &san, class, rep);
+                    out.push((
+                        spec.name.to_string(),
+                        dist.label().to_string(),
+                        class.label().to_string(),
+                        mech.name(),
+                        mre,
+                    ));
+                }
+            }
+            out
+        })
+        .collect();
+
+    // Average over reps.
+    let mut agg: BTreeMap<(String, String, String, String), (f64, u32)> = BTreeMap::new();
+    for (ds, dist, class, alg, mre) in results {
+        let e = agg.entry((ds, class, alg, dist)).or_insert((0.0, 0));
+        e.0 += mre;
+        e.1 += 1;
+    }
+
+    let algorithms = [
+        "STPT",
+        "Identity",
+        "Fourier-10",
+        "Fourier-20",
+        "Wavelet-10",
+        "Wavelet-20",
+        "FAST",
+        "LGAN-DP",
+    ];
+    let mut panels = Vec::new();
+    for spec in &specs {
+        for class in QueryClass::ALL {
+            println!("## {} — {} queries", spec.name, class.label());
+            println!("{}", row(&["Algorithm".into(), "Uniform".into(), "Normal".into()]));
+            println!("|---|---|---|");
+            let mut panel = PanelResult {
+                dataset: spec.name.to_string(),
+                class: class.label().to_string(),
+                mre: BTreeMap::new(),
+            };
+            for alg in algorithms {
+                let mut cells = vec![alg.to_string()];
+                let mut per_dist = BTreeMap::new();
+                for dist in &dists {
+                    let key = (
+                        spec.name.to_string(),
+                        class.label().to_string(),
+                        alg.to_string(),
+                        dist.label().to_string(),
+                    );
+                    let (sum, n) = agg.get(&key).copied().unwrap_or((f64::NAN, 1));
+                    let mean = sum / n as f64;
+                    per_dist.insert(dist.label().to_string(), mean);
+                    cells.push(format!("{mean:.1}"));
+                }
+                panel.mre.insert(alg.to_string(), per_dist);
+                println!("{}", row(&cells));
+            }
+            // Improvement of STPT over the best baseline (Uniform).
+            let stpt = panel.mre["STPT"]["Uniform"];
+            let best_base = algorithms[1..]
+                .iter()
+                .map(|a| panel.mre[*a]["Uniform"])
+                .fold(f64::INFINITY, f64::min);
+            if best_base.is_finite() && best_base > 0.0 {
+                println!(
+                    "STPT improvement over best baseline (Uniform): {:.0}%\n",
+                    (1.0 - stpt / best_base) * 100.0
+                );
+            }
+            panels.push(panel);
+        }
+    }
+    dump_json("fig6", &panels);
+    println!("(wrote results/fig6.json)");
+}

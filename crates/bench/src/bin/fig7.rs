@@ -1,0 +1,78 @@
+//! Figure 7: WPO vs STPT (and Identity for reference) under the real-world
+//! Los Angeles household distribution. WPO ignores geospatial structure and
+//! is event-level, so its user-level accuracy collapses — more than an order
+//! of magnitude worse than STPT.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use stpt_baselines::Identity;
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+use stpt_queries::QueryClass;
+
+#[derive(Serialize)]
+struct Fig7 {
+    /// algorithm -> query class -> mean MRE (%)
+    mre: BTreeMap<String, BTreeMap<String, f64>>,
+    stpt_vs_wpo_factor: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    println!("# Figure 7 — WPO vs STPT, LA household distribution (MRE %)");
+    println!("# {} reps, eps_tot = 30\n", env.reps);
+
+    let mut sums: BTreeMap<(String, String), (f64, u32)> = BTreeMap::new();
+    for rep in 0..env.reps {
+        let inst = make_instance(&env, spec, SpatialDistribution::LaLike, rep);
+        let cfg = stpt_config(&env, &spec, rep);
+        let (stpt_out, _) = run_stpt_timed(&inst, &cfg);
+        let (wpo_out, _) = run_baseline(wpo().as_ref(), &inst, cfg.eps_total(), rep);
+        let (id_out, _) = run_baseline(&Identity, &inst, cfg.eps_total(), rep);
+        for class in QueryClass::ALL {
+            for (name, matrix) in [
+                ("STPT", &stpt_out.sanitized),
+                ("WPO", &wpo_out),
+                ("Identity", &id_out),
+            ] {
+                let mre = mre_of(&env, &inst, matrix, class, rep);
+                let e = sums
+                    .entry((name.to_string(), class.label().to_string()))
+                    .or_insert((0.0, 0));
+                e.0 += mre;
+                e.1 += 1;
+            }
+        }
+    }
+
+    let mut out = Fig7 {
+        mre: BTreeMap::new(),
+        stpt_vs_wpo_factor: BTreeMap::new(),
+    };
+    println!(
+        "{}",
+        row(&["Algorithm".into(), "Random".into(), "Small".into(), "Large".into()])
+    );
+    println!("|---|---|---|---|");
+    for name in ["STPT", "Identity", "WPO"] {
+        let mut cells = vec![name.to_string()];
+        for class in QueryClass::ALL {
+            let (s, n) = sums[&(name.to_string(), class.label().to_string())];
+            let mean = s / n as f64;
+            out.mre
+                .entry(name.to_string())
+                .or_default()
+                .insert(class.label().to_string(), mean);
+            cells.push(format!("{mean:.1}"));
+        }
+        println!("{}", row(&cells));
+    }
+    for class in QueryClass::ALL {
+        let f = out.mre["WPO"][class.label()] / out.mre["STPT"][class.label()];
+        out.stpt_vs_wpo_factor.insert(class.label().to_string(), f);
+        println!("WPO / STPT error ratio ({}): {:.1}x", class.label(), f);
+    }
+    dump_json("fig7", &out);
+    println!("(wrote results/fig7.json)");
+}

@@ -1,0 +1,58 @@
+//! Figure 8c: effect of the number of quantisation levels `k` on MRE.
+//! Moderate k captures homogeneity; excessive k over-partitions and hurts.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+use stpt_queries::QueryClass;
+
+#[derive(Serialize)]
+struct Point {
+    k: usize,
+    mre: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    println!("# Figure 8c — MRE vs quantisation levels k (CER, Uniform)");
+    println!("# {} reps\n", env.reps);
+    println!(
+        "{}",
+        row(&["k".into(), "Random".into(), "Small".into(), "Large".into()])
+    );
+    println!("|---|---|---|---|");
+
+    let ks = [2usize, 4, 8, 12, 16, 24, 32, 40];
+    let mut points = Vec::new();
+    for &k in &ks {
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        for rep in 0..env.reps {
+            let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
+            let mut cfg = stpt_config(&env, &spec, rep);
+            cfg.quantization = k;
+            let (out, _) = run_stpt_timed(&inst, &cfg);
+            for class in QueryClass::ALL {
+                *sums.entry(class.label().to_string()).or_default() +=
+                    mre_of(&env, &inst, &out.sanitized, class, rep);
+            }
+        }
+        let mre: BTreeMap<String, f64> = sums
+            .into_iter()
+            .map(|(c, s)| (c, s / env.reps as f64))
+            .collect();
+        println!(
+            "{}",
+            row(&[
+                k.to_string(),
+                format!("{:.1}", mre["Random"]),
+                format!("{:.1}", mre["Small"]),
+                format!("{:.1}", mre["Large"]),
+            ])
+        );
+        points.push(Point { k, mre });
+    }
+    dump_json("fig8c", &points);
+    println!("(wrote results/fig8c.json)");
+}

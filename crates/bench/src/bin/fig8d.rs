@@ -1,0 +1,45 @@
+//! Figure 8d: wall-clock runtime of every algorithm at paper scale. All run
+//! in seconds; STPT's one-time training dominates its cost.
+
+use serde::Serialize;
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+
+#[derive(Serialize)]
+struct Timing {
+    algorithm: String,
+    seconds: f64,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    println!("# Figure 8d — runtime per algorithm (seconds, CER, Uniform)");
+    println!("# grid {g}x{g}, T={h}\n", g = env.grid, h = env.hours);
+    println!("{}", row(&["Algorithm".into(), "Seconds".into()]));
+    println!("|---|---|");
+
+    let inst = make_instance(&env, spec, SpatialDistribution::Uniform, 0);
+    let cfg = stpt_config(&env, &spec, 0);
+    let mut timings = Vec::new();
+
+    let (_, secs) = run_stpt_timed(&inst, &cfg);
+    println!("{}", row(&["STPT".into(), format!("{secs:.2}")]));
+    timings.push(Timing {
+        algorithm: "STPT".into(),
+        seconds: secs,
+    });
+
+    let mut roster = baseline_roster(&spec, env.hours);
+    roster.push(wpo());
+    for mech in roster {
+        let (_, secs) = run_baseline(mech.as_ref(), &inst, cfg.eps_total(), 0);
+        println!("{}", row(&[mech.name(), format!("{secs:.2}")]));
+        timings.push(Timing {
+            algorithm: mech.name(),
+            seconds: secs,
+        });
+    }
+    dump_json("fig8d", &timings);
+    println!("(wrote results/fig8d.json)");
+}

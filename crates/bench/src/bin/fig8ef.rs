@@ -1,0 +1,58 @@
+//! Figures 8e/8f: pattern-recognition MAE/RMSE as a function of quadtree
+//! depth. Shallow trees miss micro trends; deep trees leave too little
+//! training data per level — medium depth wins.
+
+use serde::Serialize;
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+
+#[derive(Serialize)]
+struct Point {
+    depth: usize,
+    mae: f64,
+    rmse: f64,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    let max_depth = env.grid.trailing_zeros() as usize;
+    println!("# Figures 8e/8f — pattern error vs quadtree depth (CER, Uniform)");
+    println!("# {} reps\n", env.reps);
+    println!("{}", row(&["Depth".into(), "MAE".into(), "RMSE".into()]));
+    println!("|---|---|---|");
+
+    let mut points = Vec::new();
+    for depth in 1..=max_depth {
+        // Each level needs a segment longer than the window.
+        if env.t_train / (depth + 1) <= 6 {
+            break;
+        }
+        let mut mae_sum = 0.0;
+        let mut rmse_sum = 0.0;
+        for rep in 0..env.reps {
+            let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
+            let mut cfg = stpt_config(&env, &spec, rep);
+            cfg.depth = depth;
+            let (out, _) = run_stpt_timed(&inst, &cfg);
+            mae_sum += out.pattern_mae;
+            rmse_sum += out.pattern_rmse;
+        }
+        let p = Point {
+            depth,
+            mae: mae_sum / env.reps as f64,
+            rmse: rmse_sum / env.reps as f64,
+        };
+        println!(
+            "{}",
+            row(&[
+                depth.to_string(),
+                format!("{:.4}", p.mae),
+                format!("{:.4}", p.rmse)
+            ])
+        );
+        points.push(p);
+    }
+    dump_json("fig8ef", &points);
+    println!("(wrote results/fig8ef.json)");
+}

@@ -1,0 +1,64 @@
+//! Figure 8g: MRE as a function of the percentage of ε_tot allocated to
+//! pattern recognition (ε_tot fixed at 30). Both extremes hurt: too little
+//! budget ruins the pattern, too much starves the sanitisation.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+use stpt_queries::QueryClass;
+
+#[derive(Serialize)]
+struct Point {
+    pattern_share_pct: f64,
+    mre: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    let eps_tot = 30.0;
+    println!("# Figure 8g — MRE vs % of budget for pattern recognition (CER, Uniform)");
+    println!("# eps_tot = {eps_tot}, {} reps\n", env.reps);
+    println!(
+        "{}",
+        row(&["Pattern %".into(), "Random".into(), "Small".into(), "Large".into()])
+    );
+    println!("|---|---|---|---|");
+
+    let shares = [0.1, 0.2, 0.33, 0.5, 0.7, 0.9];
+    let mut points = Vec::new();
+    for &share in &shares {
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        for rep in 0..env.reps {
+            let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
+            let mut cfg = stpt_config(&env, &spec, rep);
+            cfg.eps_pattern = eps_tot * share;
+            cfg.eps_sanitize = eps_tot * (1.0 - share);
+            let (out, _) = run_stpt_timed(&inst, &cfg);
+            for class in QueryClass::ALL {
+                *sums.entry(class.label().to_string()).or_default() +=
+                    mre_of(&env, &inst, &out.sanitized, class, rep);
+            }
+        }
+        let mre: BTreeMap<String, f64> = sums
+            .into_iter()
+            .map(|(c, s)| (c, s / env.reps as f64))
+            .collect();
+        println!(
+            "{}",
+            row(&[
+                format!("{:.0}%", share * 100.0),
+                format!("{:.1}", mre["Random"]),
+                format!("{:.1}", mre["Small"]),
+                format!("{:.1}", mre["Large"]),
+            ])
+        );
+        points.push(Point {
+            pattern_share_pct: share * 100.0,
+            mre,
+        });
+    }
+    dump_json("fig8g", &points);
+    println!("(wrote results/fig8g.json)");
+}

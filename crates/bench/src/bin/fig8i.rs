@@ -1,0 +1,81 @@
+//! Figure 8i: impact of the sequence-model architecture on STPT accuracy.
+//! All models share the same widths/epochs so the comparison isolates the
+//! architecture (RNN / GRU / LSTM / transformer / attention+GRU).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+use stpt_nn::seq::ModelKind;
+use stpt_queries::QueryClass;
+
+#[derive(Serialize)]
+struct Point {
+    model: String,
+    pattern_mae: f64,
+    mre: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    println!("# Figure 8i — MRE by sequence model (CER, Uniform)");
+    println!("# {} reps\n", env.reps);
+    println!(
+        "{}",
+        row(&[
+            "Model".into(),
+            "Pattern MAE".into(),
+            "Random".into(),
+            "Small".into(),
+            "Large".into()
+        ])
+    );
+    println!("|---|---|---|---|---|");
+
+    let kinds = [
+        (ModelKind::Rnn, "RNN"),
+        (ModelKind::Gru, "GRU"),
+        (ModelKind::Lstm, "LSTM"),
+        (ModelKind::Transformer, "Transformer"),
+        (ModelKind::AttentionGru, "Attn+GRU"),
+    ];
+    let mut points = Vec::new();
+    for (kind, label) in kinds {
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        let mut mae_sum = 0.0;
+        for rep in 0..env.reps {
+            let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
+            let mut cfg = stpt_config(&env, &spec, rep);
+            cfg.net.kind = kind;
+            let (out, _) = run_stpt_timed(&inst, &cfg);
+            mae_sum += out.pattern_mae;
+            for class in QueryClass::ALL {
+                *sums.entry(class.label().to_string()).or_default() +=
+                    mre_of(&env, &inst, &out.sanitized, class, rep);
+            }
+        }
+        let mre: BTreeMap<String, f64> = sums
+            .into_iter()
+            .map(|(c, s)| (c, s / env.reps as f64))
+            .collect();
+        let mae = mae_sum / env.reps as f64;
+        println!(
+            "{}",
+            row(&[
+                label.to_string(),
+                format!("{mae:.4}"),
+                format!("{:.1}", mre["Random"]),
+                format!("{:.1}", mre["Small"]),
+                format!("{:.1}", mre["Large"]),
+            ])
+        );
+        points.push(Point {
+            model: label.to_string(),
+            pattern_mae: mae,
+            mre,
+        });
+    }
+    dump_json("fig8i", &points);
+    println!("(wrote results/fig8i.json)");
+}

@@ -1,0 +1,52 @@
+//! Figure 9: total weekly consumption per day of week, for all four dataset
+//! generators — the weekly-cycle sanity check of the synthetic digital twins.
+
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use stpt_bench::{dump_json, row, ExperimentEnv};
+use stpt_data::{Dataset, DatasetSpec, SpatialDistribution};
+
+#[derive(Serialize)]
+struct Fig9 {
+    /// dataset -> [Mon..Sun] totals (kWh)
+    weekday_totals: BTreeMap<String, [f64; 7]>,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    // Need at least two full weeks of hourly data for a stable profile.
+    let hours = env.hours.max(24 * 14);
+    println!("# Figure 9 — total weekly consumption per weekday (kWh)");
+    println!("# {hours} hours of generated data per dataset\n");
+    println!(
+        "{}",
+        row(&[
+            "Dataset".into(),
+            "Mon".into(),
+            "Tue".into(),
+            "Wed".into(),
+            "Thu".into(),
+            "Fri".into(),
+            "Sat".into(),
+            "Sun".into()
+        ])
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let mut out = Fig9 {
+        weekday_totals: BTreeMap::new(),
+    };
+    for spec in DatasetSpec::ALL {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let ds = Dataset::generate(spec, SpatialDistribution::Uniform, hours, &mut rng);
+        let totals = ds.weekday_totals();
+        let mut cells = vec![spec.name.to_string()];
+        cells.extend(totals.iter().map(|t| format!("{t:.0}")));
+        println!("{}", row(&cells));
+        out.weekday_totals.insert(spec.name.to_string(), totals);
+    }
+    println!("\n(weekends sit above weekdays — the Figure 9 shape)");
+    dump_json("fig9", &out);
+    println!("(wrote results/fig9.json)");
+}

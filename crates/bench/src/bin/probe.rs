@@ -1,0 +1,83 @@
+//! Diagnostic ablation: decompose STPT's error into partition-uniformisation
+//! bias (noise-free reconstruction from the partitioning) versus Laplace
+//! noise, across quantisation levels. Not a paper figure — an engineering
+//! tool kept for ablation studies.
+
+use stpt_bench::*;
+use stpt_core::quantize::{k_quantize_with, PartitionScheme};
+use stpt_data::{ConsumptionMatrix, DatasetSpec, SpatialDistribution};
+use stpt_queries::QueryClass;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    let dist = std::env::var("STPT_DIST").unwrap_or_else(|_| "la".into());
+    let dist = match dist.as_str() {
+        "uniform" => SpatialDistribution::Uniform,
+        "normal" => SpatialDistribution::Normal,
+        _ => SpatialDistribution::LaLike,
+    };
+    let inst = make_instance(&env, spec, dist, 0);
+    let cfg = stpt_config(&env, &spec, 0);
+    let (out, secs) = run_stpt_timed(&inst, &cfg);
+    println!("STPT run: {secs:.1}s, pattern MAE {:.4}", out.pattern_mae);
+
+    for class in QueryClass::ALL {
+        let mre = mre_of(&env, &inst, &out.sanitized, class, 0);
+        println!("full STPT      {:>6}: MRE {mre:.1}", class.label());
+    }
+
+    // Ceiling of a per-pillar total refinement: rescale each sanitized
+    // pillar so its total matches the exact truth (an oracle for the
+    // hybrid pillar-measurement idea).
+    {
+        let mut oracle = out.sanitized.clone();
+        for (x, y) in inst.clipped.pillar_coords().collect::<Vec<_>>() {
+            let t_tot: f64 = inst.clipped.pillar(x, y).iter().sum();
+            let s_tot: f64 = oracle.pillar(x, y).iter().sum();
+            if s_tot.abs() > 1e-9 {
+                let f = t_tot / s_tot;
+                for v in oracle.pillar_mut(x, y) {
+                    *v *= f;
+                }
+            }
+        }
+        for class in QueryClass::ALL {
+            let mre = mre_of(&env, &inst, &oracle, class, 0);
+            println!("pillar-oracle  {:>6}: MRE {mre:.1}", class.label());
+        }
+    }
+
+    // Noise-free reconstruction: partition averages of the *true clipped*
+    // values — isolates the uniformisation bias of the partitioning.
+    for (k, scheme) in [
+        (8usize, PartitionScheme::Global),
+        (16, PartitionScheme::Global),
+        (8, PartitionScheme::Local { block: 8, t_boundary: env.t_train, t_block: 0 }),
+        (16, PartitionScheme::Local { block: 8, t_boundary: env.t_train, t_block: 0 }),
+        (32, PartitionScheme::Local { block: 8, t_boundary: env.t_train, t_block: 0 }),
+        (16, PartitionScheme::Local { block: 4, t_boundary: env.t_train, t_block: 0 }),
+        (16, PartitionScheme::Local { block: 16, t_boundary: env.t_train, t_block: 0 }),
+    ] {
+        let parts = k_quantize_with(&out.pattern.pattern, k, scheme);
+        let mut recon = ConsumptionMatrix::zeros(
+            inst.clipped.cx(),
+            inst.clipped.cy(),
+            inst.clipped.ct(),
+        );
+        for p in &parts {
+            let sum: f64 = p.cells.iter().map(|&c| inst.clipped.data()[c]).sum();
+            let avg = sum / p.cells.len() as f64;
+            for &c in &p.cells {
+                recon.data_mut()[c] = avg;
+            }
+        }
+        let mre_r = mre_of(&env, &inst, &recon, QueryClass::Random, 0);
+        let mre_s = mre_of(&env, &inst, &recon, QueryClass::Small, 0);
+        let mre_l = mre_of(&env, &inst, &recon, QueryClass::Large, 0);
+        println!(
+            "bias-only k={k:<3} {scheme:?}: random {mre_r:.1}  small {mre_s:.1}  large {mre_l:.1}  ({} partitions)",
+            parts.len()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Diagnostic: where does STPT's error live spatially/temporally for a
+//! Normal-blob instance? Prints block-aggregate relative errors and the
+//! temporal profile of error.
+
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let spec = DatasetSpec::CER;
+    let inst = make_instance(&env, spec, SpatialDistribution::Normal, 0);
+    let cfg = stpt_config(&env, &spec, 0);
+    let (out, _) = run_stpt_timed(&inst, &cfg);
+    let truth = &inst.truth;
+    let san = &out.sanitized;
+
+    println!("total truth {:.0}  sanitized {:.0}", truth.total(), san.total());
+
+    // 8x8 block aggregates over all time.
+    println!("\nper-8x8-block relative error over full horizon (%):");
+    for bx in 0..4 {
+        let mut rowstr = String::new();
+        for by in 0..4 {
+            let mut t_sum = 0.0;
+            let mut s_sum = 0.0;
+            for x in bx * 8..(bx + 1) * 8 {
+                for y in by * 8..(by + 1) * 8 {
+                    t_sum += truth.pillar(x, y).iter().sum::<f64>();
+                    s_sum += san.pillar(x, y).iter().sum::<f64>();
+                }
+            }
+            rowstr.push_str(&format!(
+                "  {:>8.0}/{:>8.0} ({:+5.1}%)",
+                s_sum,
+                t_sum,
+                (s_sum - t_sum) / t_sum.max(1.0) * 100.0
+            ));
+        }
+        println!("{rowstr}");
+    }
+
+    // Temporal profile: global relative error per 20-step band.
+    println!("\nglobal relative error per time band (%):");
+    let ct = truth.ct();
+    for band in 0..(ct / 20) {
+        let (t0, t1) = (band * 20, (band + 1) * 20);
+        let mut t_sum = 0.0;
+        let mut s_sum = 0.0;
+        let mut abs_cell = 0.0;
+        for (x, y) in truth.pillar_coords().collect::<Vec<_>>() {
+            let tp: f64 = truth.pillar(x, y)[t0..t1].iter().sum();
+            let sp: f64 = san.pillar(x, y)[t0..t1].iter().sum();
+            t_sum += tp;
+            s_sum += sp;
+            abs_cell += (tp - sp).abs();
+        }
+        println!(
+            "  t[{t0:>3}..{t1:>3}]: global {:+6.2}%   mean |pillar err| {:6.1} ({:.0}% of mass)",
+            (s_sum - t_sum) / t_sum * 100.0,
+            abs_cell / 1024.0,
+            abs_cell / t_sum * 100.0
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Table 2: statistics of the generated datasets versus the paper's targets
+//! (households, mean/std/max hourly kWh, clipping factor).
+
+use rand::SeedableRng;
+use serde::Serialize;
+use stpt_bench::{dump_json, row, ExperimentEnv};
+use stpt_data::{Dataset, DatasetSpec, SpatialDistribution};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    households: usize,
+    mean_generated: f64,
+    mean_target: f64,
+    std_generated: f64,
+    std_target: f64,
+    max_generated: f64,
+    max_target: f64,
+    clip: f64,
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let hours = env.hours.max(24 * 14);
+    println!("# Table 2 — generated dataset statistics vs paper targets");
+    println!("# (hourly kWh, {hours} hours per household)\n");
+    println!(
+        "{}",
+        row(&[
+            "Dataset".into(),
+            "Households".into(),
+            "Mean (gen/target)".into(),
+            "Std (gen/target)".into(),
+            "Max (gen/target)".into(),
+            "Clip".into()
+        ])
+    );
+    println!("|---|---|---|---|---|---|");
+
+    let mut rows = Vec::new();
+    for spec in DatasetSpec::ALL {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let ds = Dataset::generate(spec, SpatialDistribution::Uniform, hours, &mut rng);
+        let s = ds.stats();
+        println!(
+            "{}",
+            row(&[
+                spec.name.to_string(),
+                s.households.to_string(),
+                format!("{:.2} / {:.2}", s.mean, spec.mean_hourly),
+                format!("{:.2} / {:.2}", s.std, spec.std_hourly),
+                format!("{:.1} / {:.1}", s.max, spec.max_hourly),
+                format!("{:.2}", spec.clip),
+            ])
+        );
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            households: s.households,
+            mean_generated: s.mean,
+            mean_target: spec.mean_hourly,
+            std_generated: s.std,
+            std_target: spec.std_hourly,
+            max_generated: s.max,
+            max_target: spec.max_hourly,
+            clip: spec.clip,
+        });
+    }
+    dump_json("table2", &rows);
+    println!("\n(wrote results/table2.json)");
+}

@@ -1,0 +1,263 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 5). Each `src/bin/figN.rs` binary prints the rows or
+//! series the paper reports and dumps machine-readable JSON under
+//! `results/`.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `STPT_REPS` — repetitions averaged per configuration (default 3; the
+//!   paper uses 10 — set `STPT_REPS=10` for the full run).
+//! * `STPT_QUERIES` — queries per workload class (default 300, as in the
+//!   paper).
+//! * `STPT_GRID` — grid side length (default 32, as in the paper).
+//! * `STPT_HOURS` — series length in granules (default 220 days = 100 train
+//!   + 120 test, the paper's release length).
+
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+use stpt_baselines::{Fast, Fourier, Identity, LganDp, Mechanism, Wavelet, Wpo};
+use stpt_core::{run_stpt, StptConfig, StptOutput};
+use stpt_data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
+use stpt_dp::rng::run_seed;
+use stpt_dp::DpRng;
+use stpt_queries::{evaluate_workload, generate_queries, QueryClass};
+
+/// Scale parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ExperimentEnv {
+    /// Repetitions averaged per configuration.
+    pub reps: u64,
+    /// Queries per workload class.
+    pub queries: usize,
+    /// Grid side (cx = cy).
+    pub grid: usize,
+    /// Series length C_t.
+    pub hours: usize,
+    /// Training prefix T_train.
+    pub t_train: usize,
+}
+
+impl ExperimentEnv {
+    /// Read the environment, falling back to the defaults above.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        ExperimentEnv {
+            reps: get("STPT_REPS", 3) as u64,
+            queries: get("STPT_QUERIES", 300),
+            grid: get("STPT_GRID", 32),
+            hours: get("STPT_HOURS", 220),
+            t_train: get("STPT_TRAIN", 100),
+        }
+    }
+}
+
+/// One generated evaluation instance: the true (unclipped) matrix queries
+/// are answered against, and the clipped matrix mechanisms consume.
+pub struct Instance {
+    /// Dataset spec used.
+    pub spec: DatasetSpec,
+    /// Per-granule contribution bound (hourly clip x 24 at day granularity).
+    pub clip: f64,
+    /// Spatial distribution used.
+    pub distribution: SpatialDistribution,
+    /// Accuracy reference: the clipped matrix. Table 2's sensitivity
+    /// clipping factor *defines* the released dataset (every mechanism
+    /// consumes clipped readings), so utility is measured against it —
+    /// otherwise all mechanisms share an irreducible clipping bias that
+    /// masks their differences.
+    pub truth: ConsumptionMatrix,
+    /// Clipped matrix (mechanism input, identical to `truth`).
+    pub clipped: ConsumptionMatrix,
+}
+
+/// Generate an instance for `(spec, dist)` with a deterministic per-rep seed.
+pub fn make_instance(
+    env: &ExperimentEnv,
+    spec: DatasetSpec,
+    dist: SpatialDistribution,
+    rep: u64,
+) -> Instance {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(run_seed(hash_name(spec.name), rep));
+    // The paper's evaluation releases T = 220 points at day granularity
+    // (Section 3.1, Appendix C).
+    let ds = Dataset::generate_at(spec, dist, Granularity::Daily, env.hours, &mut rng);
+    let clipped = ds.consumption_matrix(env.grid, env.grid, true);
+    Instance {
+        spec,
+        clip: ds.clip_bound(),
+        distribution: dist,
+        truth: clipped.clone(),
+        clipped,
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// MRE of `sanitized` against the instance truth for one query class.
+pub fn mre_of(
+    env: &ExperimentEnv,
+    inst: &Instance,
+    sanitized: &ConsumptionMatrix,
+    class: QueryClass,
+    rep: u64,
+) -> f64 {
+    let mut qrng = rand::rngs::StdRng::seed_from_u64(run_seed(0x9_0e5, rep));
+    let queries = generate_queries(class, env.queries, inst.truth.shape(), &mut qrng);
+    evaluate_workload(&inst.truth, sanitized, &queries).mre
+}
+
+/// The Figure 6 baseline roster (in the paper's legend order).
+pub fn baseline_roster(spec: &DatasetSpec, ct: usize) -> Vec<Box<dyn Mechanism + Send + Sync>> {
+    vec![
+        Box::new(Identity),
+        Box::new(Fourier::new(10)),
+        Box::new(Fourier::new(20)),
+        Box::new(Wavelet::new(10)),
+        Box::new(Wavelet::new(20)),
+        Box::new(Fast::default_for(ct)),
+        Box::new(LganDp::new(spec.households)),
+    ]
+}
+
+/// The WPO mechanism for Figure 7.
+pub fn wpo() -> Box<dyn Mechanism + Send + Sync> {
+    Box::new(Wpo::default())
+}
+
+/// Run a baseline mechanism with a per-(mechanism, rep) seed; returns the
+/// sanitised matrix and the wall-clock seconds.
+pub fn run_baseline(
+    mech: &dyn Mechanism,
+    inst: &Instance,
+    eps_total: f64,
+    rep: u64,
+) -> (ConsumptionMatrix, f64) {
+    let mut rng = DpRng::seed_from_u64(run_seed(hash_name(&mech.name()), rep));
+    let start = Instant::now();
+    let out = mech.sanitize(&inst.clipped, inst.clip, eps_total, &mut rng);
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Default STPT configuration for an instance at this experiment scale
+/// (fast network; the paper network is selected by the Figure 8i binary).
+pub fn stpt_config(env: &ExperimentEnv, spec: &DatasetSpec, rep: u64) -> StptConfig {
+    let mut cfg = StptConfig::fast(spec.clip * 24.0);
+    cfg.t_train = env.t_train;
+    cfg.seed = run_seed(0x57_97, rep);
+    cfg.net.seed = cfg.seed ^ 0xabcd;
+    // Depth must keep the grid divisible and leave windows in each segment.
+    cfg.depth = cfg.depth.min(env.grid.trailing_zeros() as usize);
+    cfg
+}
+
+/// Run STPT; returns the output and wall-clock seconds.
+pub fn run_stpt_timed(inst: &Instance, cfg: &StptConfig) -> (StptOutput, f64) {
+    let start = Instant::now();
+    let out = run_stpt(&inst.clipped, cfg).expect("budget accounting is self-consistent");
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Write a JSON result blob under `results/<name>.json`.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+/// Format a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_env() -> ExperimentEnv {
+        ExperimentEnv {
+            reps: 1,
+            queries: 50,
+            grid: 8,
+            hours: 40,
+            t_train: 25,
+        }
+    }
+
+    #[test]
+    fn instance_generation_is_deterministic_per_rep() {
+        let env = small_env();
+        let mut spec = DatasetSpec::CA;
+        spec.households = 50;
+        let a = make_instance(&env, spec, SpatialDistribution::Uniform, 0);
+        let b = make_instance(&env, spec, SpatialDistribution::Uniform, 0);
+        assert_eq!(a.truth.data(), b.truth.data());
+        let c = make_instance(&env, spec, SpatialDistribution::Uniform, 1);
+        assert_ne!(a.truth.data(), c.truth.data());
+    }
+
+    #[test]
+    fn baseline_roster_has_seven_mechanisms() {
+        let roster = baseline_roster(&DatasetSpec::CER, 40);
+        assert_eq!(roster.len(), 7);
+        let names: Vec<String> = roster.iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"Identity".to_string()));
+        assert!(names.contains(&"Fourier-10".to_string()));
+        assert!(names.contains(&"Wavelet-20".to_string()));
+        assert!(names.contains(&"FAST".to_string()));
+        assert!(names.contains(&"LGAN-DP".to_string()));
+    }
+
+    #[test]
+    fn mre_is_zero_for_perfect_release() {
+        let env = small_env();
+        let mut spec = DatasetSpec::CA;
+        spec.households = 50;
+        let inst = make_instance(&env, spec, SpatialDistribution::Uniform, 0);
+        let mre = mre_of(&env, &inst, &inst.truth.clone(), QueryClass::Random, 0);
+        assert_eq!(mre, 0.0);
+    }
+
+    #[test]
+    fn stpt_beats_identity_on_small_instance() {
+        // The headline claim at miniature scale: STPT's MRE is lower than
+        // Identity's on random queries.
+        let env = small_env();
+        let mut spec = DatasetSpec::CER;
+        spec.households = 400;
+        let inst = make_instance(&env, spec, SpatialDistribution::Uniform, 0);
+        let mut cfg = stpt_config(&env, &spec, 0);
+        cfg.depth = 2;
+        cfg.net.embed_dim = 8;
+        cfg.net.hidden_dim = 8;
+        cfg.net.window = 4;
+        cfg.net.epochs = 3;
+        let (stpt_out, _) = run_stpt_timed(&inst, &cfg);
+        let stpt_mre = mre_of(&env, &inst, &stpt_out.sanitized, QueryClass::Random, 0);
+        let (id_out, _) = run_baseline(&Identity, &inst, cfg.eps_total(), 0);
+        let id_mre = mre_of(&env, &inst, &id_out, QueryClass::Random, 0);
+        assert!(
+            stpt_mre < id_mre,
+            "STPT MRE {stpt_mre} not below Identity {id_mre}"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Privacy-budget allocation across partitions (Theorem 8).
+//!
+//! Minimising the total Laplace noise variance `Σ 2 s_i²/ε_i²` subject to
+//! `Σ ε_i = ε_sanitize` (sequential composition — a user may appear in every
+//! partition) yields `ε_i ∝ s_i^(2/3)`.
+
+use serde::{Deserialize, Serialize};
+
+/// How ε_sanitize is divided among partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetAllocation {
+    /// The paper's optimal rule `ε_i ∝ s_i^(2/3)` (Theorem 8).
+    Optimal,
+    /// Equal split (ablation baseline).
+    Uniform,
+}
+
+/// Compute per-partition budgets for sensitivities `sens` summing exactly to
+/// `eps_total`.
+pub fn allocate(allocation: BudgetAllocation, sens: &[f64], eps_total: f64) -> Vec<f64> {
+    assert!(eps_total > 0.0, "total budget must be positive");
+    assert!(!sens.is_empty(), "no partitions to allocate to");
+    assert!(
+        sens.iter().all(|&s| s > 0.0),
+        "partition sensitivities must be positive"
+    );
+    match allocation {
+        BudgetAllocation::Uniform => vec![eps_total / sens.len() as f64; sens.len()],
+        BudgetAllocation::Optimal => {
+            let weights: Vec<f64> = sens.iter().map(|s| s.powf(2.0 / 3.0)).collect();
+            let total: f64 = weights.iter().sum();
+            weights.iter().map(|w| eps_total * w / total).collect()
+        }
+    }
+}
+
+/// Total Laplace noise variance `Σ 2 s_i² / ε_i²` under an allocation —
+/// the objective of Theorem 8 (Equation 13).
+pub fn total_noise_variance(sens: &[f64], eps: &[f64]) -> f64 {
+    assert_eq!(sens.len(), eps.len());
+    sens.iter()
+        .zip(eps)
+        .map(|(&s, &e)| 2.0 * s * s / (e * e))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_sum_to_total() {
+        let sens = vec![1.0, 8.0, 27.0];
+        for alloc in [BudgetAllocation::Optimal, BudgetAllocation::Uniform] {
+            let eps = allocate(alloc, &sens, 20.0);
+            let sum: f64 = eps.iter().sum();
+            assert!((sum - 20.0).abs() < 1e-9, "{alloc:?} sums to {sum}");
+            assert!(eps.iter().all(|&e| e > 0.0));
+        }
+    }
+
+    #[test]
+    fn optimal_matches_closed_form() {
+        // s = {1, 8}: weights 1 and 4, so ε = {ε/5, 4ε/5}.
+        let eps = allocate(BudgetAllocation::Optimal, &[1.0, 8.0], 10.0);
+        assert!((eps[0] - 2.0).abs() < 1e-9);
+        assert!((eps[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_never_worse_than_uniform() {
+        let cases = [
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 10.0],
+            vec![3.0, 5.0, 7.0, 120.0],
+            vec![0.5, 0.5, 100.0, 2.0, 9.0],
+        ];
+        for sens in cases {
+            let opt = allocate(BudgetAllocation::Optimal, &sens, 5.0);
+            let uni = allocate(BudgetAllocation::Uniform, &sens, 5.0);
+            let v_opt = total_noise_variance(&sens, &opt);
+            let v_uni = total_noise_variance(&sens, &uni);
+            assert!(
+                v_opt <= v_uni + 1e-9,
+                "sens {sens:?}: optimal {v_opt} > uniform {v_uni}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_sensitivities_give_equal_split() {
+        let eps = allocate(BudgetAllocation::Optimal, &[4.0; 5], 10.0);
+        for e in eps {
+            assert!((e - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimal_is_a_stationary_point() {
+        // Perturbing the optimal allocation (keeping the sum fixed) must not
+        // reduce the variance.
+        let sens = vec![2.0, 5.0, 11.0];
+        let opt = allocate(BudgetAllocation::Optimal, &sens, 9.0);
+        let base = total_noise_variance(&sens, &opt);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let mut p = opt.clone();
+                p[i] += 1e-4;
+                p[j] -= 1e-4;
+                assert!(total_noise_variance(&sens, &p) >= base - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sensitivity_rejected() {
+        let _ = allocate(BudgetAllocation::Optimal, &[1.0, 0.0], 1.0);
+    }
+}

@@ -1,0 +1,462 @@
+//! Pattern recognition (Section 4.2): privately estimate the normalised
+//! consumption matrix.
+//!
+//! 1. Build the spatio-temporal quadtree over the training prefix and
+//!    compute one representative series per neighbourhood (Equation 9).
+//! 2. Sanitise each series point with budget `ε_pattern / T_train` and the
+//!    depth-dependent sensitivity `1/4^(log2(Cx) - d)` (Theorem 6).
+//! 3. Sweep a window over the sanitised series to build training pairs and
+//!    train a sequence model (self-attention + GRU by default).
+//! 4. Generate `C_pattern` (all post-processing of DP data, Theorem 3):
+//!    spatial weights are estimated from every level with SNR-adaptive
+//!    shrinkage; for `t < T_train` each cell carries its segment's
+//!    neighbourhood value redistributed by those weights; for `t ≥ T_train`
+//!    the model rolls the map-average leaf series forward autoregressively
+//!    and the same weights spread the forecast over space.
+
+use crate::quadtree::{neighborhood_of, neighborhoods, representative_series, time_segments};
+use serde::{Deserialize, Serialize};
+use stpt_dp::prelude::*;
+use stpt_nn::seq::{make_windows, NetConfig, SequenceRegressor, TrainStats};
+use stpt_data::ConsumptionMatrix;
+
+/// Configuration of the pattern-recognition phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatternConfig {
+    /// Privacy budget ε_pattern for the whole phase.
+    pub epsilon: f64,
+    /// Length of the training prefix `T_train`.
+    pub t_train: usize,
+    /// Quadtree depth (levels used are `0..=depth`).
+    pub depth: usize,
+    /// Sequence-model hyper-parameters (window `ws` lives here).
+    pub net: NetConfig,
+}
+
+/// Output of the pattern-recognition phase.
+#[derive(Debug, Clone)]
+pub struct PatternOutput {
+    /// The private estimate `C_pattern` of the normalised matrix
+    /// (`cx × cy × ct`). Safe to release (post-processing of DP data).
+    pub pattern: ConsumptionMatrix,
+    /// The sanitised hierarchical series the model was trained on, level by
+    /// level (level `d` holds `4^d` series).
+    pub sanitized_levels: Vec<Vec<Vec<f64>>>,
+    /// Training statistics of the sequence model.
+    pub train_stats: TrainStats,
+}
+
+/// Run pattern recognition over the *normalised* matrix `c_norm`
+/// (per-reading values in `[0, 1]`, so cell sensitivity is 1 — Theorem 4).
+///
+/// `ct_total` is the full release length; predictions fill
+/// `[t_train, ct_total)`.
+pub fn recognize_patterns(
+    c_norm: &ConsumptionMatrix,
+    config: &PatternConfig,
+    accountant: &mut BudgetAccountant,
+    rng: &mut DpRng,
+) -> Result<PatternOutput, DpError> {
+    let (cx, cy, ct_total) = c_norm.shape();
+    assert!(
+        config.t_train <= ct_total,
+        "T_train {} exceeds series length {}",
+        config.t_train,
+        ct_total
+    );
+    assert!(cx.is_power_of_two(), "grid width must be a power of two");
+    let levels = config.depth + 1;
+    let segments = time_segments(config.t_train, levels);
+    let eps_per_point = Epsilon::new(config.epsilon / config.t_train as f64);
+
+    // 1–2: hierarchical representative series, sanitised level by level.
+    let mut sanitized_levels: Vec<Vec<Vec<f64>>> = Vec::with_capacity(levels);
+    for (d, &(t0, t1)) in segments.iter().enumerate() {
+        let regions = neighborhoods(cx, cy, d);
+        let sensitivity = Sensitivity::quadtree_cell(cx, d);
+        let mut level_series = Vec::with_capacity(regions.len());
+        for (ri, region) in regions.iter().enumerate() {
+            let mut rep = representative_series(c_norm, region, (t0, t1));
+            // Sequential composition over the segment's time points; parallel
+            // across the disjoint neighbourhoods of the level.
+            for (ti, v) in rep.iter_mut().enumerate() {
+                accountant.spend_parallel(
+                    &format!("pattern-t{}", t0 + ti),
+                    &format!("n{ri}"),
+                    eps_per_point,
+                )?;
+                let mech = LaplaceMechanism::new(sensitivity, eps_per_point);
+                *v = mech.release(*v, rng);
+            }
+            level_series.push(rep);
+        }
+        sanitized_levels.push(level_series);
+    }
+
+    // 3: train the sequence model on windows swept over each series.
+    let all_series: Vec<Vec<f64>> = sanitized_levels.iter().flatten().cloned().collect();
+    let (windows, targets) = make_windows(&all_series, config.net.window);
+    assert!(
+        !windows.is_empty(),
+        "no training windows: segments of length {} are shorter than window {}",
+        segments[0].1 - segments[0].0,
+        config.net.window
+    );
+    let mut model = SequenceRegressor::new(config.net.clone());
+    let train_stats = model.train(&windows, &targets);
+
+    // 4: assemble C_pattern.
+    let mut pattern = ConsumptionMatrix::zeros(cx, cy, ct_total);
+
+    // Spatial weights estimated from *all* levels: households are static,
+    // so the spatial profile holds across time segments. Each level refines
+    // its parent with a James-Stein-style shrinkage proportional to that
+    // level's signal-to-noise ratio, so noisy fine levels contribute only
+    // where they carry real structure. Pure post-processing of DP data
+    // (Theorem 3).
+    let leaf_depth = config.depth;
+    let eps_pp = config.epsilon / config.t_train as f64;
+    let leaf_weights = hierarchical_weights(&sanitized_levels, &segments, cx, eps_pp);
+
+    // Training prefix: each cell takes its neighbourhood's sanitised value
+    // for the level owning that time segment, redistributed by the leaf
+    // spatial profile within the neighbourhood.
+    for (d, &(t0, t1)) in segments.iter().enumerate() {
+        let level = &sanitized_levels[d];
+        // Mean leaf weight within each depth-d neighbourhood (for
+        // normalising the redistribution).
+        let n_neigh = level.len();
+        let mut neigh_weight_sum = vec![0.0; n_neigh];
+        let mut neigh_cell_count = vec![0usize; n_neigh];
+        for x in 0..cx {
+            for y in 0..cy {
+                let ni = neighborhood_of(cx, cy, d, x, y);
+                let li = neighborhood_of(cx, cy, leaf_depth, x, y);
+                neigh_weight_sum[ni] += leaf_weights[li];
+                neigh_cell_count[ni] += 1;
+            }
+        }
+        for x in 0..cx {
+            for y in 0..cy {
+                let ni = neighborhood_of(cx, cy, d, x, y);
+                let li = neighborhood_of(cx, cy, leaf_depth, x, y);
+                let mean_w = neigh_weight_sum[ni] / neigh_cell_count[ni].max(1) as f64;
+                // Guard: if the neighbourhood's weight profile is ~zero
+                // (noise cancelled everything), fall back to no
+                // redistribution.
+                let factor = if mean_w > 1e-9 {
+                    leaf_weights[li] / mean_w
+                } else {
+                    1.0
+                };
+                let series = &level[ni];
+                for t in t0..t1 {
+                    pattern.set(x, y, t, series[t - t0] * factor);
+                }
+            }
+        }
+    }
+
+    // Forecast horizon: per-leaf rollouts are dominated by the leaves' own
+    // Laplace noise (their per-point SNR is the worst of the hierarchy), so
+    // the temporal shape is forecast once from the *map-average* of the
+    // leaf series — averaging 4^depth leaves divides the noise by
+    // 2^depth — and redistributed spatially by the leaf weights, exactly as
+    // in the training prefix. Still pure post-processing (Theorem 3).
+    let leaf_series = &sanitized_levels[leaf_depth];
+    let ws = config.net.window;
+    let horizon = ct_total - config.t_train;
+    if horizon > 0 {
+        let seg_len = leaf_series[0].len();
+        let n_leaves = leaf_series.len() as f64;
+        let global_tail: Vec<f64> = (0..seg_len)
+            .map(|t| leaf_series.iter().map(|s| s[t]).sum::<f64>() / n_leaves)
+            .collect();
+        let seed: Vec<f64> = if global_tail.len() >= ws {
+            global_tail[global_tail.len() - ws..].to_vec()
+        } else {
+            // Pad a too-short segment by repeating its first value.
+            let mut s = vec![global_tail[0]; ws - global_tail.len()];
+            s.extend_from_slice(&global_tail);
+            s
+        };
+        let forecast = model.generate(&seed, horizon);
+        let mean_w = leaf_weights.iter().sum::<f64>() / n_leaves;
+        for x in 0..cx {
+            for y in 0..cy {
+                let li = neighborhood_of(cx, cy, leaf_depth, x, y);
+                let factor = if mean_w > 1e-9 {
+                    leaf_weights[li] / mean_w
+                } else {
+                    1.0
+                };
+                for t in config.t_train..ct_total {
+                    pattern.set(x, y, t, forecast[t - config.t_train] * factor);
+                }
+            }
+        }
+    }
+
+    Ok(PatternOutput {
+        pattern,
+        sanitized_levels,
+        train_stats,
+    })
+}
+
+/// Estimate per-leaf spatial weights by combining every quadtree level.
+///
+/// Level `d`'s segment averages `a_d(n)` carry independent Laplace noise of
+/// known variance `2·(sens_d/ε_pp)²/len_d`. Starting from the root average,
+/// each level adds its children's deviations from their parent mean, shrunk
+/// by the James-Stein factor `κ_d = max(0, 1 − noise_var/observed_var)` —
+/// when a level is noise-dominated its refinement is suppressed and the
+/// parent's (coarser but cleaner) estimate prevails. Returns one
+/// non-negative weight per deepest-level neighbourhood.
+fn hierarchical_weights(
+    sanitized_levels: &[Vec<Vec<f64>>],
+    segments: &[(usize, usize)],
+    cx: usize,
+    eps_pp: f64,
+) -> Vec<f64> {
+    let depth = sanitized_levels.len() - 1;
+    // Segment averages per level.
+    let averages: Vec<Vec<f64>> = sanitized_levels
+        .iter()
+        .map(|level| {
+            level
+                .iter()
+                .map(|s| s.iter().sum::<f64>() / s.len().max(1) as f64)
+                .collect()
+        })
+        .collect();
+
+    let mut weights = vec![averages[0][0]];
+    for d in 1..=depth {
+        let splits = 1usize << d;
+        let parent_splits = splits / 2;
+        let seg_len = (segments[d].1 - segments[d].0).max(1) as f64;
+        let b = Sensitivity::quadtree_cell(cx, d).value() / eps_pp;
+        let noise_var_avg = 2.0 * b * b / seg_len;
+        // Deviation of each child from its sibling mean, and the level's
+        // observed deviation variance.
+        let level_avgs = &averages[d];
+        let mut devs = vec![0.0; level_avgs.len()];
+        let mut obs_var = 0.0;
+        for px in 0..parent_splits {
+            for py in 0..parent_splits {
+                let children: Vec<usize> = (0..2)
+                    .flat_map(|a| (0..2).map(move |b2| (2 * px + a) * splits + (2 * py + b2)))
+                    .collect();
+                let mean: f64 =
+                    children.iter().map(|&c| level_avgs[c]).sum::<f64>() / 4.0;
+                for &c in &children {
+                    devs[c] = level_avgs[c] - mean;
+                    obs_var += devs[c] * devs[c];
+                }
+            }
+        }
+        obs_var /= level_avgs.len() as f64;
+        // Var of (child − mean-of-4-siblings) under pure noise: 3/4 · v.
+        let noise_dev_var = 0.75 * noise_var_avg;
+        // Per-child soft threshold at one noise standard deviation
+        // (wavelet-style denoising): deviations indistinguishable from
+        // noise collapse to the parent value, genuinely large deviations
+        // survive nearly intact. A global linear (James-Stein) factor
+        // over-flattens concentrated distributions, where the signal lives
+        // in a few children while most are flat.
+        let tau = noise_dev_var.sqrt();
+        let kappa = (1.0 - noise_dev_var / obs_var.max(1e-300)).max(0.0);
+
+        let mut next = vec![0.0; level_avgs.len()];
+        for px in 0..parent_splits {
+            for py in 0..parent_splits {
+                let parent_w = weights[px * parent_splits + py];
+                for a in 0..2 {
+                    for b2 in 0..2 {
+                        let c = (2 * px + a) * splits + (2 * py + b2);
+                        let dev = devs[c];
+                        let softened = dev.signum() * (dev.abs() - tau).max(0.0);
+                        next[c] = parent_w + kappa.max(0.2) * softened;
+                    }
+                }
+            }
+        }
+        weights = next;
+    }
+    for w in &mut weights {
+        *w = w.max(0.0);
+    }
+    weights
+}
+
+/// Prediction error of `C_pattern` against the true normalised matrix over
+/// the forecast horizon only (Figures 8a/8b/8e/8f report MAE and RMSE of
+/// the pattern-recognition predictions).
+pub fn prediction_error(
+    c_norm: &ConsumptionMatrix,
+    pattern: &ConsumptionMatrix,
+    t_train: usize,
+) -> (f64, f64) {
+    assert_eq!(c_norm.shape(), pattern.shape(), "shape mismatch");
+    let (cx, cy, ct) = c_norm.shape();
+    let mut abs = 0.0;
+    let mut sq = 0.0;
+    let mut n = 0usize;
+    for x in 0..cx {
+        for y in 0..cy {
+            let truth = c_norm.pillar(x, y);
+            let est = pattern.pillar(x, y);
+            for t in t_train..ct {
+                let d = truth[t] - est[t];
+                abs += d.abs();
+                sq += d * d;
+                n += 1;
+            }
+        }
+    }
+    let n = n.max(1) as f64;
+    (abs / n, (sq / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stpt_nn::seq::ModelKind;
+
+    /// A tiny normalised matrix with a smooth periodic signal.
+    fn toy_norm_matrix(cx: usize, cy: usize, ct: usize) -> ConsumptionMatrix {
+        let mut m = ConsumptionMatrix::zeros(cx, cy, ct);
+        for x in 0..cx {
+            for y in 0..cy {
+                let amp = 0.3 + 0.1 * ((x + y) % 3) as f64;
+                for t in 0..ct {
+                    let v = 0.5 + amp * (t as f64 * 0.4).sin();
+                    m.set(x, y, t, v);
+                }
+            }
+        }
+        m
+    }
+
+    fn tiny_config(eps: f64, t_train: usize, depth: usize) -> PatternConfig {
+        let mut net = NetConfig::fast(ModelKind::Gru);
+        net.embed_dim = 8;
+        net.hidden_dim = 8;
+        net.window = 4;
+        net.epochs = 5;
+        PatternConfig {
+            epsilon: eps,
+            t_train,
+            depth,
+            net,
+        }
+    }
+
+    #[test]
+    fn spends_exactly_epsilon_pattern() {
+        let m = toy_norm_matrix(4, 4, 40);
+        let cfg = tiny_config(5.0, 30, 2);
+        let mut acc = BudgetAccountant::new(Epsilon::new(5.0));
+        let mut rng = DpRng::seed_from_u64(0);
+        let out = recognize_patterns(&m, &cfg, &mut acc, &mut rng).unwrap();
+        assert!((acc.spent() - 5.0).abs() < 1e-9, "spent {}", acc.spent());
+        assert_eq!(out.pattern.shape(), m.shape());
+    }
+
+    #[test]
+    fn fails_cleanly_when_budget_insufficient() {
+        let m = toy_norm_matrix(4, 4, 40);
+        let cfg = tiny_config(5.0, 30, 2);
+        let mut acc = BudgetAccountant::new(Epsilon::new(1.0)); // < ε_pattern
+        let mut rng = DpRng::seed_from_u64(0);
+        let err = recognize_patterns(&m, &cfg, &mut acc, &mut rng);
+        assert!(matches!(err, Err(DpError::BudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn level_counts_follow_quadtree() {
+        let m = toy_norm_matrix(4, 4, 40);
+        let cfg = tiny_config(8.0, 30, 2);
+        let mut acc = BudgetAccountant::new(Epsilon::new(8.0));
+        let mut rng = DpRng::seed_from_u64(1);
+        let out = recognize_patterns(&m, &cfg, &mut acc, &mut rng).unwrap();
+        let counts: Vec<usize> = out.sanitized_levels.iter().map(Vec::len).collect();
+        assert_eq!(counts, vec![1, 4, 16]);
+    }
+
+    #[test]
+    fn pattern_is_complete_and_finite() {
+        let m = toy_norm_matrix(4, 4, 36);
+        let cfg = tiny_config(10.0, 24, 1);
+        let mut acc = BudgetAccountant::new(Epsilon::new(10.0));
+        let mut rng = DpRng::seed_from_u64(2);
+        let out = recognize_patterns(&m, &cfg, &mut acc, &mut rng).unwrap();
+        assert!(out.pattern.data().iter().all(|v| v.is_finite()));
+        // The forecast horizon must not be all-zero (the model produced
+        // something).
+        let tail_mass: f64 = (0..4)
+            .flat_map(|x| (0..4).map(move |y| (x, y)))
+            .map(|(x, y)| out.pattern.pillar(x, y)[24..].iter().sum::<f64>())
+            .sum();
+        assert!(tail_mass.abs() > 1e-9);
+    }
+
+    #[test]
+    fn higher_budget_gives_lower_prediction_error_on_average() {
+        let m = toy_norm_matrix(4, 4, 60);
+        let mut errs = Vec::new();
+        for eps in [0.5, 200.0] {
+            let mut mae_sum = 0.0;
+            for seed in 0..3 {
+                let cfg = tiny_config(eps, 40, 1);
+                let mut acc = BudgetAccountant::new(Epsilon::new(eps));
+                let mut rng = DpRng::seed_from_u64(seed);
+                let out = recognize_patterns(&m, &cfg, &mut acc, &mut rng).unwrap();
+                let (mae, _) = prediction_error(&m, &out.pattern, 40);
+                mae_sum += mae;
+            }
+            errs.push(mae_sum / 3.0);
+        }
+        assert!(
+            errs[1] < errs[0],
+            "high-budget MAE {} not below low-budget {}",
+            errs[1],
+            errs[0]
+        );
+    }
+
+    #[test]
+    fn hierarchical_weights_recover_concentrated_signal() {
+        // Synthetic two-level hierarchy with no noise: one leaf is hot.
+        let segments = vec![(0usize, 10usize), (10, 20)];
+        let root = vec![vec![1.0; 10]];
+        // 4 leaves: the first has value 3.4, others 0.2 (mean 1.0).
+        let leaves = vec![vec![3.4; 10], vec![0.2; 10], vec![0.2; 10], vec![0.2; 10]];
+        let w = hierarchical_weights(&[root, leaves], &segments, 2, 1e9);
+        assert_eq!(w.len(), 4);
+        assert!(w[0] > 5.0 * w[1], "weights {w:?}");
+        assert!((w[1] - w[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_weights_shrink_pure_noise() {
+        // Tiny epsilon per point: fine-level deviations are indistinguishable
+        // from noise, so weights collapse towards the root value.
+        let segments = vec![(0usize, 10usize), (10, 20)];
+        let root = vec![vec![1.0; 10]];
+        let leaves = vec![vec![1.3; 10], vec![0.7; 10], vec![1.1; 10], vec![0.9; 10]];
+        let w = hierarchical_weights(&[root, leaves], &segments, 2, 1e-6);
+        for v in &w {
+            assert!((v - 1.0).abs() < 0.05, "weights {w:?}");
+        }
+    }
+
+    #[test]
+    fn prediction_error_zero_for_perfect_pattern() {
+        let m = toy_norm_matrix(2, 2, 20);
+        let (mae, rmse) = prediction_error(&m, &m, 10);
+        assert_eq!(mae, 0.0);
+        assert_eq!(rmse, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The spatio-temporal quadtree of Section 4.2 (Figure 2b).
+//!
+//! The training prefix `C_t[0 : T_train]` is cut into `depth + 1` equal time
+//! segments. Segment `d` is viewed at quadtree depth `d`: the map is divided
+//! into `4^d` square neighbourhoods, and each neighbourhood contributes one
+//! *representative* time series — the element-wise average of its cells'
+//! normalised values over that segment (Equation 9). Because the quadtree is
+//! data-independent, no privacy budget is spent on choosing split points.
+
+use serde::{Deserialize, Serialize};
+use stpt_data::ConsumptionMatrix;
+
+/// An axis-aligned square neighbourhood of grid cells: `[x0, x1) × [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// `[x0, x1)` cell range.
+    pub x: (usize, usize),
+    /// `[y0, y1)` cell range.
+    pub y: (usize, usize),
+}
+
+impl Region {
+    /// Number of cells covered.
+    pub fn cell_count(&self) -> usize {
+        (self.x.1 - self.x.0) * (self.y.1 - self.y.0)
+    }
+
+    /// Whether grid cell `(x, y)` lies inside.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        (self.x.0..self.x.1).contains(&x) && (self.y.0..self.y.1).contains(&y)
+    }
+}
+
+/// Split the training window `[0, t_train)` into `levels` equal segments
+/// (the last may be shorter), one per quadtree depth. Segment length is
+/// `ceil(t_train / levels)` (Equation 8).
+pub fn time_segments(t_train: usize, levels: usize) -> Vec<(usize, usize)> {
+    assert!(levels > 0, "need at least one level");
+    assert!(t_train >= levels, "training window shorter than level count");
+    let seg = t_train.div_ceil(levels);
+    (0..levels)
+        .map(|i| (i * seg, ((i + 1) * seg).min(t_train)))
+        .filter(|(a, b)| a < b)
+        .collect()
+}
+
+/// The `4^d` neighbourhoods at depth `d` of a `cx × cy` grid (row-major
+/// order). `cx` and `cy` must be divisible by `2^d`.
+pub fn neighborhoods(cx: usize, cy: usize, depth: usize) -> Vec<Region> {
+    let splits = 1usize << depth;
+    assert!(
+        cx.is_multiple_of(splits) && cy.is_multiple_of(splits),
+        "grid {cx}x{cy} not divisible into 2^{depth} parts"
+    );
+    let (wx, wy) = (cx / splits, cy / splits);
+    let mut out = Vec::with_capacity(splits * splits);
+    for ix in 0..splits {
+        for iy in 0..splits {
+            out.push(Region {
+                x: (ix * wx, (ix + 1) * wx),
+                y: (iy * wy, (iy + 1) * wy),
+            });
+        }
+    }
+    out
+}
+
+/// Index (in [`neighborhoods`] order) of the depth-`d` neighbourhood that
+/// contains cell `(x, y)`.
+pub fn neighborhood_of(cx: usize, cy: usize, depth: usize, x: usize, y: usize) -> usize {
+    let splits = 1usize << depth;
+    let (wx, wy) = (cx / splits, cy / splits);
+    (x / wx) * splits + (y / wy)
+}
+
+/// Representative time series of `region` over `[t0, t1)`: the element-wise
+/// average of its cells' values (Equation 9 applied at cell granularity).
+pub fn representative_series(
+    m: &ConsumptionMatrix,
+    region: &Region,
+    (t0, t1): (usize, usize),
+) -> Vec<f64> {
+    assert!(t1 <= m.ct(), "time range out of bounds");
+    let n = region.cell_count() as f64;
+    let mut out = vec![0.0; t1 - t0];
+    for x in region.x.0..region.x.1 {
+        for y in region.y.0..region.y.1 {
+            let pillar = &m.pillar(x, y)[t0..t1];
+            for (o, &v) in out.iter_mut().zip(pillar) {
+                *o += v;
+            }
+        }
+    }
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_segments_partition_training_window() {
+        let segs = time_segments(100, 6);
+        assert_eq!(segs.len(), 6);
+        assert_eq!(segs[0], (0, 17));
+        assert_eq!(segs.last().unwrap().1, 100);
+        // Segments tile [0, 100) without gaps or overlaps.
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn time_segments_exact_division() {
+        let segs = time_segments(6, 3);
+        assert_eq!(segs, vec![(0, 2), (2, 4), (4, 6)]);
+    }
+
+    #[test]
+    fn paper_example_4x4x6() {
+        // Figure 2b: a 4×4×6 training matrix, 3 levels of duration 2.
+        let segs = time_segments(6, 3);
+        assert_eq!(segs.len(), 3);
+        assert!(segs.iter().all(|(a, b)| b - a == 2));
+        let counts: Vec<usize> = (0..3).map(|d| neighborhoods(4, 4, d).len()).collect();
+        assert_eq!(counts, vec![1, 4, 16]);
+        // 21 series in total.
+        assert_eq!(counts.iter().sum::<usize>(), 21);
+    }
+
+    #[test]
+    fn neighborhoods_tile_grid_exactly() {
+        for depth in 0..=3 {
+            let regions = neighborhoods(8, 8, depth);
+            assert_eq!(regions.len(), 4usize.pow(depth as u32));
+            let mut covered = vec![vec![0u32; 8]; 8];
+            for r in &regions {
+                for x in r.x.0..r.x.1 {
+                    for y in r.y.0..r.y.1 {
+                        covered[x][y] += 1;
+                    }
+                }
+            }
+            assert!(covered.iter().flatten().all(|&c| c == 1), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn neighborhood_of_agrees_with_contains() {
+        for depth in 0..=3 {
+            let regions = neighborhoods(16, 16, depth);
+            for x in 0..16 {
+                for y in 0..16 {
+                    let i = neighborhood_of(16, 16, depth, x, y);
+                    assert!(regions[i].contains(x, y), "depth {depth} cell ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representative_series_averages_cells() {
+        // 2×2 grid, 3 steps: values chosen so averages are easy.
+        let mut m = ConsumptionMatrix::zeros(2, 2, 3);
+        for (i, (x, y)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+            for t in 0..3 {
+                m.set(*x, *y, t, (i + 1) as f64 * (t + 1) as f64);
+            }
+        }
+        let root = Region { x: (0, 2), y: (0, 2) };
+        let rep = representative_series(&m, &root, (0, 3));
+        // Average of 1..4 = 2.5, scaled by (t+1).
+        assert_eq!(rep, vec![2.5, 5.0, 7.5]);
+        let single = Region { x: (1, 2), y: (1, 2) };
+        assert_eq!(representative_series(&m, &single, (1, 3)), vec![8.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn neighborhoods_reject_indivisible_grid() {
+        let _ = neighborhoods(6, 6, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than level count")]
+    fn time_segments_reject_too_many_levels() {
+        let _ = time_segments(3, 5);
+    }
+}

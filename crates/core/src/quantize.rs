@@ -1,0 +1,404 @@
+//! k-quantisation of the pattern matrix (Definition 4) and partition
+//! sensitivity (Theorem 7).
+//!
+//! Cells whose private estimates fall into the same of `k` equal-width value
+//! buckets form one partition. Partitions are non-overlapping by
+//! construction and may be scattered across the matrix.
+
+use serde::{Deserialize, Serialize};
+use stpt_data::ConsumptionMatrix;
+
+/// One partition: the flat cell indices it contains and its pillar
+/// sensitivity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Quantisation level this partition corresponds to (`0..k`).
+    pub level: usize,
+    /// Spatial-tile group: partitions in different groups cover disjoint
+    /// sets of households (a household lives in exactly one pillar, hence
+    /// one tile), so groups compose in parallel (Theorem 2) and each group
+    /// can spend the full sanitisation budget. The global scheme has a
+    /// single group.
+    pub group: usize,
+    /// Flat `(x, y, t)` cell indices (same layout as
+    /// [`ConsumptionMatrix::data`]).
+    pub cells: Vec<usize>,
+    /// Maximum number of this partition's cells in any single xy-pillar
+    /// (Theorem 7): one user contributes to at most this many of its cells.
+    pub pillar_sensitivity: usize,
+}
+
+/// How quantisation buckets are turned into partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PartitionScheme {
+    /// Definition 4 verbatim: one partition per value bucket, cells pooled
+    /// across the whole matrix.
+    Global,
+    /// Locality-aware refinement: buckets are additionally keyed by a
+    /// `block × block` spatial tile and by the time region boundary
+    /// `t_boundary` (training prefix vs forecast horizon). Partition
+    /// averaging then never moves mass across distant blocks or between the
+    /// well-estimated prefix and the extrapolated horizon — a sharper
+    /// application of the paper's homogeneity principle. Still a
+    /// non-overlapping partition, so the sensitivity and budget analysis is
+    /// unchanged.
+    Local {
+        /// Spatial tile side length in cells.
+        block: usize,
+        /// Time index splitting the training prefix from the forecast
+        /// horizon (always a region boundary).
+        t_boundary: usize,
+        /// Additional temporal tiling: every `t_block` steps start a new
+        /// region (`0` disables, keeping only the `t_boundary` split).
+        t_block: usize,
+    },
+    /// Like `Local`, but temporal regions are *adaptive*: within each tile a
+    /// new region starts exactly where the tile's bucket assignment changes
+    /// (and at `t_boundary`). Flat stretches of the pattern stay in one
+    /// large low-noise partition; dynamic stretches split finely. Region
+    /// boundaries depend only on the private pattern, so this remains
+    /// post-processing.
+    Adaptive {
+        /// Spatial tile side length in cells.
+        block: usize,
+        /// Time index splitting the training prefix from the forecast
+        /// horizon (always a region boundary).
+        t_boundary: usize,
+    },
+}
+
+/// k-quantise `pattern` into non-empty partitions under `scheme`.
+///
+/// `Global` yields at most `k` partitions (Definition 4); `Local` yields at
+/// most `k × #tiles × 2`.
+pub fn k_quantize_with(
+    pattern: &ConsumptionMatrix,
+    k: usize,
+    scheme: PartitionScheme,
+) -> Vec<Partition> {
+    assert!(k >= 1, "need at least one quantisation level");
+    let min = pattern.min_value();
+    let max = pattern.max_value();
+    let width = (max - min) / k as f64;
+
+    let (cx, cy, ct) = pattern.shape();
+    let (block, t_boundary, t_block, adaptive) = match scheme {
+        PartitionScheme::Global => (cx.max(cy), ct, ct, false),
+        PartitionScheme::Local {
+            block,
+            t_boundary,
+            t_block,
+        } => {
+            assert!(block >= 1, "block side must be at least 1");
+            let tb = if t_block == 0 { ct } else { t_block.min(ct) };
+            (block, t_boundary.min(ct), tb, false)
+        }
+        PartitionScheme::Adaptive { block, t_boundary } => {
+            assert!(block >= 1, "block side must be at least 1");
+            (block, t_boundary.min(ct), ct, true)
+        }
+    };
+    let tiles_x = cx.div_ceil(block);
+    let tiles_y = cy.div_ceil(block);
+
+    // Per-cell bucket assignment (computed once).
+    let buckets: Vec<u16> = pattern
+        .data()
+        .iter()
+        .map(|&v| bucket_of(v, min, width, k) as u16)
+        .collect();
+    let flat_idx = |x: usize, y: usize| (x * cy + y) * ct;
+
+    // Temporal regions per tile. Fixed tiling: region = 2·(t/t_block) +
+    // after-boundary flag. Adaptive: a new region starts wherever the tile's
+    // joint bucket assignment changes, or at the boundary.
+    let mut tile_regions: Vec<Vec<usize>> = Vec::with_capacity(tiles_x * tiles_y);
+    let mut max_regions = 0usize;
+    for tx in 0..tiles_x {
+        for ty in 0..tiles_y {
+            let mut regions_t = Vec::with_capacity(ct);
+            if adaptive {
+                let xs = (tx * block)..((tx + 1) * block).min(cx);
+                let ys = (ty * block)..((ty + 1) * block).min(cy);
+                let mut region = 0usize;
+                for t in 0..ct {
+                    if t > 0 {
+                        let boundary_here = t == t_boundary;
+                        let changed = xs.clone().any(|x| {
+                            ys.clone().any(|y| {
+                                let p = flat_idx(x, y);
+                                buckets[p + t] != buckets[p + t - 1]
+                            })
+                        });
+                        if boundary_here || changed {
+                            region += 1;
+                        }
+                    }
+                    regions_t.push(region);
+                }
+            } else {
+                for t in 0..ct {
+                    let tile_t = t / t_block.max(1);
+                    let after = usize::from(t >= t_boundary && t_boundary < ct);
+                    regions_t.push(tile_t * 2 + after);
+                }
+            }
+            max_regions = max_regions.max(regions_t.last().map_or(0, |&r| r + 1));
+            tile_regions.push(regions_t);
+        }
+    }
+    let regions = max_regions.max(1);
+    let groups = tiles_x * tiles_y * regions;
+
+    let mut cells_per_part: Vec<Vec<usize>> = vec![Vec::new(); k * groups];
+    let mut pillar_sens: Vec<usize> = vec![0; k * groups];
+
+    for x in 0..cx {
+        for y in 0..cy {
+            let tile = (x / block) * tiles_y + (y / block);
+            let regions_t = &tile_regions[tile];
+            let flat = flat_idx(x, y);
+            // Per-pillar counts for Theorem 7 (sparse: only touched parts).
+            let mut touched: Vec<usize> = Vec::new();
+            let mut counts = vec![0usize; k * groups];
+            for t in 0..ct {
+                let region = regions_t[t];
+                let bucket = buckets[flat + t] as usize;
+                let part = (tile * regions + region) * k + bucket;
+                if counts[part] == 0 {
+                    touched.push(part);
+                }
+                cells_per_part[part].push(flat + t);
+                counts[part] += 1;
+            }
+            for &p in &touched {
+                pillar_sens[p] = pillar_sens[p].max(counts[p]);
+            }
+        }
+    }
+
+    cells_per_part
+        .into_iter()
+        .enumerate()
+        .filter(|(_, cells)| !cells.is_empty())
+        .map(|(part, cells)| Partition {
+            level: part % k,
+            // part = (tile * regions + region) * k + bucket; recover the
+            // spatial tile, which alone determines the user-disjoint group.
+            group: part / (k * regions),
+            cells,
+            pillar_sensitivity: pillar_sens[part],
+        })
+        .collect()
+}
+
+/// k-quantise `pattern` with the paper's global scheme (Definition 4).
+pub fn k_quantize(pattern: &ConsumptionMatrix, k: usize) -> Vec<Partition> {
+    k_quantize_with(pattern, k, PartitionScheme::Global)
+}
+
+/// Bucket index of value `v` given the global range.
+fn bucket_of(v: f64, min: f64, width: f64, k: usize) -> usize {
+    if width <= 0.0 {
+        return 0;
+    }
+    (((v - min) / width) as usize).min(k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_with(values: &[f64]) -> ConsumptionMatrix {
+        // 1×1×n pillar for easy reasoning.
+        ConsumptionMatrix::from_vec(1, 1, values.len(), values.to_vec())
+    }
+
+    #[test]
+    fn partitions_cover_all_cells_exactly_once() {
+        let m = ConsumptionMatrix::from_vec(
+            2,
+            2,
+            3,
+            vec![0.1, 0.9, 0.5, 0.2, 0.8, 0.4, 0.3, 0.7, 0.6, 0.15, 0.85, 0.55],
+        );
+        let parts = k_quantize(&m, 4);
+        let mut seen = vec![0u32; m.len()];
+        for p in &parts {
+            for &c in &p.cells {
+                seen[c] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "cells covered: {seen:?}");
+        assert!(parts.len() <= 4);
+    }
+
+    #[test]
+    fn quantization_groups_similar_values() {
+        let m = matrix_with(&[0.0, 0.05, 0.5, 0.55, 1.0]);
+        let parts = k_quantize(&m, 2);
+        // Two buckets: [0, 0.5) and [0.5, 1.0].
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].cells, vec![0, 1]);
+        assert_eq!(parts[1].cells, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn max_value_lands_in_top_bucket() {
+        let m = matrix_with(&[0.0, 1.0]);
+        let parts = k_quantize(&m, 5);
+        assert_eq!(parts.last().unwrap().level, 4);
+        assert_eq!(parts.last().unwrap().cells, vec![1]);
+    }
+
+    #[test]
+    fn constant_matrix_gives_single_partition() {
+        let m = matrix_with(&[0.7; 10]);
+        let parts = k_quantize(&m, 8);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].cells.len(), 10);
+        assert_eq!(parts[0].pillar_sensitivity, 10);
+    }
+
+    #[test]
+    fn pillar_sensitivity_counts_same_pillar_cells() {
+        // Pillar (0,0) has 3 cells in the low bucket; pillar (1,0) has 1.
+        let m = ConsumptionMatrix::from_vec(2, 1, 3, vec![0.0, 0.1, 0.05, 0.9, 0.0, 0.95]);
+        let parts = k_quantize(&m, 2);
+        let low = parts.iter().find(|p| p.level == 0).unwrap();
+        assert_eq!(low.pillar_sensitivity, 3);
+        let high = parts.iter().find(|p| p.level == 1).unwrap();
+        assert_eq!(high.pillar_sensitivity, 2);
+    }
+
+    #[test]
+    fn pillar_sensitivity_bounded_by_ct_and_cells() {
+        let m = ConsumptionMatrix::from_vec(
+            2,
+            2,
+            4,
+            (0..16).map(|i| (i as f64) / 15.0).collect(),
+        );
+        for k in [1, 3, 7] {
+            for p in k_quantize(&m, k) {
+                assert!(p.pillar_sensitivity >= 1);
+                assert!(p.pillar_sensitivity <= 4); // ct
+                assert!(p.pillar_sensitivity <= p.cells.len());
+            }
+        }
+    }
+
+    #[test]
+    fn local_partitions_cover_all_cells_exactly_once() {
+        let mut m = ConsumptionMatrix::zeros(4, 4, 10);
+        for i in 0..m.len() {
+            m.data_mut()[i] = ((i * 37) % 11) as f64 / 11.0;
+        }
+        for scheme in [
+            PartitionScheme::Local { block: 2, t_boundary: 6, t_block: 0 },
+            PartitionScheme::Local { block: 2, t_boundary: 6, t_block: 3 },
+            PartitionScheme::Adaptive { block: 2, t_boundary: 6 },
+        ] {
+            let parts = k_quantize_with(&m, 4, scheme);
+            let mut seen = vec![0u32; m.len()];
+            for p in &parts {
+                for &c in &p.cells {
+                    seen[c] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&s| s == 1), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn local_groups_are_spatial_tiles() {
+        let mut m = ConsumptionMatrix::zeros(4, 4, 4);
+        for i in 0..m.len() {
+            m.data_mut()[i] = (i % 3) as f64;
+        }
+        let parts = k_quantize_with(
+            &m,
+            3,
+            PartitionScheme::Local { block: 2, t_boundary: 2, t_block: 0 },
+        );
+        // Cells of a partition never span two tiles.
+        let ct = 4;
+        let cy = 4;
+        for p in &parts {
+            let tile_of = |cell: usize| {
+                let pillar = cell / ct;
+                let (x, y) = (pillar / cy, pillar % cy);
+                (x / 2, y / 2)
+            };
+            let t0 = tile_of(p.cells[0]);
+            assert!(p.cells.iter().all(|&c| tile_of(c) == t0));
+        }
+        // Four distinct groups (2x2 tiles over a 4x4 grid).
+        let mut groups: Vec<usize> = parts.iter().map(|p| p.group).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn global_scheme_has_single_group() {
+        let m = matrix_with(&[0.1, 0.9, 0.4, 0.6]);
+        for p in k_quantize(&m, 2) {
+            assert_eq!(p.group, 0);
+        }
+    }
+
+    #[test]
+    fn adaptive_gives_flat_tiles_one_region() {
+        // A constant pattern: the adaptive scheme should produce exactly
+        // 2 partitions per tile (prefix + horizon), not one per step.
+        let m = ConsumptionMatrix::from_vec(2, 2, 10, vec![0.5; 40]);
+        let parts = k_quantize_with(
+            &m,
+            4,
+            PartitionScheme::Adaptive { block: 2, t_boundary: 5 },
+        );
+        assert_eq!(parts.len(), 2, "{parts:?}");
+    }
+
+    #[test]
+    fn adaptive_splits_where_buckets_change() {
+        // One pillar whose value jumps at t=4: expect 3 partitions
+        // (t<4, 4<=t<6 boundary at 6, t>=6).
+        let mut vals = vec![0.1; 10];
+        for v in vals.iter_mut().skip(4) {
+            *v = 0.9;
+        }
+        let m = ConsumptionMatrix::from_vec(1, 1, 10, vals);
+        let parts = k_quantize_with(
+            &m,
+            2,
+            PartitionScheme::Adaptive { block: 1, t_boundary: 6 },
+        );
+        assert_eq!(parts.len(), 3, "{parts:?}");
+        let mut sizes: Vec<usize> = parts.iter().map(|p| p.cells.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 4, 4]);
+    }
+
+    #[test]
+    fn t_boundary_always_splits_regions() {
+        let m = ConsumptionMatrix::from_vec(1, 1, 6, vec![0.5; 6]);
+        let parts = k_quantize_with(
+            &m,
+            2,
+            PartitionScheme::Local { block: 1, t_boundary: 3, t_block: 0 },
+        );
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].cells, vec![0, 1, 2]);
+        assert_eq!(parts[1].cells, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn k_one_lumps_everything() {
+        let m = matrix_with(&[0.0, 0.3, 0.6, 1.0]);
+        let parts = k_quantize(&m, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].cells.len(), 4);
+    }
+}

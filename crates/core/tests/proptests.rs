@@ -1,0 +1,89 @@
+//! Property-based tests for the STPT core invariants.
+
+use proptest::prelude::*;
+use stpt_core::quantize::{k_quantize_with, PartitionScheme};
+use stpt_core::{allocate, k_quantize, time_segments, total_noise_variance, BudgetAllocation};
+use stpt_data::ConsumptionMatrix;
+
+fn arb_matrix() -> impl Strategy<Value = ConsumptionMatrix> {
+    (1usize..5, 1usize..5, 1usize..12).prop_flat_map(|(cx, cy, ct)| {
+        prop::collection::vec(0.0f64..10.0, cx * cy * ct)
+            .prop_map(move |data| ConsumptionMatrix::from_vec(cx, cy, ct, data))
+    })
+}
+
+proptest! {
+    /// Time segments always tile [0, t_train) exactly, in order.
+    #[test]
+    fn time_segments_tile(levels in 1usize..8, extra in 0usize..50) {
+        let t_train = levels + extra;
+        let segs = time_segments(t_train, levels);
+        prop_assert_eq!(segs[0].0, 0);
+        prop_assert_eq!(segs.last().unwrap().1, t_train);
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        prop_assert!(segs.iter().all(|(a, b)| a < b));
+    }
+
+    /// Every partitioning scheme tiles the matrix exactly once and respects
+    /// Theorem 7's bounds.
+    #[test]
+    fn partitions_always_tile(m in arb_matrix(), k in 1usize..6, scheme_sel in 0u8..3) {
+        let (_, _, ct) = m.shape();
+        let scheme = match scheme_sel {
+            0 => PartitionScheme::Global,
+            1 => PartitionScheme::Local { block: 2, t_boundary: ct / 2, t_block: 3 },
+            _ => PartitionScheme::Adaptive { block: 2, t_boundary: ct / 2 },
+        };
+        let parts = k_quantize_with(&m, k, scheme);
+        let mut seen = vec![0u32; m.len()];
+        for p in &parts {
+            for &c in &p.cells {
+                prop_assert!(c < m.len());
+                seen[c] += 1;
+            }
+            prop_assert!(p.pillar_sensitivity >= 1);
+            prop_assert!(p.pillar_sensitivity <= ct);
+            prop_assert!(p.pillar_sensitivity <= p.cells.len());
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    /// The global scheme never produces more than k partitions.
+    #[test]
+    fn global_partition_count_bounded(m in arb_matrix(), k in 1usize..8) {
+        prop_assert!(k_quantize(&m, k).len() <= k);
+    }
+
+    /// Theorem 8: the optimal allocation sums to the budget and never has
+    /// higher total noise variance than the uniform split.
+    #[test]
+    fn optimal_allocation_dominates_uniform(
+        sens in prop::collection::vec(0.01f64..100.0, 1..20),
+        eps in 0.1f64..50.0
+    ) {
+        let opt = allocate(BudgetAllocation::Optimal, &sens, eps);
+        let uni = allocate(BudgetAllocation::Uniform, &sens, eps);
+        prop_assert!((opt.iter().sum::<f64>() - eps).abs() < 1e-6);
+        prop_assert!(opt.iter().all(|&e| e > 0.0));
+        let v_opt = total_noise_variance(&sens, &opt);
+        let v_uni = total_noise_variance(&sens, &uni);
+        prop_assert!(v_opt <= v_uni * (1.0 + 1e-9));
+    }
+
+    /// The optimal allocation is scale-equivariant: scaling all
+    /// sensitivities by a constant leaves the budgets unchanged.
+    #[test]
+    fn allocation_scale_invariant(
+        sens in prop::collection::vec(0.01f64..100.0, 1..12),
+        factor in 0.1f64..50.0
+    ) {
+        let a = allocate(BudgetAllocation::Optimal, &sens, 10.0);
+        let scaled: Vec<f64> = sens.iter().map(|s| s * factor).collect();
+        let b = allocate(BudgetAllocation::Optimal, &scaled, 10.0);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

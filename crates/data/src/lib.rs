@@ -1,0 +1,39 @@
+//! Data model and synthetic dataset generators for the STPT reproduction.
+//!
+//! * [`matrix3`] — the 3-D consumption matrix of Section 3.1, with global
+//!   min-max normalisation (Equation 6) and range sums.
+//! * [`spatial`] — household placement: Uniform, Normal, and an LA-like
+//!   population mixture standing in for the proprietary Veraset histogram.
+//! * [`dataset`] — digital twins of the CER/CA/MI/TX datasets calibrated to
+//!   Table 2 and the Figure 9 weekly cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use stpt_data::prelude::*;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut spec = DatasetSpec::CA;
+//! spec.households = 50; // keep the doctest fast
+//! let ds = Dataset::generate(spec, SpatialDistribution::Uniform, 48, &mut rng);
+//! let matrix = ds.consumption_matrix(8, 8, true);
+//! assert_eq!(matrix.shape(), (8, 8, 48));
+//! ```
+
+pub mod dataset;
+pub mod io;
+pub mod matrix3;
+pub mod spatial;
+
+pub use dataset::{Dataset, DatasetSpec, DatasetStats, Granularity, Household};
+pub use io::{read_readings_csv, write_readings_csv, CsvError};
+pub use matrix3::{ConsumptionMatrix, NormParams};
+pub use spatial::SpatialDistribution;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::dataset::{Dataset, DatasetSpec, DatasetStats, Granularity, Household};
+    pub use crate::matrix3::{ConsumptionMatrix, NormParams};
+    pub use crate::spatial::{cell_histogram, position_to_cell, SpatialDistribution};
+}

@@ -1,0 +1,349 @@
+//! The 3-D electricity consumption matrix (Section 3.1).
+//!
+//! A spatial grid of `cx × cy` cells is overlaid on the map and time is
+//! divided into `ct` equal intervals; element `(x, y, t)` holds the total
+//! consumption inside cell `(x, y)` during interval `t`.
+
+use serde::{Deserialize, Serialize};
+
+/// Min/max used for global min-max normalisation (Equation 6), kept so the
+/// normalisation can be undone after sanitisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormParams {
+    /// Global minimum reading.
+    pub min: f64,
+    /// Global maximum reading.
+    pub max: f64,
+}
+
+impl NormParams {
+    /// Map a raw value into `[0, 1]`.
+    #[inline]
+    pub fn normalize(&self, x: f64) -> f64 {
+        if self.max > self.min {
+            (x - self.min) / (self.max - self.min)
+        } else {
+            0.0
+        }
+    }
+
+    /// Undo [`NormParams::normalize`].
+    #[inline]
+    pub fn denormalize(&self, x: f64) -> f64 {
+        x * (self.max - self.min) + self.min
+    }
+}
+
+/// A dense `cx × cy × ct` consumption matrix in `(x, y, t)` layout
+/// (`t` fastest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumptionMatrix {
+    cx: usize,
+    cy: usize,
+    ct: usize,
+    data: Vec<f64>,
+}
+
+impl ConsumptionMatrix {
+    /// All-zero matrix.
+    pub fn zeros(cx: usize, cy: usize, ct: usize) -> Self {
+        ConsumptionMatrix {
+            cx,
+            cy,
+            ct,
+            data: vec![0.0; cx * cy * ct],
+        }
+    }
+
+    /// Build from a flat `(x, y, t)`-ordered vector.
+    pub fn from_vec(cx: usize, cy: usize, ct: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), cx * cy * ct, "data length mismatch");
+        ConsumptionMatrix { cx, cy, ct, data }
+    }
+
+    /// Spatial width.
+    #[inline]
+    pub fn cx(&self) -> usize {
+        self.cx
+    }
+
+    /// Spatial height.
+    #[inline]
+    pub fn cy(&self) -> usize {
+        self.cy
+    }
+
+    /// Number of time intervals.
+    #[inline]
+    pub fn ct(&self) -> usize {
+        self.ct
+    }
+
+    /// `(cx, cy, ct)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.cx, self.cy, self.ct)
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, t: usize) -> usize {
+        debug_assert!(x < self.cx && y < self.cy && t < self.ct);
+        (x * self.cy + y) * self.ct + t
+    }
+
+    /// Read cell `(x, y, t)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, t: usize) -> f64 {
+        self.data[self.idx(x, y, t)]
+    }
+
+    /// Write cell `(x, y, t)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, t: usize, v: f64) {
+        let i = self.idx(x, y, t);
+        self.data[i] = v;
+    }
+
+    /// Add `v` to cell `(x, y, t)`.
+    #[inline]
+    pub fn add(&mut self, x: usize, y: usize, t: usize, v: f64) {
+        let i = self.idx(x, y, t);
+        self.data[i] += v;
+    }
+
+    /// Flat `(x, y, t)`-ordered data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The time series ("pillar") at spatial cell `(x, y)`.
+    #[inline]
+    pub fn pillar(&self, x: usize, y: usize) -> &[f64] {
+        let start = (x * self.cy + y) * self.ct;
+        &self.data[start..start + self.ct]
+    }
+
+    /// Mutable pillar at `(x, y)`.
+    #[inline]
+    pub fn pillar_mut(&mut self, x: usize, y: usize) -> &mut [f64] {
+        let start = (x * self.cy + y) * self.ct;
+        &mut self.data[start..start + self.ct]
+    }
+
+    /// Iterate over all `(x, y)` pillar coordinates.
+    pub fn pillar_coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cy = self.cy;
+        (0..self.cx).flat_map(move |x| (0..cy).map(move |y| (x, y)))
+    }
+
+    /// Sum of every cell.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Minimum cell value.
+    pub fn min_value(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum cell value.
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum over the orthotope `[x0,x1) × [y0,y1) × [t0,t1)` by direct
+    /// iteration (the query crate provides an O(1) prefix-sum variant).
+    pub fn range_sum(
+        &self,
+        (x0, x1): (usize, usize),
+        (y0, y1): (usize, usize),
+        (t0, t1): (usize, usize),
+    ) -> f64 {
+        assert!(x1 <= self.cx && y1 <= self.cy && t1 <= self.ct, "range out of bounds");
+        let mut acc = 0.0;
+        for x in x0..x1 {
+            for y in y0..y1 {
+                let p = self.pillar(x, y);
+                acc += p[t0..t1].iter().sum::<f64>();
+            }
+        }
+        acc
+    }
+
+    /// Global min-max normalised copy (Equation 6) together with the
+    /// parameters needed to undo it.
+    pub fn normalized(&self) -> (ConsumptionMatrix, NormParams) {
+        let params = NormParams {
+            min: self.min_value(),
+            max: self.max_value(),
+        };
+        let data = self.data.iter().map(|&x| params.normalize(x)).collect();
+        (
+            ConsumptionMatrix {
+                cx: self.cx,
+                cy: self.cy,
+                ct: self.ct,
+                data,
+            },
+            params,
+        )
+    }
+
+    /// Keep only the first `t_len` time steps (used to slice off the
+    /// training prefix `C_t[0 : T_train]`).
+    pub fn time_prefix(&self, t_len: usize) -> ConsumptionMatrix {
+        assert!(t_len <= self.ct, "prefix longer than series");
+        let mut out = ConsumptionMatrix::zeros(self.cx, self.cy, t_len);
+        for (x, y) in self.pillar_coords() {
+            let src = &self.pillar(x, y)[..t_len];
+            out.pillar_mut(x, y).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> ConsumptionMatrix {
+        ConsumptionMatrix {
+            cx: self.cx,
+            cy: self.cy,
+            ct: self.ct,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Mean absolute difference against another matrix of the same shape.
+    pub fn mean_abs_diff(&self, other: &ConsumptionMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / self.data.len() as f64
+    }
+
+    /// Root mean squared difference against another matrix.
+    pub fn rms_diff(&self, other: &ConsumptionMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        (self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / self.data.len() as f64)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_matrix(cx: usize, cy: usize, ct: usize) -> ConsumptionMatrix {
+        let data = (0..cx * cy * ct).map(|i| i as f64).collect();
+        ConsumptionMatrix::from_vec(cx, cy, ct, data)
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = ConsumptionMatrix::zeros(4, 3, 5);
+        m.set(2, 1, 3, 7.5);
+        assert_eq!(m.get(2, 1, 3), 7.5);
+        m.add(2, 1, 3, 0.5);
+        assert_eq!(m.get(2, 1, 3), 8.0);
+        assert_eq!(m.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn pillar_is_contiguous_time_series() {
+        let m = counter_matrix(2, 2, 3);
+        let p = m.pillar(1, 0);
+        assert_eq!(p, &[m.get(1, 0, 0), m.get(1, 0, 1), m.get(1, 0, 2)]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn pillar_coords_covers_all_cells_once() {
+        let m = ConsumptionMatrix::zeros(3, 4, 1);
+        let coords: Vec<_> = m.pillar_coords().collect();
+        assert_eq!(coords.len(), 12);
+        let mut unique = coords.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn range_sum_matches_manual() {
+        let m = counter_matrix(3, 3, 4);
+        let full = m.range_sum((0, 3), (0, 3), (0, 4));
+        assert_eq!(full, m.total());
+        let single = m.range_sum((1, 2), (2, 3), (0, 1));
+        assert_eq!(single, m.get(1, 2, 0));
+        assert_eq!(m.range_sum((0, 0), (0, 3), (0, 4)), 0.0);
+    }
+
+    #[test]
+    fn normalization_roundtrip() {
+        let m = counter_matrix(2, 2, 2);
+        let (n, params) = m.normalized();
+        assert_eq!(n.min_value(), 0.0);
+        assert_eq!(n.max_value(), 1.0);
+        for i in 0..m.len() {
+            let back = params.denormalize(n.data()[i]);
+            assert!((back - m.data()[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalization_of_constant_matrix_is_zero() {
+        let m = ConsumptionMatrix::from_vec(1, 1, 3, vec![5.0; 3]);
+        let (n, _) = m.normalized();
+        assert!(n.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn time_prefix_keeps_leading_steps() {
+        let m = counter_matrix(2, 2, 4);
+        let p = m.time_prefix(2);
+        assert_eq!(p.shape(), (2, 2, 2));
+        for (x, y) in m.pillar_coords() {
+            assert_eq!(p.pillar(x, y), &m.pillar(x, y)[..2]);
+        }
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = ConsumptionMatrix::from_vec(1, 1, 2, vec![0.0, 0.0]);
+        let b = ConsumptionMatrix::from_vec(1, 1, 2, vec![3.0, 4.0]);
+        assert!((a.mean_abs_diff(&b) - 3.5).abs() < 1e-12);
+        assert!((a.rms_diff(&b) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn range_sum_rejects_out_of_bounds() {
+        let m = ConsumptionMatrix::zeros(2, 2, 2);
+        let _ = m.range_sum((0, 3), (0, 1), (0, 1));
+    }
+}

@@ -1,0 +1,289 @@
+//! Privacy-budget accounting with enforced composition laws.
+//!
+//! * **Sequential composition** (Theorem 1): mechanisms applied to the *same*
+//!   data add their budgets.
+//! * **Parallel composition** (Theorem 2): mechanisms applied to *disjoint*
+//!   partitions of the data cost only the maximum of their budgets.
+//!
+//! The consumption matrix composes *sequentially in time* and *in parallel
+//! across space* (Theorem 5): each time slice has its own sub-budget, and
+//! within a slice all disjoint spatial cells share one spend.
+
+use crate::error::DpError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A strictly positive privacy budget ε.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Create a budget. Panics on non-positive or non-finite values, which
+    /// indicate programming errors in budget arithmetic.
+    pub fn new(eps: f64) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "epsilon must be finite and positive, got {eps}"
+        );
+        Epsilon(eps)
+    }
+
+    /// Fallible constructor for user-supplied configuration.
+    pub fn try_new(eps: f64) -> Result<Self, DpError> {
+        if eps.is_finite() && eps > 0.0 {
+            Ok(Epsilon(eps))
+        } else {
+            Err(DpError::InvalidParameter(format!(
+                "epsilon must be finite and positive, got {eps}"
+            )))
+        }
+    }
+
+    /// The budget value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Split the budget evenly into `n` sequential parts (e.g. one per time
+    /// slice, as the Identity baseline does).
+    pub fn split(self, n: usize) -> Epsilon {
+        assert!(n > 0, "cannot split a budget into zero parts");
+        Epsilon::new(self.0 / n as f64)
+    }
+
+    /// Fraction of the budget, `0 < frac <= 1`.
+    pub fn fraction(self, frac: f64) -> Epsilon {
+        assert!(frac > 0.0 && frac <= 1.0, "fraction must be in (0,1]");
+        Epsilon::new(self.0 * frac)
+    }
+}
+
+/// Tracks budget consumption for one release pipeline and *enforces* the
+/// total: a spend that would exceed `total` fails with
+/// [`DpError::BudgetExhausted`].
+///
+/// Spends are grouped by *partition group*: spends in the **same** group are
+/// assumed to touch the same records and compose sequentially (they add);
+/// groups named differently but registered as *parallel siblings* compose in
+/// parallel (the accountant charges only the per-group maximum).
+///
+/// The common usage in this repository:
+///
+/// ```
+/// use stpt_dp::budget::{BudgetAccountant, Epsilon};
+///
+/// let mut acc = BudgetAccountant::new(Epsilon::new(30.0));
+/// // Pattern-recognition phase: sequential over time slices.
+/// for _t in 0..100 {
+///     acc.spend_sequential("pattern", Epsilon::new(0.1)).unwrap();
+/// }
+/// // Sanitisation phase: one spend per partition, parallel across disjoint
+/// // partitions -> charged the max.
+/// acc.spend_parallel("sanitize", "p0", Epsilon::new(12.0)).unwrap();
+/// acc.spend_parallel("sanitize", "p1", Epsilon::new(20.0)).unwrap();
+/// assert!((acc.spent() - 30.0).abs() < 1e-9);
+/// assert!(acc.spend_sequential("extra", Epsilon::new(0.5)).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetAccountant {
+    total: Epsilon,
+    /// Sequential phases: phase name -> accumulated ε.
+    sequential: HashMap<String, f64>,
+    /// Parallel phases: phase name -> (sibling name -> accumulated ε).
+    /// The phase is charged max over siblings.
+    parallel: HashMap<String, HashMap<String, f64>>,
+}
+
+impl BudgetAccountant {
+    /// Create an accountant enforcing `total` across all phases.
+    pub fn new(total: Epsilon) -> Self {
+        BudgetAccountant {
+            total,
+            sequential: HashMap::new(),
+            parallel: HashMap::new(),
+        }
+    }
+
+    /// The enforced total budget.
+    pub fn total(&self) -> Epsilon {
+        self.total
+    }
+
+    /// Budget consumed so far: the sum over phases, where a parallel phase
+    /// contributes the maximum over its disjoint siblings.
+    pub fn spent(&self) -> f64 {
+        let seq: f64 = self.sequential.values().sum();
+        let par: f64 = self
+            .parallel
+            .values()
+            .map(|sibs| sibs.values().cloned().fold(0.0, f64::max))
+            .sum();
+        seq + par
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total.value() - self.spent()).max(0.0)
+    }
+
+    /// Spend `eps` sequentially in `phase` (touches the same records as all
+    /// other spends in `phase`). Fails if the total would be exceeded.
+    pub fn spend_sequential(&mut self, phase: &str, eps: Epsilon) -> Result<(), DpError> {
+        self.check(eps.value())?;
+        *self.sequential.entry(phase.to_string()).or_insert(0.0) += eps.value();
+        Ok(())
+    }
+
+    /// Spend `eps` in `phase` on the disjoint partition `sibling`.
+    /// Repeated spends on the same sibling add (sequential within the
+    /// sibling); the phase as a whole is charged `max` over siblings.
+    pub fn spend_parallel(
+        &mut self,
+        phase: &str,
+        sibling: &str,
+        eps: Epsilon,
+    ) -> Result<(), DpError> {
+        let phase_map = self.parallel.entry(phase.to_string()).or_default();
+        let current_max = phase_map.values().cloned().fold(0.0, f64::max);
+        let sib = phase_map.entry(sibling.to_string()).or_insert(0.0);
+        let new_sib = *sib + eps.value();
+        let delta = (new_sib - current_max).max(0.0);
+        // Check against the total before committing.
+        let seq: f64 = self.sequential.values().sum();
+        let par_others: f64 = self
+            .parallel
+            .iter()
+            .filter(|(name, _)| name.as_str() != phase)
+            .map(|(_, sibs)| sibs.values().cloned().fold(0.0, f64::max))
+            .sum();
+        let spent_now = seq + par_others + current_max;
+        let tol = 1e-9 * self.total.value().max(1.0);
+        if spent_now + delta > self.total.value() + tol {
+            return Err(DpError::BudgetExhausted {
+                requested: delta,
+                remaining: (self.total.value() - spent_now).max(0.0),
+            });
+        }
+        *self
+            .parallel
+            .get_mut(phase)
+            .expect("phase just inserted")
+            .get_mut(sibling)
+            .expect("sibling just inserted") = new_sib;
+        Ok(())
+    }
+
+    fn check(&self, eps: f64) -> Result<(), DpError> {
+        let remaining = self.remaining();
+        let tol = 1e-9 * self.total.value().max(1.0);
+        if eps > remaining + tol {
+            Err(DpError::BudgetExhausted {
+                requested: eps,
+                remaining,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_split_and_fraction() {
+        let e = Epsilon::new(30.0);
+        assert!((e.split(120).value() - 0.25).abs() < 1e-12);
+        assert!((e.fraction(1.0 / 3.0).value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_values() {
+        assert!(Epsilon::try_new(0.0).is_err());
+        assert!(Epsilon::try_new(-1.0).is_err());
+        assert!(Epsilon::try_new(f64::NAN).is_err());
+        assert!(Epsilon::try_new(f64::INFINITY).is_err());
+        assert!(Epsilon::try_new(1e-9).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn epsilon_new_panics_on_zero() {
+        let _ = Epsilon::new(0.0);
+    }
+
+    #[test]
+    fn sequential_spends_add() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(1.0));
+        acc.spend_sequential("a", Epsilon::new(0.4)).unwrap();
+        acc.spend_sequential("a", Epsilon::new(0.4)).unwrap();
+        assert!((acc.spent() - 0.8).abs() < 1e-12);
+        assert!(acc.spend_sequential("a", Epsilon::new(0.4)).is_err());
+        // The failed spend must not be recorded.
+        assert!((acc.spent() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_sequential_phases_add() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(30.0));
+        acc.spend_sequential("pattern", Epsilon::new(10.0)).unwrap();
+        acc.spend_sequential("sanitize", Epsilon::new(20.0)).unwrap();
+        assert!((acc.spent() - 30.0).abs() < 1e-12);
+        assert_eq!(acc.remaining(), 0.0);
+    }
+
+    #[test]
+    fn parallel_spends_take_max() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(5.0));
+        acc.spend_parallel("slice", "cell-0", Epsilon::new(2.0)).unwrap();
+        acc.spend_parallel("slice", "cell-1", Epsilon::new(3.0)).unwrap();
+        acc.spend_parallel("slice", "cell-2", Epsilon::new(1.0)).unwrap();
+        assert!((acc.spent() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_sibling_resends_add_within_sibling() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(5.0));
+        acc.spend_parallel("p", "s", Epsilon::new(2.0)).unwrap();
+        acc.spend_parallel("p", "s", Epsilon::new(2.0)).unwrap();
+        assert!((acc.spent() - 4.0).abs() < 1e-12);
+        assert!(acc.spend_parallel("p", "s", Epsilon::new(2.0)).is_err());
+        // Another sibling below the max is free.
+        acc.spend_parallel("p", "other", Epsilon::new(4.0)).unwrap();
+        assert!((acc.spent() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_overflow_is_rejected_before_commit() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(3.0));
+        acc.spend_sequential("seq", Epsilon::new(2.0)).unwrap();
+        assert!(acc.spend_parallel("par", "x", Epsilon::new(2.0)).is_err());
+        // Phase map may exist but must not carry the failed spend.
+        assert!((acc.spent() - 2.0).abs() < 1e-12);
+        acc.spend_parallel("par", "x", Epsilon::new(1.0)).unwrap();
+        assert!((acc.spent() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_pipeline_matches_paper_accounting() {
+        // ε_tot = 30 = ε_pattern (10) + ε_sanitize (20); pattern is
+        // sequential over T_train slices, each slice parallel over cells.
+        let mut acc = BudgetAccountant::new(Epsilon::new(30.0));
+        let per_slice = Epsilon::new(10.0).split(100);
+        for t in 0..100 {
+            acc.spend_sequential(&format!("pattern-t{t}"), per_slice)
+                .unwrap();
+        }
+        assert!((acc.spent() - 10.0).abs() < 1e-9);
+        for p in 0..8 {
+            acc.spend_parallel("sanitize", &format!("part-{p}"), Epsilon::new(20.0))
+                .unwrap();
+        }
+        assert!((acc.spent() - 30.0).abs() < 1e-9);
+        assert!(acc
+            .spend_sequential("post", Epsilon::new(0.01))
+            .is_err());
+    }
+}

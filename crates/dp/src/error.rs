@@ -1,0 +1,52 @@
+//! Error type shared by the DP primitives.
+
+use std::fmt;
+
+/// Errors raised by the differential-privacy layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// A spend would push the accumulated budget past the total ε.
+    BudgetExhausted {
+        /// Budget requested by the failing spend.
+        requested: f64,
+        /// Budget still available when the spend was attempted.
+        remaining: f64,
+    },
+    /// A parameter outside its valid domain (ε ≤ 0, sensitivity < 0, …).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            DpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DpError::BudgetExhausted {
+            requested: 2.0,
+            remaining: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("requested ε=2"));
+        assert!(s.contains("remaining ε=0.5"));
+        let e = DpError::InvalidParameter("epsilon must be positive".into());
+        assert!(e.to_string().contains("epsilon must be positive"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Noise mechanisms: Laplace (Equation 4) and geometric.
+
+use crate::budget::Epsilon;
+use crate::rng::DpRng;
+use crate::sensitivity::Sensitivity;
+use rand::Rng;
+
+/// Draw one sample from the Laplace distribution `Lap(0, scale)` via the
+/// inverse CDF: if `U ~ Uniform(-1/2, 1/2)`, then
+/// `-scale * sign(U) * ln(1 - 2|U|) ~ Lap(0, scale)`.
+pub fn laplace_sample(scale: f64, rng: &mut DpRng) -> f64 {
+    assert!(scale >= 0.0, "Laplace scale must be non-negative, got {scale}");
+    if scale == 0.0 {
+        return 0.0;
+    }
+    // gen::<f64>() is in [0, 1); shift to (-1/2, 1/2].
+    let u: f64 = 0.5 - rng.gen::<f64>();
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// The Laplace mechanism (Equation 4): adds `Lap(s/ε)` noise to a real-valued
+/// query answer, achieving ε-DP for queries of L1 sensitivity `s`.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceMechanism {
+    sensitivity: Sensitivity,
+    epsilon: Epsilon,
+}
+
+impl LaplaceMechanism {
+    /// Construct a mechanism for a query with the given sensitivity and
+    /// privacy budget.
+    pub fn new(sensitivity: Sensitivity, epsilon: Epsilon) -> Self {
+        LaplaceMechanism {
+            sensitivity,
+            epsilon,
+        }
+    }
+
+    /// The noise scale `b = s/ε`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.sensitivity.value() / self.epsilon.value()
+    }
+
+    /// Variance of the added noise, `2b²`. Used by the budget-allocation
+    /// optimisation of Theorem 8.
+    #[inline]
+    pub fn noise_variance(&self) -> f64 {
+        let b = self.scale();
+        2.0 * b * b
+    }
+
+    /// Release a single noisy value.
+    #[inline]
+    pub fn release(&self, true_value: f64, rng: &mut DpRng) -> f64 {
+        true_value + laplace_sample(self.scale(), rng)
+    }
+
+    /// Release a noisy copy of a slice. Each element is perturbed
+    /// independently; callers are responsible for budget accounting across
+    /// elements (sequential in time, parallel across disjoint partitions).
+    pub fn release_slice(&self, values: &[f64], rng: &mut DpRng) -> Vec<f64> {
+        values.iter().map(|&v| self.release(v, rng)).collect()
+    }
+
+    /// Perturb a slice in place.
+    pub fn perturb_in_place(&self, values: &mut [f64], rng: &mut DpRng) {
+        let b = self.scale();
+        for v in values.iter_mut() {
+            *v += laplace_sample(b, rng);
+        }
+    }
+}
+
+/// The geometric mechanism: the discrete analogue of Laplace, used when
+/// released statistics must stay integral (e.g. household counts).
+///
+/// Adds two-sided geometric noise with parameter `α = exp(-ε/s)`:
+/// `Pr[X = k] = (1-α)/(1+α) · α^|k|`.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricMechanism {
+    sensitivity: Sensitivity,
+    epsilon: Epsilon,
+}
+
+impl GeometricMechanism {
+    /// Construct a mechanism for integer-valued queries.
+    pub fn new(sensitivity: Sensitivity, epsilon: Epsilon) -> Self {
+        GeometricMechanism {
+            sensitivity,
+            epsilon,
+        }
+    }
+
+    /// The decay parameter `α = exp(-ε/s)`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        (-self.epsilon.value() / self.sensitivity.value()).exp()
+    }
+
+    /// Release a noisy integer.
+    pub fn release(&self, true_value: i64, rng: &mut DpRng) -> i64 {
+        true_value + self.sample_noise(rng)
+    }
+
+    /// Sample two-sided geometric noise by inverting the CDF.
+    pub fn sample_noise(&self, rng: &mut DpRng) -> i64 {
+        let alpha = self.alpha();
+        if alpha <= 0.0 {
+            return 0;
+        }
+        let u: f64 = rng.gen::<f64>(); // [0, 1)
+        // Symmetric construction: magnitude from a geometric tail, sign from
+        // the uniform's half. P(|X| >= k) = 2α^k/(1+α) for k >= 1.
+        let (sign, v) = if u < 0.5 {
+            (-1.0, u * 2.0)
+        } else {
+            (1.0, (u - 0.5) * 2.0)
+        };
+        // v ~ Uniform[0,1). P(|X| = 0 | sign branch) = (1-α)/(1+α) ... but the
+        // zero mass is shared, so include it in both branches at half weight:
+        // magnitude k satisfies v >= tail(k+1)/norm.
+        let norm = 1.0 + alpha;
+        let mut k = 0i64;
+        let mut tail = 2.0 * alpha / norm; // P(|X| >= 1)
+        let residual = 1.0 - v; // in (0, 1]
+        while residual <= tail && k < 1_000_000 {
+            k += 1;
+            tail *= alpha;
+        }
+        (sign * k as f64) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DpRng;
+    use rand::SeedableRng;
+
+    fn stats(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn laplace_sample_zero_scale_is_exact() {
+        let mut rng = DpRng::seed_from_u64(0);
+        assert_eq!(laplace_sample(0.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn laplace_moments_match_distribution() {
+        let mut rng = DpRng::seed_from_u64(42);
+        let b = 2.0;
+        let xs: Vec<f64> = (0..200_000).map(|_| laplace_sample(b, &mut rng)).collect();
+        let (mean, var) = stats(&xs);
+        // E[X] = 0, Var[X] = 2b² = 8.
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn laplace_median_absolute_deviation() {
+        // For Laplace, P(|X| <= b ln 2) = 1/2.
+        let mut rng = DpRng::seed_from_u64(1);
+        let b = 1.5;
+        let threshold = b * 2f64.ln();
+        let n = 100_000;
+        let within = (0..n)
+            .filter(|_| laplace_sample(b, &mut rng).abs() <= threshold)
+            .count();
+        let frac = within as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn mechanism_scale_and_variance() {
+        let m = LaplaceMechanism::new(Sensitivity::new(2.0), Epsilon::new(0.5));
+        assert!((m.scale() - 4.0).abs() < 1e-15);
+        assert!((m.noise_variance() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_slice_preserves_length_and_centers_on_truth() {
+        let m = LaplaceMechanism::new(Sensitivity::new(1.0), Epsilon::new(10.0));
+        let mut rng = DpRng::seed_from_u64(3);
+        let truth = vec![5.0; 50_000];
+        let noisy = m.release_slice(&truth, &mut rng);
+        assert_eq!(noisy.len(), truth.len());
+        let (mean, _) = stats(&noisy);
+        assert!((mean - 5.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn perturb_in_place_matches_release_distribution() {
+        let m = LaplaceMechanism::new(Sensitivity::new(1.0), Epsilon::new(1.0));
+        let mut rng = DpRng::seed_from_u64(9);
+        let mut xs = vec![0.0; 100_000];
+        m.perturb_in_place(&mut xs, &mut rng);
+        let (mean, var) = stats(&xs);
+        assert!(mean.abs() < 0.05);
+        assert!((var - 2.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn geometric_mean_zero_and_symmetric() {
+        let g = GeometricMechanism::new(Sensitivity::new(1.0), Epsilon::new(0.5));
+        let mut rng = DpRng::seed_from_u64(4);
+        let n = 100_000;
+        let samples: Vec<i64> = (0..n).map(|_| g.sample_noise(&mut rng)).collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        // Variance of two-sided geometric is 2α/(1-α)². α = e^{-1/2} ≈ 0.6065
+        let alpha: f64 = (-0.5f64).exp();
+        let expect_var = 2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha));
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (var - expect_var).abs() / expect_var < 0.1,
+            "var {var} expect {expect_var}"
+        );
+    }
+
+    #[test]
+    fn geometric_release_shifts_truth() {
+        let g = GeometricMechanism::new(Sensitivity::new(1.0), Epsilon::new(5.0));
+        let mut rng = DpRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean = (0..n).map(|_| g.release(100, &mut rng)).sum::<i64>() as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+}

@@ -1,0 +1,129 @@
+//! L1 sensitivity (Definition 2) and contribution clipping.
+//!
+//! The paper bounds the influence of a single household on any released
+//! statistic in two ways:
+//!
+//! * normalising every reading into `[0, 1]` (Equation 6), giving unit cell
+//!   sensitivity (Theorem 4), and
+//! * clipping raw readings at a dataset-specific *sensitivity clipping
+//!   factor* (Table 2) when releasing un-normalised consumption sums.
+
+use serde::{Deserialize, Serialize};
+
+/// L1 sensitivity of a query: the largest change one individual's presence
+/// can induce in the query answer (Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Sensitivity(f64);
+
+impl Sensitivity {
+    /// Create a sensitivity. Panics if `s` is negative or non-finite —
+    /// sensitivities are static properties of queries, so a bad value is a
+    /// programming error, not a runtime condition.
+    pub fn new(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "sensitivity must be finite and non-negative, got {s}"
+        );
+        Sensitivity(s)
+    }
+
+    /// The sensitivity value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scale the sensitivity (e.g. a sum over `n` cells of a pillar has
+    /// sensitivity `n ×` the per-cell sensitivity, Theorem 7).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        Sensitivity::new(self.0 * factor)
+    }
+
+    /// Sensitivity of a representative time-series cell at quadtree depth
+    /// `depth` for a grid of width `cx` (Theorem 6): `1 / 4^(log2(cx) - depth)`.
+    pub fn quadtree_cell(cx: usize, depth: usize) -> Self {
+        assert!(cx.is_power_of_two(), "grid width must be a power of two");
+        let max_depth = cx.trailing_zeros() as i64; // log2(cx)
+        let exp = max_depth - depth as i64;
+        Sensitivity::new(4f64.powi(-exp as i32))
+    }
+}
+
+/// Clip every reading to `[0, clip]`, bounding per-user contribution.
+///
+/// Returns the number of clipped entries so callers can report clipping
+/// rates (Table 2's clipping factors are chosen to clip only the extreme
+/// tail).
+pub fn clip_series(series: &mut [f64], clip: f64) -> usize {
+    assert!(clip > 0.0, "clip bound must be positive");
+    let mut clipped = 0;
+    for x in series.iter_mut() {
+        if *x > clip {
+            *x = clip;
+            clipped += 1;
+        } else if *x < 0.0 {
+            *x = 0.0;
+            clipped += 1;
+        }
+    }
+    clipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadtree_cell_matches_theorem6() {
+        // Cx = 32 => log2 = 5. Root (depth 0): 1/4^5; leaf (depth 5): 1.
+        let root = Sensitivity::quadtree_cell(32, 0);
+        assert!((root.value() - 1.0 / 1024.0).abs() < 1e-15);
+        let leaf = Sensitivity::quadtree_cell(32, 5);
+        assert!((leaf.value() - 1.0).abs() < 1e-15);
+        // Depth 3: 1/4^2 = 1/16.
+        let mid = Sensitivity::quadtree_cell(32, 3);
+        assert!((mid.value() - 1.0 / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quadtree_cell_beyond_leaf_grows() {
+        // Depths deeper than log2(cx) are not used by the algorithm but the
+        // formula stays monotone.
+        let s = Sensitivity::quadtree_cell(4, 3);
+        assert!((s.value() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn quadtree_cell_requires_power_of_two() {
+        let _ = Sensitivity::quadtree_cell(12, 0);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let s = Sensitivity::new(0.5).scaled(4.0);
+        assert!((s.value() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sensitivity_rejected() {
+        let _ = Sensitivity::new(-1.0);
+    }
+
+    #[test]
+    fn clip_series_clamps_and_counts() {
+        let mut xs = vec![-1.0, 0.5, 2.0, 1.85, 19.62];
+        let n = clip_series(&mut xs, 1.85);
+        assert_eq!(n, 3);
+        assert_eq!(xs, vec![0.0, 0.5, 1.85, 1.85, 1.85]);
+    }
+
+    #[test]
+    fn clip_series_noop_within_bounds() {
+        let mut xs = vec![0.0, 0.3, 1.0];
+        assert_eq!(clip_series(&mut xs, 1.5), 0);
+        assert_eq!(xs, vec![0.0, 0.3, 1.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the DP primitives.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use stpt_dp::prelude::*;
+
+proptest! {
+    /// Laplace noise is symmetric-ish and finite for any scale/seed.
+    #[test]
+    fn laplace_sample_is_finite(scale in 0.0f64..1e6, seed in any::<u64>()) {
+        let mut rng = DpRng::seed_from_u64(seed);
+        let x = laplace_sample(scale, &mut rng);
+        prop_assert!(x.is_finite());
+    }
+
+    /// Releasing with a huge epsilon returns nearly the true value.
+    #[test]
+    fn high_budget_release_is_accurate(truth in -1e6f64..1e6, seed in any::<u64>()) {
+        let mut rng = DpRng::seed_from_u64(seed);
+        let mech = LaplaceMechanism::new(Sensitivity::new(1.0), Epsilon::new(1e9));
+        let noisy = mech.release(truth, &mut rng);
+        prop_assert!((noisy - truth).abs() < 1e-3);
+    }
+
+    /// The accountant never reports spending more than the total after any
+    /// sequence of (possibly failing) spends.
+    #[test]
+    fn accountant_never_exceeds_total(
+        total in 0.1f64..100.0,
+        spends in prop::collection::vec((0.01f64..50.0, 0u8..3), 1..40)
+    ) {
+        let mut acc = BudgetAccountant::new(Epsilon::new(total));
+        for (eps, kind) in spends {
+            let eps = Epsilon::new(eps);
+            match kind {
+                0 => { let _ = acc.spend_sequential("seq", eps); }
+                1 => { let _ = acc.spend_parallel("par", "a", eps); }
+                _ => { let _ = acc.spend_parallel("par", "b", eps); }
+            }
+            prop_assert!(acc.spent() <= total + 1e-9,
+                "spent {} > total {}", acc.spent(), total);
+        }
+    }
+
+    /// Parallel composition is never charged more than sequential would be.
+    #[test]
+    fn parallel_never_costs_more_than_sequential(
+        spends in prop::collection::vec(0.01f64..5.0, 1..20)
+    ) {
+        let total = 1e6;
+        let mut par = BudgetAccountant::new(Epsilon::new(total));
+        let mut seq = BudgetAccountant::new(Epsilon::new(total));
+        for (i, &e) in spends.iter().enumerate() {
+            par.spend_parallel("p", &format!("s{i}"), Epsilon::new(e)).unwrap();
+            seq.spend_sequential("p", Epsilon::new(e)).unwrap();
+        }
+        prop_assert!(par.spent() <= seq.spent() + 1e-9);
+        let max = spends.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((par.spent() - max).abs() < 1e-9);
+    }
+
+    /// Clipping bounds every element and is idempotent.
+    #[test]
+    fn clipping_bounds_and_idempotent(
+        mut xs in prop::collection::vec(-1e3f64..1e3, 0..100),
+        clip in 0.1f64..100.0
+    ) {
+        clip_series(&mut xs, clip);
+        prop_assert!(xs.iter().all(|&x| (0.0..=clip).contains(&x)));
+        let before = xs.clone();
+        let n = clip_series(&mut xs, clip);
+        prop_assert_eq!(n, 0);
+        prop_assert_eq!(xs, before);
+    }
+
+    /// Epsilon::split(n) times n reconstructs the original budget.
+    #[test]
+    fn split_partitions_budget(eps in 0.1f64..100.0, n in 1usize..500) {
+        let e = Epsilon::new(eps);
+        let part = e.split(n);
+        prop_assert!((part.value() * n as f64 - eps).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Scalar activation functions and their derivatives.
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, computed in a numerically stable way.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid expressed via its output: `y (1 - y)`.
+#[inline]
+pub fn sigmoid_deriv_from_output(y: f64) -> f64 {
+    y * (1.0 - y)
+}
+
+/// Hyperbolic tangent.
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed via its output: `1 - y²`.
+#[inline]
+pub fn tanh_deriv_from_output(y: f64) -> f64 {
+    1.0 - y * y
+}
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU (0 at the kink, matching the subgradient convention).
+#[inline]
+pub fn relu_deriv(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_known_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(20.0) > 0.999_999);
+        assert!(sigmoid(-20.0) < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert_eq!(sigmoid(1000.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_finite_difference() {
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-6;
+            let fd = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            let an = sigmoid_deriv_from_output(sigmoid(x));
+            assert!((fd - an).abs() < 1e-8, "x={x}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-6;
+            let fd = (tanh(x + h) - tanh(x - h)) / (2.0 * h);
+            let an = tanh_deriv_from_output(tanh(x));
+            assert!((fd - an).abs() < 1e-8, "x={x}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn relu_and_derivative() {
+        assert_eq!(relu(-3.0), 0.0);
+        assert_eq!(relu(2.5), 2.5);
+        assert_eq!(relu_deriv(-1.0), 0.0);
+        assert_eq!(relu_deriv(1.0), 1.0);
+        assert_eq!(relu_deriv(0.0), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Scaled dot-product self-attention over a time window.
+//!
+//! The paper's "RNN unit" is a self-attention mechanism followed by a GRU
+//! (Appendix C). Windows are short (6 steps), so attention operates on a
+//! `T × d` matrix per sample; the sequence models loop over the batch.
+
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Single-head self-attention: `Y = softmax(QKᵀ/√d) V` with learned
+/// projections `Q = X Wq`, `K = X Wk`, `V = X Wv`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    scale: f64,
+}
+
+/// Forward-pass cache for one sequence.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix,
+}
+
+impl SelfAttention {
+    /// New attention block over `dim`-dimensional token embeddings.
+    pub fn new(dim: usize, rng: &mut impl Rng) -> Self {
+        SelfAttention {
+            wq: Param::xavier(dim, dim, rng),
+            wk: Param::xavier(dim, dim, rng),
+            wv: Param::xavier(dim, dim, rng),
+            scale: 1.0 / (dim as f64).sqrt(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.wq.value.rows()
+    }
+
+    /// Forward over one sequence `x` of shape `T × dim`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, AttentionCache) {
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+        let scores = q.matmul_transpose(&k).scale(self.scale);
+        let attn = scores.softmax_rows();
+        let y = attn.matmul(&v);
+        (
+            y,
+            AttentionCache {
+                x: x.clone(),
+                q,
+                k,
+                v,
+                attn,
+            },
+        )
+    }
+
+    /// Backward over one sequence; accumulates parameter gradients and
+    /// returns `dL/dx`.
+    pub fn backward(&mut self, cache: &AttentionCache, dy: &Matrix) -> Matrix {
+        let AttentionCache { x, q, k, v, attn } = cache;
+
+        // y = attn · v
+        let dattn = dy.matmul_transpose(v);
+        let dv = attn.transpose_matmul(dy);
+
+        // Softmax backward per row: ds = attn ⊙ (dattn - rowsum(dattn ⊙ attn)).
+        let t = attn.rows();
+        let mut dscores = Matrix::zeros(t, t);
+        for r in 0..t {
+            let arow = attn.row(r);
+            let drow = dattn.row(r);
+            let dot: f64 = arow.iter().zip(drow).map(|(&a, &d)| a * d).sum();
+            for c in 0..t {
+                dscores[(r, c)] = arow[c] * (drow[c] - dot);
+            }
+        }
+        let dscores = dscores.scale(self.scale);
+
+        // scores = q·kᵀ
+        let dq = dscores.matmul(k);
+        let dk = dscores.transpose_matmul(q);
+
+        // Projections.
+        self.wq.grad.add_assign(&x.transpose_matmul(&dq));
+        self.wk.grad.add_assign(&x.transpose_matmul(&dk));
+        self.wv.grad.add_assign(&x.transpose_matmul(&dv));
+
+        let mut dx = dq.matmul_transpose(&self.wq.value);
+        dx.add_assign(&dk.matmul_transpose(&self.wk.value));
+        dx.add_assign(&dv.matmul_transpose(&self.wv.value));
+        dx
+    }
+}
+
+impl Parameterized for SelfAttention {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let attn = SelfAttention::new(4, &mut rng);
+        let x = Matrix::xavier(6, 4, &mut rng);
+        let (y, cache) = attn.forward(&x);
+        assert_eq!(y.shape(), (6, 4));
+        // Attention rows are distributions.
+        for r in 0..6 {
+            let sum: f64 = cache.attn.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(cache.attn.row(r).iter().all(|&a| a >= 0.0));
+        }
+    }
+
+    #[test]
+    fn attention_output_is_convex_combination_of_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = SelfAttention::new(3, &mut rng);
+        let x = Matrix::xavier(4, 3, &mut rng);
+        let (y, cache) = attn.forward(&x);
+        // Every output row lies within the per-column min/max of V.
+        for c in 0..3 {
+            let vals: Vec<f64> = (0..4).map(|r| cache.v[(r, c)]).collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min) - 1e-12;
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1e-12;
+            for r in 0..4 {
+                assert!(y[(r, c)] >= lo && y[(r, c)] <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut attn = SelfAttention::new(3, &mut rng);
+        let x = Matrix::xavier(4, 3, &mut rng);
+        let target = Matrix::xavier(4, 3, &mut rng);
+        check_gradients(
+            &mut attn,
+            |a| {
+                let (y, _) = a.forward(&x);
+                crate::loss::mse(&y, &target).0
+            },
+            |a| {
+                let (y, cache) = a.forward(&x);
+                let (_, dy) = crate::loss::mse(&y, &target);
+                a.backward(&cache, &dy);
+            },
+            3e-4,
+        );
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut attn = SelfAttention::new(2, &mut rng);
+        let x = Matrix::xavier(3, 2, &mut rng);
+        let target = Matrix::zeros(3, 2);
+        let (y, cache) = attn.forward(&x);
+        let (_, dy) = crate::loss::mse(&y, &target);
+        let dx = attn.backward(&cache, &dy);
+        let h = 1e-6;
+        for i in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let lp = crate::loss::mse(&attn.forward(&xp).0, &target).0;
+            let lm = crate::loss::mse(&attn.forward(&xm).0, &target).0;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-6,
+                "i={i}: {fd} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+}

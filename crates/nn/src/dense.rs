@@ -1,0 +1,182 @@
+//! Fully-connected layer with optional activation.
+
+use crate::activation::{relu, relu_deriv, sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after the affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation (regression heads).
+    Identity,
+    /// Logistic sigmoid (discriminator output).
+    Sigmoid,
+    /// Hyperbolic tangent (embeddings).
+    Tanh,
+    /// Rectified linear (transformer FFN).
+    Relu,
+}
+
+/// A dense layer `y = act(x W + b)` mapping `input_dim -> output_dim`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    w: Param,
+    b: Param,
+    activation: Activation,
+}
+
+/// Forward-pass cache needed by [`Dense::backward`].
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    x: Matrix,
+    pre: Matrix,
+    out: Matrix,
+}
+
+impl Dense {
+    /// Xavier-initialised dense layer.
+    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+        Dense {
+            w: Param::xavier(input_dim, output_dim, rng),
+            b: Param::zeros(1, output_dim),
+            activation,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass for a batch (rows = samples).
+    pub fn forward(&self, x: &Matrix) -> (Matrix, DenseCache) {
+        let pre = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let out = match self.activation {
+            Activation::Identity => pre.clone(),
+            Activation::Sigmoid => pre.map(sigmoid),
+            Activation::Tanh => pre.map(f64::tanh),
+            Activation::Relu => pre.map(relu),
+        };
+        (
+            out.clone(),
+            DenseCache {
+                x: x.clone(),
+                pre,
+                out,
+            },
+        )
+    }
+
+    /// Backward pass: accumulate parameter gradients, return `dL/dx`.
+    pub fn backward(&mut self, cache: &DenseCache, dout: &Matrix) -> Matrix {
+        let dpre = match self.activation {
+            Activation::Identity => dout.clone(),
+            Activation::Sigmoid => dout.zip_with(&cache.out, |d, y| d * sigmoid_deriv_from_output(y)),
+            Activation::Tanh => dout.zip_with(&cache.out, |d, y| d * tanh_deriv_from_output(y)),
+            Activation::Relu => dout.zip_with(&cache.pre, |d, p| d * relu_deriv(p)),
+        };
+        self.w.grad.add_assign(&cache.x.transpose_matmul(&dpre));
+        self.b.grad.add_assign(&dpre.sum_rows());
+        dpre.matmul_transpose(&self.w.value)
+    }
+}
+
+impl Parameterized for Dense {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Dense::new(3, 5, Activation::Tanh, &mut rng);
+        let x = Matrix::xavier(4, 3, &mut rng);
+        let (y, _) = layer.forward(&x);
+        assert_eq!(y.shape(), (4, 5));
+        assert_eq!(layer.input_dim(), 3);
+        assert_eq!(layer.output_dim(), 5);
+    }
+
+    #[test]
+    fn identity_layer_with_zero_bias_is_affine() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Dense::new(2, 2, Activation::Identity, &mut rng);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let (y, _) = layer.forward(&x);
+        // With identity input rows, output rows are the weight rows.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((y[(i, j)] - layer.w.value[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_all_activations() {
+        for act in [
+            Activation::Identity,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Relu,
+        ] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut layer = Dense::new(3, 2, act, &mut rng);
+            let x = Matrix::xavier(4, 3, &mut rng);
+            let target = Matrix::xavier(4, 2, &mut rng);
+            check_gradients(
+                &mut layer,
+                |l| {
+                    let (y, _) = l.forward(&x);
+                    crate::loss::mse(&y, &target).0
+                },
+                |l| {
+                    let (y, cache) = l.forward(&x);
+                    let (_, dy) = crate::loss::mse(&y, &target);
+                    l.backward(&cache, &dy);
+                },
+                2e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::xavier(2, 3, &mut rng);
+        let target = Matrix::zeros(2, 2);
+        let (y, cache) = layer.forward(&x);
+        let (_, dy) = crate::loss::mse(&y, &target);
+        let dx = layer.backward(&cache, &dy);
+        let h = 1e-6;
+        for i in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let (yp, _) = layer.forward(&xp);
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let (ym, _) = layer.forward(&xm);
+            let fd = (crate::loss::mse(&yp, &target).0 - crate::loss::mse(&ym, &target).0) / (2.0 * h);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-6,
+                "i={i}: fd {fd} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Finite-difference gradient checking used across the layer test suites.
+
+use crate::param::Parameterized;
+
+/// Verify analytic gradients against central finite differences.
+///
+/// `loss` evaluates the scalar loss without touching gradients; `backward`
+/// runs a full forward+backward pass that *accumulates* gradients into the
+/// model (the model's gradients are cleared first). Every parameter scalar is
+/// perturbed; the analytic and numeric gradients must agree within `tol`.
+///
+/// Intended for tests only — it is O(#params) loss evaluations.
+pub fn check_gradients<M: Parameterized>(
+    model: &mut M,
+    loss: impl Fn(&mut M) -> f64,
+    backward: impl Fn(&mut M),
+    tol: f64,
+) {
+    model.zero_grad();
+    backward(model);
+    // Snapshot analytic gradients (params_mut borrows exclusively).
+    let analytic: Vec<Vec<f64>> = model
+        .params_mut()
+        .iter()
+        .map(|p| p.grad.data().to_vec())
+        .collect();
+    let h = 1e-5;
+    for (pi, param_grads) in analytic.iter().enumerate() {
+        for (i, &an) in param_grads.iter().enumerate() {
+            let orig = model.params_mut()[pi].value.data()[i];
+            model.params_mut()[pi].value.data_mut()[i] = orig + h;
+            let lp = loss(model);
+            model.params_mut()[pi].value.data_mut()[i] = orig - h;
+            let lm = loss(model);
+            model.params_mut()[pi].value.data_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            let denom = fd.abs().max(an.abs()).max(1.0);
+            assert!(
+                ((fd - an) / denom).abs() < tol,
+                "param {pi} scalar {i}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+}

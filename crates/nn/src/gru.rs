@@ -1,0 +1,257 @@
+//! Gated Recurrent Unit cell (the paper's RNN unit includes a GRU,
+//! Appendix C).
+//!
+//! Equations (batch rows, feature columns):
+//!
+//! ```text
+//! z = σ(x Wz + h Uz + bz)          update gate
+//! r = σ(x Wr + h Ur + br)          reset gate
+//! n = tanh(x Wn + (r ⊙ h) Un + bn) candidate state
+//! h' = (1 - z) ⊙ n + z ⊙ h
+//! ```
+
+use crate::activation::sigmoid;
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A GRU cell stepped over a window by the sequence models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruCell {
+    wz: Param,
+    uz: Param,
+    bz: Param,
+    wr: Param,
+    ur: Param,
+    br: Param,
+    wn: Param,
+    un: Param,
+    bn: Param,
+}
+
+/// Per-timestep cache for backpropagation through time.
+#[derive(Debug, Clone)]
+pub struct GruCache {
+    x: Matrix,
+    h_prev: Matrix,
+    z: Matrix,
+    r: Matrix,
+    n: Matrix,
+    rh: Matrix,
+}
+
+impl GruCell {
+    /// New cell mapping `input_dim` inputs to an `hidden_dim` state.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        GruCell {
+            wz: Param::xavier(input_dim, hidden_dim, rng),
+            uz: Param::xavier(hidden_dim, hidden_dim, rng),
+            bz: Param::zeros(1, hidden_dim),
+            wr: Param::xavier(input_dim, hidden_dim, rng),
+            ur: Param::xavier(hidden_dim, hidden_dim, rng),
+            br: Param::zeros(1, hidden_dim),
+            wn: Param::xavier(input_dim, hidden_dim, rng),
+            un: Param::xavier(hidden_dim, hidden_dim, rng),
+            bn: Param::zeros(1, hidden_dim),
+        }
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.uz.value.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.wz.value.rows()
+    }
+
+    /// One step: `(x_t, h_{t-1}) -> h_t`.
+    pub fn forward(&self, x: &Matrix, h_prev: &Matrix) -> (Matrix, GruCache) {
+        let z = x
+            .matmul(&self.wz.value)
+            .add(&h_prev.matmul(&self.uz.value))
+            .add_row_broadcast(&self.bz.value)
+            .map(sigmoid);
+        let r = x
+            .matmul(&self.wr.value)
+            .add(&h_prev.matmul(&self.ur.value))
+            .add_row_broadcast(&self.br.value)
+            .map(sigmoid);
+        let rh = r.hadamard(h_prev);
+        let n = x
+            .matmul(&self.wn.value)
+            .add(&rh.matmul(&self.un.value))
+            .add_row_broadcast(&self.bn.value)
+            .map(f64::tanh);
+        let h_new = z
+            .map(|v| 1.0 - v)
+            .hadamard(&n)
+            .add(&z.hadamard(h_prev));
+        (
+            h_new,
+            GruCache {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                z,
+                r,
+                n,
+                rh,
+            },
+        )
+    }
+
+    /// Backward through one step given `dL/dh_t`; accumulates parameter
+    /// gradients and returns `(dL/dx_t, dL/dh_{t-1})`.
+    pub fn backward(&mut self, cache: &GruCache, dh: &Matrix) -> (Matrix, Matrix) {
+        let GruCache {
+            x,
+            h_prev,
+            z,
+            r,
+            n,
+            rh,
+        } = cache;
+
+        // h' = (1-z)⊙n + z⊙h
+        let dn = dh.zip_with(z, |d, zv| d * (1.0 - zv));
+        let dz = dh.hadamard(&h_prev.sub(n));
+        let mut dh_prev = dh.hadamard(z);
+
+        // Candidate: n = tanh(a_n), a_n = xWn + rh·Un + bn
+        let dan = dn.zip_with(n, |d, nv| d * (1.0 - nv * nv));
+        self.wn.grad.add_assign(&x.transpose_matmul(&dan));
+        self.un.grad.add_assign(&rh.transpose_matmul(&dan));
+        self.bn.grad.add_assign(&dan.sum_rows());
+        let mut dx = dan.matmul_transpose(&self.wn.value);
+        let drh = dan.matmul_transpose(&self.un.value);
+        let dr = drh.hadamard(h_prev);
+        dh_prev.add_assign(&drh.hadamard(r));
+
+        // Update gate: z = σ(a_z)
+        let daz = dz.zip_with(z, |d, zv| d * zv * (1.0 - zv));
+        self.wz.grad.add_assign(&x.transpose_matmul(&daz));
+        self.uz.grad.add_assign(&h_prev.transpose_matmul(&daz));
+        self.bz.grad.add_assign(&daz.sum_rows());
+        dx.add_assign(&daz.matmul_transpose(&self.wz.value));
+        dh_prev.add_assign(&daz.matmul_transpose(&self.uz.value));
+
+        // Reset gate: r = σ(a_r)
+        let dar = dr.zip_with(r, |d, rv| d * rv * (1.0 - rv));
+        self.wr.grad.add_assign(&x.transpose_matmul(&dar));
+        self.ur.grad.add_assign(&h_prev.transpose_matmul(&dar));
+        self.br.grad.add_assign(&dar.sum_rows());
+        dx.add_assign(&dar.matmul_transpose(&self.wr.value));
+        dh_prev.add_assign(&dar.matmul_transpose(&self.ur.value));
+
+        (dx, dh_prev)
+    }
+}
+
+impl Parameterized for GruCell {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wz,
+            &mut self.uz,
+            &mut self.bz,
+            &mut self.wr,
+            &mut self.ur,
+            &mut self.br,
+            &mut self.wn,
+            &mut self.un,
+            &mut self.bn,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = GruCell::new(3, 5, &mut rng);
+        let x = Matrix::xavier(4, 3, &mut rng);
+        let h = Matrix::zeros(4, 5);
+        let (h1, _) = cell.forward(&x, &h);
+        assert_eq!(h1.shape(), (4, 5));
+        // With h0 = 0, h1 = (1-z)⊙n so |h1| <= 1.
+        assert!(h1.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn update_gate_interpolates_between_state_and_candidate() {
+        // With saturated update gate (z ≈ 1), h' ≈ h_prev.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cell = GruCell::new(2, 2, &mut rng);
+        cell.bz.value = Matrix::full(1, 2, 50.0); // force z -> 1
+        let h_prev = Matrix::from_rows(&[vec![0.3, -0.7]]);
+        let x = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        let (h1, _) = cell.forward(&x, &h_prev);
+        for i in 0..2 {
+            assert!((h1[(0, i)] - h_prev[(0, i)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_through_two_steps_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cell = GruCell::new(2, 3, &mut rng);
+        let x0 = Matrix::xavier(2, 2, &mut rng);
+        let x1 = Matrix::xavier(2, 2, &mut rng);
+        let target = Matrix::xavier(2, 3, &mut rng);
+
+        let loss = |c: &mut GruCell| {
+            let h0 = Matrix::zeros(2, 3);
+            let (h1, _) = c.forward(&x0, &h0);
+            let (h2, _) = c.forward(&x1, &h1);
+            crate::loss::mse(&h2, &target).0
+        };
+        let backward = |c: &mut GruCell| {
+            let h0 = Matrix::zeros(2, 3);
+            let (h1, c1) = c.forward(&x0, &h0);
+            let (h2, c2) = c.forward(&x1, &h1);
+            let (_, dh2) = crate::loss::mse(&h2, &target);
+            let (_, dh1) = c.backward(&c2, &dh2);
+            let _ = c.backward(&c1, &dh1);
+        };
+        check_gradients(&mut cell, loss, backward, 2e-4);
+    }
+
+    #[test]
+    fn input_and_state_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cell = GruCell::new(2, 2, &mut rng);
+        let x = Matrix::xavier(1, 2, &mut rng);
+        let h0 = Matrix::xavier(1, 2, &mut rng);
+        let target = Matrix::zeros(1, 2);
+        let (h1, cache) = cell.forward(&x, &h0);
+        let (_, dh1) = crate::loss::mse(&h1, &target);
+        let (dx, dh0) = cell.backward(&cache, &dh1);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let (hp, _) = cell.forward(&xp, &h0);
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let (hm, _) = cell.forward(&xm, &h0);
+            let fd = (crate::loss::mse(&hp, &target).0 - crate::loss::mse(&hm, &target).0) / (2.0 * h);
+            assert!((fd - dx.data()[i]).abs() < 1e-6, "dx i={i}");
+
+            let mut hp0 = h0.clone();
+            hp0.data_mut()[i] += h;
+            let (hp, _) = cell.forward(&x, &hp0);
+            let mut hm0 = h0.clone();
+            hm0.data_mut()[i] -= h;
+            let (hm, _) = cell.forward(&x, &hm0);
+            let fd = (crate::loss::mse(&hp, &target).0 - crate::loss::mse(&hm, &target).0) / (2.0 * h);
+            assert!((fd - dh0.data()[i]).abs() < 1e-6, "dh0 i={i}");
+        }
+    }
+}

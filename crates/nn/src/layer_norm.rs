@@ -1,0 +1,181 @@
+//! Layer normalisation with learned affine parameters.
+//!
+//! Normalises each row (token) to zero mean / unit variance, then applies
+//! `γ ⊙ x̂ + β`. Used by the transformer encoder block.
+
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use serde::{Deserialize, Serialize};
+
+/// Layer normalisation over the feature (column) dimension of each row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f64,
+}
+
+/// Forward-pass cache for [`LayerNorm::backward`].
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    xhat: Matrix,
+    inv_std: Vec<f64>,
+}
+
+impl LayerNorm {
+    /// New layer norm over `dim` features (γ = 1, β = 0).
+    pub fn new(dim: usize) -> Self {
+        let mut gamma = Param::zeros(1, dim);
+        gamma.value.map_in_place(|_| 1.0);
+        LayerNorm {
+            gamma,
+            beta: Param::zeros(1, dim),
+            eps: 1e-8,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+
+    /// Normalise each row of `x`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+        let d = x.cols() as f64;
+        let mut xhat = Matrix::zeros(x.rows(), x.cols());
+        let mut inv_std = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f64>() / d;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            for (o, &v) in xhat.row_mut(r).iter_mut().zip(row) {
+                *o = (v - mean) * istd;
+            }
+        }
+        let mut y = xhat.clone();
+        for r in 0..y.rows() {
+            for (c, o) in y.row_mut(r).iter_mut().enumerate() {
+                *o = *o * self.gamma.value[(0, c)] + self.beta.value[(0, c)];
+            }
+        }
+        (y, LayerNormCache { xhat, inv_std })
+    }
+
+    /// Backward pass; accumulates γ/β gradients and returns `dL/dx`.
+    pub fn backward(&mut self, cache: &LayerNormCache, dy: &Matrix) -> Matrix {
+        let d = dy.cols() as f64;
+        let mut dx = Matrix::zeros(dy.rows(), dy.cols());
+        for r in 0..dy.rows() {
+            let xhat_row = cache.xhat.row(r);
+            let dy_row = dy.row(r);
+            // Accumulate affine grads.
+            for c in 0..dy.cols() {
+                self.gamma.grad[(0, c)] += dy_row[c] * xhat_row[c];
+                self.beta.grad[(0, c)] += dy_row[c];
+            }
+            // dxhat = dy ⊙ γ
+            let dxhat: Vec<f64> = (0..dy.cols())
+                .map(|c| dy_row[c] * self.gamma.value[(0, c)])
+                .collect();
+            let sum_dxhat: f64 = dxhat.iter().sum();
+            let sum_dxhat_xhat: f64 = dxhat.iter().zip(xhat_row).map(|(&a, &b)| a * b).sum();
+            let istd = cache.inv_std[r];
+            for c in 0..dy.cols() {
+                dx[(r, c)] = istd / d * (d * dxhat[c] - sum_dxhat - xhat_row[c] * sum_dxhat_xhat);
+            }
+        }
+        dx
+    }
+}
+
+impl Parameterized for LayerNorm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_are_normalised_with_unit_affine() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ln = LayerNorm::new(8);
+        let x = Matrix::xavier(3, 8, &mut rng).scale(5.0);
+        let (y, _) = ln.forward(&x);
+        for r in 0..3 {
+            let mean: f64 = y.row(r).iter().sum::<f64>() / 8.0;
+            let var: f64 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 8.0;
+            assert!(mean.abs() < 1e-10, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-6, "var {var}");
+        }
+    }
+
+    #[test]
+    fn affine_parameters_scale_and_shift() {
+        let mut ln = LayerNorm::new(2);
+        ln.gamma.value = Matrix::from_rows(&[vec![2.0, 3.0]]);
+        ln.beta.value = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        let x = Matrix::from_rows(&[vec![0.0, 10.0]]);
+        let (y, _) = ln.forward(&x);
+        // xhat = [-1, 1] (two-point normalisation), so y = [-2+1, 3-1].
+        assert!((y[(0, 0)] + 1.0).abs() < 1e-6);
+        assert!((y[(0, 1)] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ln = LayerNorm::new(4);
+        // Nudge affine params off the identity so grads are non-trivial.
+        ln.gamma.value = Matrix::from_rows(&[vec![1.1, 0.9, 1.2, 0.8]]);
+        ln.beta.value = Matrix::from_rows(&[vec![0.1, -0.1, 0.2, 0.0]]);
+        let x = Matrix::xavier(3, 4, &mut rng);
+        let target = Matrix::xavier(3, 4, &mut rng);
+        check_gradients(
+            &mut ln,
+            |l| {
+                let (y, _) = l.forward(&x);
+                crate::loss::mse(&y, &target).0
+            },
+            |l| {
+                let (y, cache) = l.forward(&x);
+                let (_, dy) = crate::loss::mse(&y, &target);
+                l.backward(&cache, &dy);
+            },
+            2e-4,
+        );
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ln = LayerNorm::new(3);
+        let x = Matrix::xavier(2, 3, &mut rng);
+        let target = Matrix::zeros(2, 3);
+        let (y, cache) = ln.forward(&x);
+        let (_, dy) = crate::loss::mse(&y, &target);
+        let dx = ln.backward(&cache, &dy);
+        let h = 1e-6;
+        for i in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let lp = crate::loss::mse(&ln.forward(&xp).0, &target).0;
+            let lm = crate::loss::mse(&ln.forward(&xm).0, &target).0;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-5,
+                "i={i}: {fd} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Loss functions: mean squared error (forecasting) and binary cross-entropy
+//! (GAN discriminator).
+
+use crate::matrix::Matrix;
+
+/// Mean squared error over all elements, and its gradient wrt predictions.
+///
+/// Returns `(loss, dL/dpred)` where the loss is averaged over every scalar so
+/// gradients are batch-size independent.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = (pred.rows() * pred.cols()) as f64;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    for i in 0..pred.data().len() {
+        let d = pred.data()[i] - target.data()[i];
+        loss += d * d;
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Mean absolute error (reported as MAE in Figures 8a/8e).
+pub fn mae(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = (pred.rows() * pred.cols()) as f64;
+    pred.data()
+        .iter()
+        .zip(target.data())
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / n
+}
+
+/// Root mean squared error (reported as RMSE in Figures 8b/8f).
+pub fn rmse(pred: &Matrix, target: &Matrix) -> f64 {
+    let (m, _) = mse(pred, target);
+    m.sqrt()
+}
+
+/// Binary cross-entropy on probabilities in (0,1), with gradient wrt the
+/// probabilities. Targets are 0/1. Probabilities are clamped away from the
+/// endpoints for numerical stability.
+pub fn bce(prob: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(prob.shape(), target.shape(), "loss shape mismatch");
+    let n = (prob.rows() * prob.cols()) as f64;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(prob.rows(), prob.cols());
+    for i in 0..prob.data().len() {
+        let p = prob.data()[i].clamp(1e-12, 1.0 - 1e-12);
+        let t = target.data()[i];
+        loss += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+        grad.data_mut()[i] = (p - t) / (p * (1.0 - p)) / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_on_exact_prediction() {
+        let p = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert_eq!(g, Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let p = Matrix::from_rows(&[vec![3.0, 0.0]]);
+        let t = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let (l, g) = mse(&p, &t);
+        assert!((l - 2.0).abs() < 1e-12); // (4 + 0)/2
+        assert!((g[(0, 0)] - 2.0).abs() < 1e-12); // 2*2/2
+        assert_eq!(g[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Matrix::from_rows(&[vec![0.5, -1.2, 2.0]]);
+        let t = Matrix::from_rows(&[vec![0.0, 1.0, 2.5]]);
+        let (_, g) = mse(&p, &t);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += h;
+            let (lp, _) = mse(&pp, &t);
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= h;
+            let (lm, _) = mse(&pm, &t);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((fd - g.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mae_and_rmse_known_values() {
+        let p = Matrix::from_rows(&[vec![1.0, 3.0]]);
+        let t = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        assert!((mae(&p, &t) - 2.0).abs() < 1e-12);
+        assert!((rmse(&p, &t) - (5.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_perfect_prediction_small_loss() {
+        let p = Matrix::from_rows(&[vec![0.999, 0.001]]);
+        let t = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let (l, _) = bce(&p, &t);
+        assert!(l < 0.01);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let p = Matrix::from_rows(&[vec![0.3, 0.8]]);
+        let t = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let (_, g) = bce(&p, &t);
+        let h = 1e-7;
+        for i in 0..2 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += h;
+            let (lp, _) = bce(&pp, &t);
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= h;
+            let (lm, _) = bce(&pm, &t);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((fd - g.data()[i]).abs() < 1e-5, "i={i}");
+        }
+    }
+
+    #[test]
+    fn bce_is_finite_at_saturated_probabilities() {
+        let p = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let t = Matrix::from_rows(&[vec![0.0, 1.0]]);
+        let (l, g) = bce(&p, &t);
+        assert!(l.is_finite());
+        assert!(g.data().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,270 @@
+//! Long Short-Term Memory cell (used by the LGAN-DP baseline and as a
+//! sequence-model variant).
+//!
+//! Equations:
+//!
+//! ```text
+//! i = σ(x Wi + h Ui + bi)      input gate
+//! f = σ(x Wf + h Uf + bf)      forget gate
+//! o = σ(x Wo + h Uo + bo)      output gate
+//! g = tanh(x Wg + h Ug + bg)   candidate
+//! c' = f ⊙ c + i ⊙ g
+//! h' = o ⊙ tanh(c')
+//! ```
+
+use crate::activation::sigmoid;
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An LSTM cell stepped over a window by the sequence models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmCell {
+    wi: Param,
+    ui: Param,
+    bi: Param,
+    wf: Param,
+    uf: Param,
+    bf: Param,
+    wo: Param,
+    uo: Param,
+    bo: Param,
+    wg: Param,
+    ug: Param,
+    bg: Param,
+}
+
+/// Per-timestep cache for backpropagation through time.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    o: Matrix,
+    g: Matrix,
+    tanh_c: Matrix,
+}
+
+impl LstmCell {
+    /// New cell mapping `input_dim` inputs to an `hidden_dim` state.
+    /// The forget-gate bias starts at 1.0 (standard trick to ease gradient
+    /// flow early in training).
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        LstmCell {
+            wi: Param::xavier(input_dim, hidden_dim, rng),
+            ui: Param::xavier(hidden_dim, hidden_dim, rng),
+            bi: Param::zeros(1, hidden_dim),
+            wf: Param::xavier(input_dim, hidden_dim, rng),
+            uf: Param::xavier(hidden_dim, hidden_dim, rng),
+            bf: {
+                let mut p = Param::zeros(1, hidden_dim);
+                p.value.map_in_place(|_| 1.0);
+                p
+            },
+            wo: Param::xavier(input_dim, hidden_dim, rng),
+            uo: Param::xavier(hidden_dim, hidden_dim, rng),
+            bo: Param::zeros(1, hidden_dim),
+            wg: Param::xavier(input_dim, hidden_dim, rng),
+            ug: Param::xavier(hidden_dim, hidden_dim, rng),
+            bg: Param::zeros(1, hidden_dim),
+        }
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.ui.value.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.wi.value.rows()
+    }
+
+    fn gate(&self, x: &Matrix, h: &Matrix, w: &Param, u: &Param, b: &Param) -> Matrix {
+        x.matmul(&w.value)
+            .add(&h.matmul(&u.value))
+            .add_row_broadcast(&b.value)
+    }
+
+    /// One step: `(x_t, h_{t-1}, c_{t-1}) -> (h_t, c_t)`.
+    pub fn forward(&self, x: &Matrix, h_prev: &Matrix, c_prev: &Matrix) -> (Matrix, Matrix, LstmCache) {
+        let i = self.gate(x, h_prev, &self.wi, &self.ui, &self.bi).map(sigmoid);
+        let f = self.gate(x, h_prev, &self.wf, &self.uf, &self.bf).map(sigmoid);
+        let o = self.gate(x, h_prev, &self.wo, &self.uo, &self.bo).map(sigmoid);
+        let g = self.gate(x, h_prev, &self.wg, &self.ug, &self.bg).map(f64::tanh);
+        let c_new = f.hadamard(c_prev).add(&i.hadamard(&g));
+        let tanh_c = c_new.map(f64::tanh);
+        let h_new = o.hadamard(&tanh_c);
+        (
+            h_new,
+            c_new,
+            LstmCache {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i,
+                f,
+                o,
+                g,
+                tanh_c,
+            },
+        )
+    }
+
+    /// Backward through one step given `dL/dh_t` and `dL/dc_t` (from the
+    /// future); accumulates parameter gradients and returns
+    /// `(dx, dh_prev, dc_prev)`.
+    pub fn backward(
+        &mut self,
+        cache: &LstmCache,
+        dh: &Matrix,
+        dc_in: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
+        let LstmCache {
+            x,
+            h_prev,
+            c_prev,
+            i,
+            f,
+            o,
+            g,
+            tanh_c,
+        } = cache;
+
+        let do_ = dh.hadamard(tanh_c);
+        // dc = dh ⊙ o ⊙ (1 - tanh²c) + dc_in
+        let mut dc = dh
+            .hadamard(o)
+            .zip_with(tanh_c, |d, tc| d * (1.0 - tc * tc));
+        dc.add_assign(dc_in);
+
+        let di = dc.hadamard(g);
+        let df = dc.hadamard(c_prev);
+        let dg = dc.hadamard(i);
+        let dc_prev = dc.hadamard(f);
+
+        let mut dx = Matrix::zeros(x.rows(), x.cols());
+        let mut dh_prev = Matrix::zeros(h_prev.rows(), h_prev.cols());
+
+        // σ-gates
+        for (d, gate, w, u, b) in [
+            (&di, i, 0usize, 0usize, 0usize),
+            (&df, f, 1, 1, 1),
+            (&do_, o, 2, 2, 2),
+        ] {
+            let da = d.zip_with(gate, |dv, gv| dv * gv * (1.0 - gv));
+            let (w, u, b) = match (w, u, b) {
+                (0, _, _) => (&mut self.wi, &mut self.ui, &mut self.bi),
+                (1, _, _) => (&mut self.wf, &mut self.uf, &mut self.bf),
+                _ => (&mut self.wo, &mut self.uo, &mut self.bo),
+            };
+            w.grad.add_assign(&x.transpose_matmul(&da));
+            u.grad.add_assign(&h_prev.transpose_matmul(&da));
+            b.grad.add_assign(&da.sum_rows());
+            dx.add_assign(&da.matmul_transpose(&w.value));
+            dh_prev.add_assign(&da.matmul_transpose(&u.value));
+        }
+
+        // tanh candidate
+        let dag = dg.zip_with(g, |dv, gv| dv * (1.0 - gv * gv));
+        self.wg.grad.add_assign(&x.transpose_matmul(&dag));
+        self.ug.grad.add_assign(&h_prev.transpose_matmul(&dag));
+        self.bg.grad.add_assign(&dag.sum_rows());
+        dx.add_assign(&dag.matmul_transpose(&self.wg.value));
+        dh_prev.add_assign(&dag.matmul_transpose(&self.ug.value));
+
+        (dx, dh_prev, dc_prev)
+    }
+}
+
+impl Parameterized for LstmCell {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wi,
+            &mut self.ui,
+            &mut self.bi,
+            &mut self.wf,
+            &mut self.uf,
+            &mut self.bf,
+            &mut self.wo,
+            &mut self.uo,
+            &mut self.bo,
+            &mut self.wg,
+            &mut self.ug,
+            &mut self.bg,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = LstmCell::new(3, 4, &mut rng);
+        let x = Matrix::xavier(2, 3, &mut rng);
+        let (h1, c1, _) = cell.forward(&x, &Matrix::zeros(2, 4), &Matrix::zeros(2, 4));
+        assert_eq!(h1.shape(), (2, 4));
+        assert_eq!(c1.shape(), (2, 4));
+    }
+
+    #[test]
+    fn forget_gate_bias_initialised_to_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        assert!(cell.bf.value.data().iter().all(|&b| b == 1.0));
+    }
+
+    #[test]
+    fn saturated_forget_gate_preserves_cell_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cell = LstmCell::new(2, 2, &mut rng);
+        cell.bf.value = Matrix::full(1, 2, 50.0); // f -> 1
+        cell.bi.value = Matrix::full(1, 2, -50.0); // i -> 0
+        let c_prev = Matrix::from_rows(&[vec![0.4, -0.2]]);
+        let (_, c1, _) = cell.forward(
+            &Matrix::from_rows(&[vec![1.0, -1.0]]),
+            &Matrix::zeros(1, 2),
+            &c_prev,
+        );
+        for i in 0..2 {
+            assert!((c1[(0, i)] - c_prev[(0, i)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_through_two_steps_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cell = LstmCell::new(2, 3, &mut rng);
+        let x0 = Matrix::xavier(2, 2, &mut rng);
+        let x1 = Matrix::xavier(2, 2, &mut rng);
+        let target = Matrix::xavier(2, 3, &mut rng);
+
+        let loss = |c: &mut LstmCell| {
+            let h0 = Matrix::zeros(2, 3);
+            let c0 = Matrix::zeros(2, 3);
+            let (h1, c1, _) = c.forward(&x0, &h0, &c0);
+            let (h2, _, _) = c.forward(&x1, &h1, &c1);
+            crate::loss::mse(&h2, &target).0
+        };
+        let backward = |c: &mut LstmCell| {
+            let h0 = Matrix::zeros(2, 3);
+            let c0 = Matrix::zeros(2, 3);
+            let (h1, c1v, cch1) = c.forward(&x0, &h0, &c0);
+            let (h2, _, cch2) = c.forward(&x1, &h1, &c1v);
+            let (_, dh2) = crate::loss::mse(&h2, &target);
+            let dc2 = Matrix::zeros(2, 3);
+            let (_, dh1, dc1) = c.backward(&cch2, &dh2, &dc2);
+            let _ = c.backward(&cch1, &dh1, &dc1);
+        };
+        check_gradients(&mut cell, loss, backward, 3e-4);
+    }
+}

@@ -1,0 +1,476 @@
+//! A small dense row-major `f64` matrix.
+//!
+//! The networks in this repository are tiny (hidden dims ≤ 128, batch ≤ 64),
+//! so a straightforward contiguous implementation with an ikj matmul loop is
+//! fast enough and keeps the crate dependency-free and deterministic.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from a row-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from nested rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Xavier/Glorot-uniform initialisation: `U(-a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let a = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// A view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other` (ikj loop order for cache friendliness).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
+            let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise combination with `f`.
+    pub fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place element-wise addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Add a 1×cols row vector to every row (broadcast bias add).
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Column-wise sum, returning a 1×cols row vector (bias gradient).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Fill with zeros (reuse allocation between training steps).
+    pub fn zero_out(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Clip every element into `[-c, c]` (gradient clipping).
+    pub fn clip_in_place(&mut self, c: f64) {
+        for x in &mut self.data {
+            *x = x.clamp(-c, c);
+        }
+    }
+
+    /// Concatenate horizontally: `[self | other]`.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols]
+                .copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Extract columns `[from, to)`.
+    pub fn columns(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.cols, "column range out of bounds");
+        let mut out = Matrix::zeros(self.rows, to - from);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[from..to]);
+        }
+        out
+    }
+
+    /// Softmax over each row.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let mut i3 = Matrix::zeros(3, 3);
+        for k in 0..3 {
+            i3[(k, k)] = 1.0;
+        }
+        assert_eq!(a.matmul(&i3), a);
+    }
+
+    #[test]
+    fn matmul_transpose_agrees_with_explicit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Matrix::xavier(4, 5, &mut rng);
+        let b = Matrix::xavier(3, 5, &mut rng);
+        let fast = a.matmul_transpose(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_agrees_with_explicit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::xavier(6, 4, &mut rng);
+        let b = Matrix::xavier(6, 3, &mut rng);
+        let fast = a.transpose_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::xavier(3, 7, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_bias_and_sum_rows_are_adjoint() {
+        // sum_rows is the gradient of add_row_broadcast wrt the bias.
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![10.0, 20.0]]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y, Matrix::from_rows(&[vec![11.0, 22.0], vec![13.0, 24.0]]));
+        assert_eq!(x.sum_rows(), Matrix::from_rows(&[vec![4.0, 6.0]]));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let s = x.softmax_rows();
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s[(r, 0)] < s[(r, 1)] && s[(r, 1)] < s[(r, 2)]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = Matrix::from_rows(&[vec![1000.0, 1001.0]]);
+        let s = x.softmax_rows();
+        assert!(s.data().iter().all(|v| v.is_finite()));
+        let y = Matrix::from_rows(&[vec![0.0, 1.0]]).softmax_rows();
+        for (a, b) in s.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hcat_and_columns_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0], vec![6.0]]);
+        let c = a.hcat(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.columns(0, 2), a);
+        assert_eq!(c.columns(2, 3), b);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::xavier(10, 20, &mut rng);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(m.data().iter().all(|&x| x.abs() <= a));
+        // Not all zeros.
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn clip_in_place_clamps() {
+        let mut m = Matrix::from_rows(&[vec![-5.0, 0.5, 7.0]]);
+        m.clip_in_place(1.0);
+        assert_eq!(m, Matrix::from_rows(&[vec![-1.0, 0.5, 1.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

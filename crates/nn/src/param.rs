@@ -1,0 +1,125 @@
+//! Trainable parameters: a value matrix and its accumulated gradient.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter with its gradient accumulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Matrix,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Xavier-initialised parameter.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        Param {
+            value: Matrix::xavier(rows, cols, rng),
+            grad: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Zero-initialised parameter (biases).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Param {
+            value: Matrix::zeros(rows, cols),
+            grad: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Reset the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_out();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.rows() * self.value.cols()
+    }
+
+    /// True when the parameter holds no scalars.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Anything that exposes its trainable parameters for an optimizer pass.
+pub trait Parameterized {
+    /// All trainable parameters, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Clear all gradient accumulators.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Clip all gradients element-wise into `[-c, c]` (standard for RNNs).
+    fn clip_grads(&mut self, c: f64) {
+        for p in self.params_mut() {
+            p.grad.clip_in_place(c);
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Toy {
+        a: Param,
+        b: Param,
+    }
+    impl Parameterized for Toy {
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.a, &mut self.b]
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut toy = Toy {
+            a: Param::xavier(2, 2, &mut rng),
+            b: Param::zeros(1, 2),
+        };
+        toy.a.grad = Matrix::full(2, 2, 3.0);
+        toy.b.grad = Matrix::full(1, 2, -1.0);
+        toy.zero_grad();
+        assert_eq!(toy.a.grad, Matrix::zeros(2, 2));
+        assert_eq!(toy.b.grad, Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn clip_grads_bounds_all() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut toy = Toy {
+            a: Param::xavier(2, 2, &mut rng),
+            b: Param::zeros(1, 2),
+        };
+        toy.a.grad = Matrix::full(2, 2, 100.0);
+        toy.clip_grads(5.0);
+        assert!(toy.a.grad.data().iter().all(|&g| g <= 5.0));
+    }
+
+    #[test]
+    fn num_params_counts_scalars() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut toy = Toy {
+            a: Param::xavier(3, 4, &mut rng),
+            b: Param::zeros(1, 4),
+        };
+        assert_eq!(toy.num_params(), 16);
+    }
+}

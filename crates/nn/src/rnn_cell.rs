@@ -1,0 +1,136 @@
+//! Vanilla (Elman) RNN cell: `h' = tanh(x W + h U + b)`.
+
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single vanilla RNN cell stepped over a window by the sequence models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RnnCell {
+    w: Param,
+    u: Param,
+    b: Param,
+}
+
+/// Per-timestep cache for backpropagation through time.
+#[derive(Debug, Clone)]
+pub struct RnnCache {
+    x: Matrix,
+    h_prev: Matrix,
+    h_new: Matrix,
+}
+
+impl RnnCell {
+    /// New cell mapping `input_dim`-dimensional inputs to an
+    /// `hidden_dim`-dimensional state.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        RnnCell {
+            w: Param::xavier(input_dim, hidden_dim, rng),
+            u: Param::xavier(hidden_dim, hidden_dim, rng),
+            b: Param::zeros(1, hidden_dim),
+        }
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.u.value.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// One step: `(x_t, h_{t-1}) -> h_t`.
+    pub fn forward(&self, x: &Matrix, h_prev: &Matrix) -> (Matrix, RnnCache) {
+        let pre = x
+            .matmul(&self.w.value)
+            .add(&h_prev.matmul(&self.u.value))
+            .add_row_broadcast(&self.b.value);
+        let h_new = pre.map(f64::tanh);
+        (
+            h_new.clone(),
+            RnnCache {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                h_new,
+            },
+        )
+    }
+
+    /// Backward through one step given `dL/dh_t`; accumulates parameter
+    /// gradients and returns `(dL/dx_t, dL/dh_{t-1})`.
+    pub fn backward(&mut self, cache: &RnnCache, dh: &Matrix) -> (Matrix, Matrix) {
+        // dpre = dh ⊙ (1 - h²)
+        let dpre = dh.zip_with(&cache.h_new, |d, y| d * (1.0 - y * y));
+        self.w.grad.add_assign(&cache.x.transpose_matmul(&dpre));
+        self.u
+            .grad
+            .add_assign(&cache.h_prev.transpose_matmul(&dpre));
+        self.b.grad.add_assign(&dpre.sum_rows());
+        let dx = dpre.matmul_transpose(&self.w.value);
+        let dh_prev = dpre.matmul_transpose(&self.u.value);
+        (dx, dh_prev)
+    }
+}
+
+impl Parameterized for RnnCell {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.u, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_bounded_by_tanh() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = RnnCell::new(3, 4, &mut rng);
+        let x = Matrix::xavier(2, 3, &mut rng).scale(10.0);
+        let h = Matrix::zeros(2, 4);
+        let (h1, _) = cell.forward(&x, &h);
+        assert!(h1.data().iter().all(|&v| v.abs() <= 1.0));
+        assert_eq!(h1.shape(), (2, 4));
+    }
+
+    #[test]
+    fn gradients_through_two_steps_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cell = RnnCell::new(2, 3, &mut rng);
+        let x0 = Matrix::xavier(2, 2, &mut rng);
+        let x1 = Matrix::xavier(2, 2, &mut rng);
+        let target = Matrix::xavier(2, 3, &mut rng);
+
+        let loss = |c: &mut RnnCell| {
+            let h0 = Matrix::zeros(2, 3);
+            let (h1, _) = c.forward(&x0, &h0);
+            let (h2, _) = c.forward(&x1, &h1);
+            crate::loss::mse(&h2, &target).0
+        };
+        let backward = |c: &mut RnnCell| {
+            let h0 = Matrix::zeros(2, 3);
+            let (h1, c1) = c.forward(&x0, &h0);
+            let (h2, c2) = c.forward(&x1, &h1);
+            let (_, dh2) = crate::loss::mse(&h2, &target);
+            let (_, dh1) = c.backward(&c2, &dh2);
+            let _ = c.backward(&c1, &dh1);
+        };
+        check_gradients(&mut cell, loss, backward, 2e-4);
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_bias_response() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cell = RnnCell::new(2, 2, &mut rng);
+        cell.b.value = Matrix::from_rows(&[vec![0.5, -0.5]]);
+        let (h, _) = cell.forward(&Matrix::zeros(1, 2), &Matrix::zeros(1, 2));
+        assert!((h[(0, 0)] - 0.5f64.tanh()).abs() < 1e-12);
+        assert!((h[(0, 1)] + 0.5f64.tanh()).abs() < 1e-12);
+    }
+}

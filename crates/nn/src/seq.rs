@@ -1,0 +1,603 @@
+//! Sliding-window sequence forecasters.
+//!
+//! The pattern-recognition step of STPT sweeps a window of `ws` points over
+//! each (sanitised) time series and trains a network to predict the next
+//! point (Section 4.2). This module provides that network in the variants
+//! the paper evaluates (Figure 8i): vanilla RNN, GRU, LSTM, a transformer
+//! encoder, and the Appendix-C default of self-attention followed by a GRU.
+//!
+//! All variants share the same scaffold: a scalar-to-embedding projection,
+//! a sequence body, and a linear regression head reading the final state.
+
+use crate::dense::{Activation, Dense};
+use crate::gru::GruCell;
+use crate::loss::mse;
+use crate::lstm::LstmCell;
+use crate::matrix::Matrix;
+use crate::optim::{Optimizer, RmsProp};
+use crate::param::{Param, Parameterized};
+use crate::rnn_cell::RnnCell;
+use crate::attention::SelfAttention;
+use crate::transformer::{positional_encoding, TransformerBlock};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which sequence body to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Vanilla Elman RNN.
+    Rnn,
+    /// Gated recurrent unit.
+    Gru,
+    /// Long short-term memory.
+    Lstm,
+    /// Transformer encoder block with positional encodings.
+    Transformer,
+    /// Self-attention followed by a GRU — the paper's default (Appendix C).
+    AttentionGru,
+}
+
+/// Hyper-parameters of a sequence forecaster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Body architecture.
+    pub kind: ModelKind,
+    /// Scalar-to-token embedding width.
+    pub embed_dim: usize,
+    /// Recurrent state width (ignored by `Transformer`, which reads the
+    /// last token directly).
+    pub hidden_dim: usize,
+    /// Window length `ws` (the paper uses 6).
+    pub window: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// RMSProp learning rate.
+    pub lr: f64,
+    /// Element-wise gradient clip.
+    pub grad_clip: f64,
+    /// Cap on the number of training windows; extra windows are subsampled
+    /// deterministically. `0` disables the cap.
+    pub max_samples: usize,
+    /// Seed for weight init, shuffling and subsampling.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// The paper's configuration (Appendix C): embedding 128, hidden 64,
+    /// window 6, 20 epochs, batch 32, RMSProp 1e-3.
+    pub fn paper_default(kind: ModelKind) -> Self {
+        NetConfig {
+            kind,
+            embed_dim: 128,
+            hidden_dim: 64,
+            window: 6,
+            epochs: 20,
+            batch_size: 32,
+            lr: 1e-3,
+            grad_clip: 5.0,
+            max_samples: 4096,
+            seed: 0x5eed,
+        }
+    }
+
+    /// A smaller configuration for parameter sweeps: same architecture,
+    /// reduced widths/epochs so the full Figure-6 grid runs in minutes.
+    pub fn fast(kind: ModelKind) -> Self {
+        NetConfig {
+            kind,
+            embed_dim: 32,
+            hidden_dim: 32,
+            window: 6,
+            epochs: 10,
+            batch_size: 32,
+            lr: 2e-3,
+            grad_clip: 5.0,
+            max_samples: 2048,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Number of windows actually trained on (after subsampling).
+    pub samples_used: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Body {
+    Rnn(RnnCell),
+    Gru(GruCell),
+    Lstm(LstmCell),
+    Transformer(TransformerBlock),
+    AttentionGru(SelfAttention, GruCell),
+}
+
+/// A next-value forecaster over fixed-length windows.
+///
+/// Serializable with serde: a trained forecaster can be persisted and
+/// reloaded (weights, gradients and configuration round-trip).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequenceRegressor {
+    config: NetConfig,
+    embed: Dense,
+    body: Body,
+    head: Dense,
+}
+
+impl SequenceRegressor {
+    /// Build a forecaster from its configuration.
+    pub fn new(config: NetConfig) -> Self {
+        assert!(config.window >= 2, "window must cover at least two points");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let embed = Dense::new(1, config.embed_dim, Activation::Tanh, &mut rng);
+        let (body, head_in) = match config.kind {
+            ModelKind::Rnn => (
+                Body::Rnn(RnnCell::new(config.embed_dim, config.hidden_dim, &mut rng)),
+                config.hidden_dim,
+            ),
+            ModelKind::Gru => (
+                Body::Gru(GruCell::new(config.embed_dim, config.hidden_dim, &mut rng)),
+                config.hidden_dim,
+            ),
+            ModelKind::Lstm => (
+                Body::Lstm(LstmCell::new(config.embed_dim, config.hidden_dim, &mut rng)),
+                config.hidden_dim,
+            ),
+            ModelKind::Transformer => (
+                Body::Transformer(TransformerBlock::new(config.embed_dim, &mut rng)),
+                config.embed_dim,
+            ),
+            ModelKind::AttentionGru => (
+                Body::AttentionGru(
+                    SelfAttention::new(config.embed_dim, &mut rng),
+                    GruCell::new(config.embed_dim, config.hidden_dim, &mut rng),
+                ),
+                config.hidden_dim,
+            ),
+        };
+        let head = Dense::new(head_in, 1, Activation::Identity, &mut rng);
+        SequenceRegressor {
+            config,
+            embed,
+            body,
+            head,
+        }
+    }
+
+    /// The forecaster's configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Predict the next value for a single window of length `config.window`.
+    pub fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.config.window, "window length mismatch");
+        self.forward_sample(window).0
+    }
+
+    /// Predict the next value for each window.
+    pub fn predict_batch(&self, windows: &[Vec<f64>]) -> Vec<f64> {
+        windows.iter().map(|w| self.predict(w)).collect()
+    }
+
+    /// Roll the model forward `steps` times starting from `seed_window`,
+    /// feeding each prediction back in (autoregressive generation).
+    pub fn generate(&self, seed_window: &[f64], steps: usize) -> Vec<f64> {
+        assert_eq!(seed_window.len(), self.config.window);
+        let mut window = seed_window.to_vec();
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let next = self.predict(&window);
+            out.push(next);
+            window.rotate_left(1);
+            *window.last_mut().expect("window is non-empty") = next;
+        }
+        out
+    }
+
+    /// Train on `(window, next_value)` pairs with RMSProp, returning the
+    /// loss trajectory.
+    pub fn train(&mut self, windows: &[Vec<f64>], targets: &[f64]) -> TrainStats {
+        assert_eq!(windows.len(), targets.len(), "windows/targets mismatch");
+        assert!(!windows.is_empty(), "cannot train on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ TRAIN_SEED_SALT);
+        let mut indices: Vec<usize> = (0..windows.len()).collect();
+        if self.config.max_samples > 0 && indices.len() > self.config.max_samples {
+            indices.shuffle(&mut rng);
+            indices.truncate(self.config.max_samples);
+        }
+        let mut opt = RmsProp::new(self.config.lr, 0.99);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _epoch in 0..self.config.epochs {
+            indices.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0.0;
+            for chunk in indices.chunks(self.config.batch_size) {
+                self.zero_grad();
+                let mut batch_loss = 0.0;
+                for &i in chunk {
+                    batch_loss += self.accumulate_sample(&windows[i], targets[i], chunk.len());
+                }
+                self.clip_grads(self.config.grad_clip);
+                opt.step(self);
+                epoch_loss += batch_loss / chunk.len() as f64;
+                batches += 1.0;
+            }
+            epoch_losses.push(epoch_loss / batches);
+        }
+        TrainStats {
+            epoch_losses,
+            samples_used: indices.len(),
+        }
+    }
+
+    /// Forward one window; returns the prediction and runs no backward.
+    fn forward_sample(&self, window: &[f64]) -> (f64, ()) {
+        let x = Matrix::from_vec(window.len(), 1, window.to_vec());
+        let (tokens, _) = self.embed.forward(&x); // T × embed
+        let final_state = match &self.body {
+            Body::Rnn(cell) => {
+                let mut h = Matrix::zeros(1, cell.hidden_dim());
+                for t in 0..tokens.rows() {
+                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
+                    h = cell.forward(&xt, &h).0;
+                }
+                h
+            }
+            Body::Gru(cell) => {
+                let mut h = Matrix::zeros(1, cell.hidden_dim());
+                for t in 0..tokens.rows() {
+                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
+                    h = cell.forward(&xt, &h).0;
+                }
+                h
+            }
+            Body::Lstm(cell) => {
+                let mut h = Matrix::zeros(1, cell.hidden_dim());
+                let mut c = Matrix::zeros(1, cell.hidden_dim());
+                for t in 0..tokens.rows() {
+                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
+                    let (hn, cn, _) = cell.forward(&xt, &h, &c);
+                    h = hn;
+                    c = cn;
+                }
+                h
+            }
+            Body::Transformer(block) => {
+                let pe = positional_encoding(tokens.rows(), tokens.cols());
+                let (y, _) = block.forward(&tokens.add(&pe));
+                Matrix::from_vec(1, y.cols(), y.row(y.rows() - 1).to_vec())
+            }
+            Body::AttentionGru(attn, cell) => {
+                let (attended, _) = attn.forward(&tokens);
+                let mut h = Matrix::zeros(1, cell.hidden_dim());
+                for t in 0..attended.rows() {
+                    let xt = Matrix::from_vec(1, attended.cols(), attended.row(t).to_vec());
+                    h = cell.forward(&xt, &h).0;
+                }
+                h
+            }
+        };
+        let (pred, _) = self.head.forward(&final_state);
+        (pred[(0, 0)], ())
+    }
+
+    /// Forward + backward for one sample, accumulating gradients scaled for
+    /// a batch of `batch_len`; returns the sample loss.
+    fn accumulate_sample(&mut self, window: &[f64], target: f64, batch_len: usize) -> f64 {
+        let scale = 1.0 / batch_len as f64;
+        let x = Matrix::from_vec(window.len(), 1, window.to_vec());
+        let (tokens, embed_cache) = self.embed.forward(&x);
+        let t_steps = tokens.rows();
+
+        // Forward through the body, caching per step.
+        enum BodyCtx {
+            Rnn(Vec<crate::rnn_cell::RnnCache>),
+            Gru(Vec<crate::gru::GruCache>),
+            Lstm(Vec<crate::lstm::LstmCache>),
+            Transformer(Box<crate::transformer::TransformerCache>),
+            AttentionGru(crate::attention::AttentionCache, Vec<crate::gru::GruCache>),
+        }
+        let (final_state, ctx) = match &self.body {
+            Body::Rnn(cell) => {
+                let mut h = Matrix::zeros(1, cell.hidden_dim());
+                let mut caches = Vec::with_capacity(t_steps);
+                for t in 0..t_steps {
+                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
+                    let (hn, cache) = cell.forward(&xt, &h);
+                    h = hn;
+                    caches.push(cache);
+                }
+                (h, BodyCtx::Rnn(caches))
+            }
+            Body::Gru(cell) => {
+                let mut h = Matrix::zeros(1, cell.hidden_dim());
+                let mut caches = Vec::with_capacity(t_steps);
+                for t in 0..t_steps {
+                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
+                    let (hn, cache) = cell.forward(&xt, &h);
+                    h = hn;
+                    caches.push(cache);
+                }
+                (h, BodyCtx::Gru(caches))
+            }
+            Body::Lstm(cell) => {
+                let mut h = Matrix::zeros(1, cell.hidden_dim());
+                let mut c = Matrix::zeros(1, cell.hidden_dim());
+                let mut caches = Vec::with_capacity(t_steps);
+                for t in 0..t_steps {
+                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
+                    let (hn, cn, cache) = cell.forward(&xt, &h, &c);
+                    h = hn;
+                    c = cn;
+                    caches.push(cache);
+                }
+                (h, BodyCtx::Lstm(caches))
+            }
+            Body::Transformer(block) => {
+                let pe = positional_encoding(t_steps, tokens.cols());
+                let (y, cache) = block.forward(&tokens.add(&pe));
+                (
+                    Matrix::from_vec(1, y.cols(), y.row(y.rows() - 1).to_vec()),
+                    BodyCtx::Transformer(Box::new(cache)),
+                )
+            }
+            Body::AttentionGru(attn, cell) => {
+                let (attended, attn_cache) = attn.forward(&tokens);
+                let mut h = Matrix::zeros(1, cell.hidden_dim());
+                let mut caches = Vec::with_capacity(t_steps);
+                for t in 0..t_steps {
+                    let xt = Matrix::from_vec(1, attended.cols(), attended.row(t).to_vec());
+                    let (hn, cache) = cell.forward(&xt, &h);
+                    h = hn;
+                    caches.push(cache);
+                }
+                (h, BodyCtx::AttentionGru(attn_cache, caches))
+            }
+        };
+
+        let (pred, head_cache) = self.head.forward(&final_state);
+        let target_m = Matrix::from_vec(1, 1, vec![target]);
+        let (loss, dpred) = mse(&pred, &target_m);
+        let dpred = dpred.scale(scale);
+
+        let dfinal = self.head.backward(&head_cache, &dpred);
+
+        // Backward through the body, collecting dL/dtokens.
+        let mut dtokens = Matrix::zeros(t_steps, tokens.cols());
+        match (&mut self.body, ctx) {
+            (Body::Rnn(cell), BodyCtx::Rnn(caches)) => {
+                let mut dh = dfinal;
+                for t in (0..t_steps).rev() {
+                    let (dx, dh_prev) = cell.backward(&caches[t], &dh);
+                    dtokens.row_mut(t).copy_from_slice(dx.row(0));
+                    dh = dh_prev;
+                }
+            }
+            (Body::Gru(cell), BodyCtx::Gru(caches)) => {
+                let mut dh = dfinal;
+                for t in (0..t_steps).rev() {
+                    let (dx, dh_prev) = cell.backward(&caches[t], &dh);
+                    dtokens.row_mut(t).copy_from_slice(dx.row(0));
+                    dh = dh_prev;
+                }
+            }
+            (Body::Lstm(cell), BodyCtx::Lstm(caches)) => {
+                let mut dh = dfinal;
+                let mut dc = Matrix::zeros(1, cell.hidden_dim());
+                for t in (0..t_steps).rev() {
+                    let (dx, dh_prev, dc_prev) = cell.backward(&caches[t], &dh, &dc);
+                    dtokens.row_mut(t).copy_from_slice(dx.row(0));
+                    dh = dh_prev;
+                    dc = dc_prev;
+                }
+            }
+            (Body::Transformer(block), BodyCtx::Transformer(cache)) => {
+                let mut dy = Matrix::zeros(t_steps, dfinal.cols());
+                dy.row_mut(t_steps - 1).copy_from_slice(dfinal.row(0));
+                dtokens = block.backward(&cache, &dy);
+            }
+            (Body::AttentionGru(attn, cell), BodyCtx::AttentionGru(attn_cache, caches)) => {
+                let mut dattended = Matrix::zeros(t_steps, tokens.cols());
+                let mut dh = dfinal;
+                for t in (0..t_steps).rev() {
+                    let (dx, dh_prev) = cell.backward(&caches[t], &dh);
+                    dattended.row_mut(t).copy_from_slice(dx.row(0));
+                    dh = dh_prev;
+                }
+                dtokens = attn.backward(&attn_cache, &dattended);
+            }
+            _ => unreachable!("body/context kinds always match"),
+        }
+
+        self.embed.backward(&embed_cache, &dtokens);
+        loss
+    }
+}
+
+impl Parameterized for SequenceRegressor {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = self.embed.params_mut();
+        match &mut self.body {
+            Body::Rnn(c) => out.extend(c.params_mut()),
+            Body::Gru(c) => out.extend(c.params_mut()),
+            Body::Lstm(c) => out.extend(c.params_mut()),
+            Body::Transformer(b) => out.extend(b.params_mut()),
+            Body::AttentionGru(a, c) => {
+                out.extend(a.params_mut());
+                out.extend(c.params_mut());
+            }
+        }
+        out.extend(self.head.params_mut());
+        out
+    }
+}
+
+/// Build `(window, target)` training pairs by sweeping a window of length
+/// `ws` over each series independently (series are stacked, not
+/// concatenated — Section 4.2).
+pub fn make_windows(series: &[Vec<f64>], ws: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut windows = Vec::new();
+    let mut targets = Vec::new();
+    for s in series {
+        if s.len() <= ws {
+            continue;
+        }
+        for start in 0..s.len() - ws {
+            windows.push(s[start..start + ws].to_vec());
+            targets.push(s[start + ws]);
+        }
+    }
+    (windows, targets)
+}
+
+/// Salt mixed into the training-shuffle seed so it differs from the
+/// weight-initialisation stream.
+const TRAIN_SEED_SALT: u64 = 0x7e57_5eed_0042_1337;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.3).sin() * 0.5 + 0.5).collect()
+    }
+
+    fn tiny_config(kind: ModelKind) -> NetConfig {
+        NetConfig {
+            kind,
+            embed_dim: 8,
+            hidden_dim: 8,
+            window: 6,
+            epochs: 30,
+            batch_size: 16,
+            lr: 5e-3,
+            grad_clip: 5.0,
+            max_samples: 0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn make_windows_counts_and_alignment() {
+        let series = vec![vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![10.0, 11.0, 12.0]];
+        let (w, t) = make_windows(&series, 2);
+        assert_eq!(w.len(), 3 + 1);
+        assert_eq!(w[0], vec![0.0, 1.0]);
+        assert_eq!(t[0], 2.0);
+        assert_eq!(w[3], vec![10.0, 11.0]);
+        assert_eq!(t[3], 12.0);
+    }
+
+    #[test]
+    fn make_windows_skips_short_series() {
+        let series = vec![vec![1.0, 2.0]];
+        let (w, t) = make_windows(&series, 4);
+        assert!(w.is_empty() && t.is_empty());
+    }
+
+    #[test]
+    fn training_reduces_loss_for_every_model_kind() {
+        let series = vec![sine_series(80)];
+        let (windows, targets) = make_windows(&series, 6);
+        for kind in [
+            ModelKind::Rnn,
+            ModelKind::Gru,
+            ModelKind::Lstm,
+            ModelKind::Transformer,
+            ModelKind::AttentionGru,
+        ] {
+            let mut model = SequenceRegressor::new(tiny_config(kind));
+            let stats = model.train(&windows, &targets);
+            let first = stats.epoch_losses[0];
+            let last = *stats.epoch_losses.last().unwrap();
+            assert!(
+                last < first,
+                "{kind:?}: loss did not decrease ({first} -> {last})"
+            );
+        }
+    }
+
+    #[test]
+    fn gru_learns_sine_to_reasonable_accuracy() {
+        let series = vec![sine_series(120)];
+        let (windows, targets) = make_windows(&series, 6);
+        let mut cfg = tiny_config(ModelKind::Gru);
+        cfg.epochs = 150;
+        let mut model = SequenceRegressor::new(cfg);
+        model.train(&windows, &targets);
+        let preds = model.predict_batch(&windows);
+        let mae: f64 = preds
+            .iter()
+            .zip(&targets)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / preds.len() as f64;
+        assert!(mae < 0.08, "MAE {mae} too high");
+    }
+
+    #[test]
+    fn generate_rolls_forward() {
+        let mut model = SequenceRegressor::new(tiny_config(ModelKind::Gru));
+        let series = vec![sine_series(60)];
+        let (windows, targets) = make_windows(&series, 6);
+        model.train(&windows, &targets);
+        let out = model.generate(&windows[0], 10);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn trained_model_roundtrips_through_serde() {
+        let series = vec![sine_series(50)];
+        let (windows, targets) = make_windows(&series, 6);
+        let mut model = SequenceRegressor::new(tiny_config(ModelKind::AttentionGru));
+        model.train(&windows, &targets);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: SequenceRegressor = serde_json::from_str(&json).unwrap();
+        for w in windows.iter().take(5) {
+            // JSON float formatting can lose the last ulp.
+            let (a, b) = (model.predict(w), back.predict(w));
+            assert!((a - b).abs() < 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let series = vec![sine_series(50)];
+        let (windows, targets) = make_windows(&series, 6);
+        let run = || {
+            let mut m = SequenceRegressor::new(tiny_config(ModelKind::Rnn));
+            m.train(&windows, &targets);
+            m.predict(&windows[0])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn max_samples_caps_training_set() {
+        let series = vec![sine_series(200)];
+        let (windows, targets) = make_windows(&series, 6);
+        let mut cfg = tiny_config(ModelKind::Rnn);
+        cfg.max_samples = 10;
+        cfg.epochs = 1;
+        let mut m = SequenceRegressor::new(cfg);
+        let stats = m.train(&windows, &targets);
+        assert_eq!(stats.samples_used, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length mismatch")]
+    fn predict_rejects_wrong_window_length() {
+        let model = SequenceRegressor::new(tiny_config(ModelKind::Gru));
+        let _ = model.predict(&[0.0; 3]);
+    }
+}

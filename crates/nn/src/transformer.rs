@@ -1,0 +1,195 @@
+//! A post-norm transformer encoder block:
+//!
+//! ```text
+//! a = LayerNorm(x + SelfAttention(x))
+//! y = LayerNorm(a + FFN(a)),   FFN = Dense(d→4d, ReLU) ∘ Dense(4d→d)
+//! ```
+//!
+//! Operates on one `T × d` sequence at a time (windows are length 6).
+
+use crate::attention::{AttentionCache, SelfAttention};
+use crate::dense::{Activation, Dense, DenseCache};
+use crate::layer_norm::{LayerNorm, LayerNormCache};
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One transformer encoder block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransformerBlock {
+    attention: SelfAttention,
+    norm1: LayerNorm,
+    ffn1: Dense,
+    ffn2: Dense,
+    norm2: LayerNorm,
+}
+
+/// Forward-pass cache for [`TransformerBlock::backward`].
+#[derive(Debug, Clone)]
+pub struct TransformerCache {
+    attn: AttentionCache,
+    norm1: LayerNormCache,
+    ffn1: DenseCache,
+    ffn2: DenseCache,
+    norm2: LayerNormCache,
+}
+
+impl TransformerBlock {
+    /// New block over `dim`-dimensional tokens with a 4× FFN expansion.
+    pub fn new(dim: usize, rng: &mut impl Rng) -> Self {
+        TransformerBlock {
+            attention: SelfAttention::new(dim, rng),
+            norm1: LayerNorm::new(dim),
+            ffn1: Dense::new(dim, 4 * dim, Activation::Relu, rng),
+            ffn2: Dense::new(4 * dim, dim, Activation::Identity, rng),
+            norm2: LayerNorm::new(dim),
+        }
+    }
+
+    /// Token dimensionality.
+    pub fn dim(&self) -> usize {
+        self.norm1.dim()
+    }
+
+    /// Forward over one `T × dim` sequence.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, TransformerCache) {
+        let (attn_out, attn_cache) = self.attention.forward(x);
+        let (a, norm1_cache) = self.norm1.forward(&x.add(&attn_out));
+        let (f1, ffn1_cache) = self.ffn1.forward(&a);
+        let (f2, ffn2_cache) = self.ffn2.forward(&f1);
+        let (y, norm2_cache) = self.norm2.forward(&a.add(&f2));
+        (
+            y,
+            TransformerCache {
+                attn: attn_cache,
+                norm1: norm1_cache,
+                ffn1: ffn1_cache,
+                ffn2: ffn2_cache,
+                norm2: norm2_cache,
+            },
+        )
+    }
+
+    /// Backward; accumulates all sub-layer gradients and returns `dL/dx`.
+    pub fn backward(&mut self, cache: &TransformerCache, dy: &Matrix) -> Matrix {
+        // y = norm2(a + ffn(a))
+        let dsum2 = self.norm2.backward(&cache.norm2, dy);
+        let df1 = self.ffn2.backward(&cache.ffn2, &dsum2);
+        let mut da = self.ffn1.backward(&cache.ffn1, &df1);
+        da.add_assign(&dsum2); // residual branch
+
+        // a = norm1(x + attention(x))
+        let dsum1 = self.norm1.backward(&cache.norm1, &da);
+        let mut dx = self.attention.backward(&cache.attn, &dsum1);
+        dx.add_assign(&dsum1); // residual branch
+        dx
+    }
+}
+
+impl Parameterized for TransformerBlock {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = self.attention.params_mut();
+        out.extend(self.norm1.params_mut());
+        out.extend(self.ffn1.params_mut());
+        out.extend(self.ffn2.params_mut());
+        out.extend(self.norm2.params_mut());
+        out
+    }
+}
+
+/// Sinusoidal positional encoding added to a `T × dim` window before the
+/// encoder (Vaswani et al. convention).
+pub fn positional_encoding(t: usize, dim: usize) -> Matrix {
+    let mut pe = Matrix::zeros(t, dim);
+    for pos in 0..t {
+        for i in 0..dim {
+            let angle = pos as f64 / 10_000f64.powf(2.0 * (i / 2) as f64 / dim as f64);
+            pe[(pos, i)] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+        }
+    }
+    pe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let block = TransformerBlock::new(4, &mut rng);
+        let x = Matrix::xavier(6, 4, &mut rng);
+        let (y, _) = block.forward(&x);
+        assert_eq!(y.shape(), (6, 4));
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut block = TransformerBlock::new(3, &mut rng);
+        let x = Matrix::xavier(4, 3, &mut rng);
+        let target = Matrix::xavier(4, 3, &mut rng);
+        check_gradients(
+            &mut block,
+            |b| {
+                let (y, _) = b.forward(&x);
+                crate::loss::mse(&y, &target).0
+            },
+            |b| {
+                let (y, cache) = b.forward(&x);
+                let (_, dy) = crate::loss::mse(&y, &target);
+                b.backward(&cache, &dy);
+            },
+            5e-4,
+        );
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut block = TransformerBlock::new(2, &mut rng);
+        let x = Matrix::xavier(3, 2, &mut rng);
+        let target = Matrix::zeros(3, 2);
+        let (y, cache) = block.forward(&x);
+        let (_, dy) = crate::loss::mse(&y, &target);
+        let dx = block.backward(&cache, &dy);
+        let h = 1e-6;
+        for i in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let lp = crate::loss::mse(&block.forward(&xp).0, &target).0;
+            let lm = crate::loss::mse(&block.forward(&xm).0, &target).0;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-4,
+                "i={i}: {fd} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn positional_encoding_properties() {
+        let pe = positional_encoding(6, 8);
+        assert_eq!(pe.shape(), (6, 8));
+        // Position 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        for i in 0..8 {
+            if i % 2 == 0 {
+                assert_eq!(pe[(0, i)], 0.0);
+            } else {
+                assert_eq!(pe[(0, i)], 1.0);
+            }
+        }
+        // Values bounded by 1.
+        assert!(pe.data().iter().all(|&v| v.abs() <= 1.0));
+        // Distinct positions get distinct encodings.
+        assert_ne!(pe.row(1), pe.row(2));
+    }
+}

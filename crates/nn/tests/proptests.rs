@@ -1,0 +1,78 @@
+//! Property-based tests for the neural-network substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use stpt_nn::activation::{sigmoid, tanh};
+use stpt_nn::Matrix;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// Matrix multiplication is associative (within float tolerance).
+    #[test]
+    fn matmul_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-8 * x.abs().max(1.0));
+        }
+    }
+
+    /// Transpose is an involution and (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_laws(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        for (x, y) in ab_t.data().iter().zip(bt_at.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// The fused transpose products agree with the explicit forms.
+    #[test]
+    fn fused_products_agree(a in arb_matrix(3, 4), b in arb_matrix(5, 4), c in arb_matrix(3, 2)) {
+        let fast = a.matmul_transpose(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        let fast = a.transpose_matmul(&c);
+        let slow = a.transpose().matmul(&c);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Softmax rows are probability distributions whatever the input.
+    #[test]
+    fn softmax_rows_are_distributions(m in arb_matrix(4, 6)) {
+        let s = m.scale(100.0).softmax_rows();
+        for r in 0..4 {
+            let sum: f64 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Activations are bounded and monotone.
+    #[test]
+    fn activations_bounded_monotone(x in -50.0f64..50.0, dx in 0.001f64..5.0) {
+        prop_assert!((0.0..=1.0).contains(&sigmoid(x)));
+        prop_assert!((-1.0..=1.0).contains(&tanh(x)));
+        prop_assert!(sigmoid(x + dx) >= sigmoid(x));
+        prop_assert!(tanh(x + dx) >= tanh(x));
+    }
+
+    /// Xavier init stays within its theoretical bound for any seed.
+    #[test]
+    fn xavier_bound(seed in any::<u64>(), rows in 1usize..20, cols in 1usize..20) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Matrix::xavier(rows, cols, &mut rng);
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        prop_assert!(m.data().iter().all(|v| v.abs() <= bound));
+    }
+}

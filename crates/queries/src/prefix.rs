@@ -1,0 +1,133 @@
+//! 3-D prefix sums (summed-volume table) for O(1) range-sum evaluation.
+
+use crate::query::RangeQuery;
+use stpt_data::ConsumptionMatrix;
+
+/// Precomputed inclusive prefix sums over a consumption matrix.
+///
+/// `sums[x][y][t]` (stored flat with a +1 border of zeros) holds the sum of
+/// all cells with coordinates `< (x, y, t)`, so any orthotope sum is eight
+/// lookups.
+#[derive(Debug, Clone)]
+pub struct PrefixSum3D {
+    cx: usize,
+    cy: usize,
+    ct: usize,
+    sums: Vec<f64>,
+}
+
+impl PrefixSum3D {
+    /// Build the table in O(cells).
+    pub fn new(m: &ConsumptionMatrix) -> Self {
+        let (cx, cy, ct) = m.shape();
+        let (sx, sy, st) = (cx + 1, cy + 1, ct + 1);
+        let mut sums = vec![0.0; sx * sy * st];
+        let idx = |x: usize, y: usize, t: usize| (x * sy + y) * st + t;
+        for x in 1..sx {
+            for y in 1..sy {
+                let pillar = m.pillar(x - 1, y - 1);
+                for t in 1..st {
+                    // Standard 3-D inclusion–exclusion recurrence.
+                    sums[idx(x, y, t)] = pillar[t - 1]
+                        + sums[idx(x - 1, y, t)]
+                        + sums[idx(x, y - 1, t)]
+                        + sums[idx(x, y, t - 1)]
+                        - sums[idx(x - 1, y - 1, t)]
+                        - sums[idx(x - 1, y, t - 1)]
+                        - sums[idx(x, y - 1, t - 1)]
+                        + sums[idx(x - 1, y - 1, t - 1)];
+                }
+            }
+        }
+        PrefixSum3D { cx, cy, ct, sums }
+    }
+
+    /// Shape of the underlying matrix.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.cx, self.cy, self.ct)
+    }
+
+    #[inline]
+    fn at(&self, x: usize, y: usize, t: usize) -> f64 {
+        self.sums[(x * (self.cy + 1) + y) * (self.ct + 1) + t]
+    }
+
+    /// Sum over the query's orthotope in O(1).
+    pub fn range_sum(&self, q: &RangeQuery) -> f64 {
+        let (x0, x1) = q.x;
+        let (y0, y1) = q.y;
+        let (t0, t1) = q.t;
+        assert!(
+            x1 <= self.cx && y1 <= self.cy && t1 <= self.ct,
+            "query out of bounds"
+        );
+        self.at(x1, y1, t1) - self.at(x0, y1, t1) - self.at(x1, y0, t1) - self.at(x1, y1, t0)
+            + self.at(x0, y0, t1)
+            + self.at(x0, y1, t0)
+            + self.at(x1, y0, t0)
+            - self.at(x0, y0, t0)
+    }
+
+    /// Total sum of the matrix.
+    pub fn total(&self) -> f64 {
+        self.at(self.cx, self.cy, self.ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{generate_queries, QueryClass};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(cx: usize, cy: usize, ct: usize, seed: u64) -> ConsumptionMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..cx * cy * ct).map(|_| rng.gen_range(0.0..10.0)).collect();
+        ConsumptionMatrix::from_vec(cx, cy, ct, data)
+    }
+
+    #[test]
+    fn matches_naive_on_random_queries() {
+        let m = random_matrix(8, 6, 10, 1);
+        let ps = PrefixSum3D::new(&m);
+        let mut rng = StdRng::seed_from_u64(2);
+        for q in generate_queries(QueryClass::Random, 500, m.shape(), &mut rng) {
+            let fast = ps.range_sum(&q);
+            let naive = m.range_sum(q.x, q.y, q.t);
+            assert!(
+                (fast - naive).abs() < 1e-9 * naive.abs().max(1.0),
+                "{q:?}: {fast} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_matches_matrix_total() {
+        let m = random_matrix(5, 5, 7, 3);
+        let ps = PrefixSum3D::new(&m);
+        assert!((ps.total() - m.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cell_query() {
+        let m = random_matrix(4, 4, 4, 4);
+        let ps = PrefixSum3D::new(&m);
+        let q = RangeQuery::new((2, 3), (1, 2), (3, 4), m.shape());
+        assert!((ps.range_sum(&q) - m.get(2, 1, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "query out of bounds")]
+    fn out_of_bounds_query_panics() {
+        let m = random_matrix(4, 4, 4, 5);
+        let ps = PrefixSum3D::new(&m);
+        // Bypass RangeQuery::new validation by building the struct directly.
+        let q = RangeQuery {
+            x: (0, 5),
+            y: (0, 1),
+            t: (0, 1),
+        };
+        let _ = ps.range_sum(&q);
+    }
+}

@@ -1,0 +1,171 @@
+//! Spatio-temporal range queries (Definition 3) and the workload generators
+//! used in the evaluation (Section 5.1): small `1×1×1` queries, large
+//! `10×10×10` queries, and queries of random shape and size.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 3-orthotope over the consumption matrix: half-open index ranges in
+/// `x`, `y` and `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeQuery {
+    /// `[x0, x1)` spatial range.
+    pub x: (usize, usize),
+    /// `[y0, y1)` spatial range.
+    pub y: (usize, usize),
+    /// `[t0, t1)` time range.
+    pub t: (usize, usize),
+}
+
+impl RangeQuery {
+    /// Construct a query, validating that each range is non-empty and within
+    /// a `cx × cy × ct` matrix.
+    pub fn new(
+        x: (usize, usize),
+        y: (usize, usize),
+        t: (usize, usize),
+        (cx, cy, ct): (usize, usize, usize),
+    ) -> Self {
+        assert!(x.0 < x.1 && x.1 <= cx, "invalid x range {x:?} for cx={cx}");
+        assert!(y.0 < y.1 && y.1 <= cy, "invalid y range {y:?} for cy={cy}");
+        assert!(t.0 < t.1 && t.1 <= ct, "invalid t range {t:?} for ct={ct}");
+        RangeQuery { x, y, t }
+    }
+
+    /// Number of cells covered.
+    pub fn volume(&self) -> usize {
+        (self.x.1 - self.x.0) * (self.y.1 - self.y.0) * (self.t.1 - self.t.0)
+    }
+}
+
+/// The three workload classes of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// `1×1×1` point queries.
+    Small,
+    /// `10×10×10` block queries (clamped to the matrix if it is smaller).
+    Large,
+    /// Uniformly random shape and size.
+    Random,
+}
+
+impl QueryClass {
+    /// Label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryClass::Small => "Small",
+            QueryClass::Large => "Large",
+            QueryClass::Random => "Random",
+        }
+    }
+
+    /// All classes in the paper's presentation order (random first).
+    pub const ALL: [QueryClass; 3] = [QueryClass::Random, QueryClass::Small, QueryClass::Large];
+}
+
+/// Generate `n` queries of the given class over a `cx × cy × ct` matrix.
+pub fn generate_queries(
+    class: QueryClass,
+    n: usize,
+    shape: (usize, usize, usize),
+    rng: &mut impl Rng,
+) -> Vec<RangeQuery> {
+    let (cx, cy, ct) = shape;
+    (0..n)
+        .map(|_| match class {
+            QueryClass::Small => {
+                let x = rng.gen_range(0..cx);
+                let y = rng.gen_range(0..cy);
+                let t = rng.gen_range(0..ct);
+                RangeQuery::new((x, x + 1), (y, y + 1), (t, t + 1), shape)
+            }
+            QueryClass::Large => {
+                let dx = 10.min(cx);
+                let dy = 10.min(cy);
+                let dt = 10.min(ct);
+                let x = rng.gen_range(0..=cx - dx);
+                let y = rng.gen_range(0..=cy - dy);
+                let t = rng.gen_range(0..=ct - dt);
+                RangeQuery::new((x, x + dx), (y, y + dy), (t, t + dt), shape)
+            }
+            QueryClass::Random => {
+                let (x0, x1) = random_range(cx, rng);
+                let (y0, y1) = random_range(cy, rng);
+                let (t0, t1) = random_range(ct, rng);
+                RangeQuery::new((x0, x1), (y0, y1), (t0, t1), shape)
+            }
+        })
+        .collect()
+}
+
+/// A uniformly random non-empty half-open sub-range of `[0, n)`.
+fn random_range(n: usize, rng: &mut impl Rng) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let b = rng.gen_range(0..n);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    (lo, hi + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SHAPE: (usize, usize, usize) = (32, 32, 120);
+
+    #[test]
+    fn small_queries_are_unit_volume() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for q in generate_queries(QueryClass::Small, 200, SHAPE, &mut rng) {
+            assert_eq!(q.volume(), 1);
+        }
+    }
+
+    #[test]
+    fn large_queries_are_1000_cells() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in generate_queries(QueryClass::Large, 200, SHAPE, &mut rng) {
+            assert_eq!(q.volume(), 1000);
+            assert!(q.x.1 <= 32 && q.y.1 <= 32 && q.t.1 <= 120);
+        }
+    }
+
+    #[test]
+    fn large_queries_clamp_to_small_matrices() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for q in generate_queries(QueryClass::Large, 50, (4, 4, 6), &mut rng) {
+            assert_eq!(q.volume(), 4 * 4 * 6);
+        }
+    }
+
+    #[test]
+    fn random_queries_stay_in_bounds_and_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let qs = generate_queries(QueryClass::Random, 300, SHAPE, &mut rng);
+        let mut volumes: Vec<usize> = qs.iter().map(RangeQuery::volume).collect();
+        assert!(qs.iter().all(|q| q.x.1 <= 32 && q.y.1 <= 32 && q.t.1 <= 120));
+        volumes.sort_unstable();
+        volumes.dedup();
+        assert!(volumes.len() > 20, "volumes not diverse: {}", volumes.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_queries(QueryClass::Random, 10, SHAPE, &mut StdRng::seed_from_u64(4));
+        let b = generate_queries(QueryClass::Random, 10, SHAPE, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid x range")]
+    fn new_rejects_empty_range() {
+        let _ = RangeQuery::new((3, 3), (0, 1), (0, 1), (4, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid t range")]
+    fn new_rejects_out_of_bounds() {
+        let _ = RangeQuery::new((0, 1), (0, 1), (0, 10), (4, 4, 4));
+    }
+}

@@ -1,0 +1,79 @@
+//! Using the neural substrate on its own: train the paper's sequence models
+//! to forecast a city's aggregate load and compare the architectures of
+//! Figure 8i.
+//!
+//! ```sh
+//! cargo run --release --example forecasting
+//! ```
+
+use rand::SeedableRng;
+use stpt_suite::data::{Dataset, DatasetSpec, Granularity, SpatialDistribution};
+use stpt_suite::nn::seq::{make_windows, ModelKind, NetConfig, SequenceRegressor};
+
+fn main() {
+    // Aggregate daily city load from the CA twin.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let mut spec = DatasetSpec::CA;
+    spec.households = 250;
+    let dataset = Dataset::generate_at(
+        spec,
+        SpatialDistribution::Uniform,
+        Granularity::Daily,
+        120,
+        &mut rng,
+    );
+    let mut city_load = vec![0.0f64; dataset.n_granules()];
+    for hh in &dataset.households {
+        for (t, &v) in hh.series.iter().enumerate() {
+            city_load[t] += v;
+        }
+    }
+    // Normalise to keep the network in its comfortable range.
+    let max = city_load.iter().cloned().fold(f64::MIN, f64::max);
+    let series: Vec<f64> = city_load.iter().map(|v| v / max).collect();
+
+    // Train on the first 90 days, evaluate one-step-ahead on the last 30.
+    let (train_series, test_series) = series.split_at(90);
+    let window = 6;
+    let (train_w, train_t) = make_windows(&[train_series.to_vec()], window);
+    let (test_w, test_t) = make_windows(&[series[90 - window..].to_vec()], window);
+    assert_eq!(test_t.len(), test_series.len());
+
+    println!("one-step-ahead forecast of the CA city load (MAE, kWh):\n");
+    for (kind, label) in [
+        (ModelKind::Rnn, "vanilla RNN"),
+        (ModelKind::Gru, "GRU"),
+        (ModelKind::Lstm, "LSTM"),
+        (ModelKind::Transformer, "transformer"),
+        (ModelKind::AttentionGru, "attention + GRU (paper)"),
+    ] {
+        let mut cfg = NetConfig::fast(kind);
+        cfg.epochs = 40;
+        cfg.seed = 99;
+        let mut model = SequenceRegressor::new(cfg);
+        let stats = model.train(&train_w, &train_t);
+        let preds = model.predict_batch(&test_w);
+        let mae = preds
+            .iter()
+            .zip(&test_t)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / preds.len() as f64
+            * max;
+        println!(
+            "  {label:<26} MAE {mae:>8.1}   (train loss {:.5} -> {:.5})",
+            stats.epoch_losses[0],
+            stats.epoch_losses.last().unwrap()
+        );
+    }
+
+    // Naive baselines for context.
+    let persistence_mae = test_w
+        .iter()
+        .zip(&test_t)
+        .map(|(w, t)| (w[window - 1] - t).abs())
+        .sum::<f64>()
+        / test_t.len() as f64
+        * max;
+    println!("  {:<26} MAE {persistence_mae:>8.1}", "persistence (x_t = x_t-1)");
+}

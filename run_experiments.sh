@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerate every table and figure (defaults: STPT_REPS=3, 300 queries).
+set -u
+cd /root/repo
+mkdir -p results/logs
+for exp in table2 fig9 fig8d fig7 fig8ab fig8ef fig8c fig8g fig8h fig6 ablate fig8i ldp_gap; do
+  echo "=== $exp start $(date +%T) ==="
+  timeout 3000 ./target/release/$exp > results/logs/$exp.txt 2>&1
+  echo "=== $exp done  $(date +%T) exit $? ==="
+done
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,145 @@
+//! Integration tests focused on the privacy guarantee's moving parts:
+//! clipping, composition across the pipeline phases, and noise calibration.
+
+use rand::SeedableRng;
+use stpt_suite::core::{
+    recognize_patterns, sanitize_partitions, BudgetAllocation, PatternConfig, SanitizeConfig,
+};
+use stpt_suite::core::quantize::{k_quantize_with, PartitionScheme};
+use stpt_suite::data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
+use stpt_suite::dp::prelude::*;
+use stpt_suite::nn::seq::{ModelKind, NetConfig};
+
+fn norm_matrix() -> ConsumptionMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let mut spec = DatasetSpec::CER;
+    spec.households = 300;
+    let ds = Dataset::generate_at(
+        spec,
+        SpatialDistribution::Uniform,
+        Granularity::Daily,
+        40,
+        &mut rng,
+    );
+    let clipped = ds.consumption_matrix(8, 8, true);
+    let clip = ds.clip_bound();
+    clipped.map(|v| v / clip)
+}
+
+fn tiny_net() -> NetConfig {
+    let mut net = NetConfig::fast(ModelKind::Gru);
+    net.embed_dim = 8;
+    net.hidden_dim = 8;
+    net.window = 4;
+    net.epochs = 2;
+    net
+}
+
+#[test]
+fn phases_compose_sequentially_to_the_total() {
+    let m = norm_matrix();
+    let mut acc = BudgetAccountant::new(Epsilon::new(9.0));
+    let mut rng = DpRng::seed_from_u64(0);
+    let pattern_cfg = PatternConfig {
+        epsilon: 4.0,
+        t_train: 24,
+        depth: 2,
+        net: tiny_net(),
+    };
+    let pattern = recognize_patterns(&m, &pattern_cfg, &mut acc, &mut rng).unwrap();
+    assert!((acc.spent() - 4.0).abs() < 1e-9, "after pattern: {}", acc.spent());
+
+    let parts = k_quantize_with(
+        &pattern.pattern,
+        8,
+        PartitionScheme::Local {
+            block: 4,
+            t_boundary: 24,
+            t_block: 0,
+        },
+    );
+    let san_cfg = SanitizeConfig {
+        epsilon: 5.0,
+        clip: 1.0,
+        allocation: BudgetAllocation::Optimal,
+    };
+    let (_, _) = sanitize_partitions(&m, &parts, &san_cfg, &mut acc, &mut rng).unwrap();
+    assert!((acc.spent() - 9.0).abs() < 1e-9, "after sanitize: {}", acc.spent());
+    // Nothing left.
+    assert!(acc
+        .spend_sequential("extra", Epsilon::new(0.01))
+        .is_err());
+}
+
+#[test]
+fn pattern_phase_rejects_overdraft_midway() {
+    let m = norm_matrix();
+    // Total below what the phase declares.
+    let mut acc = BudgetAccountant::new(Epsilon::new(1.0));
+    let mut rng = DpRng::seed_from_u64(1);
+    let cfg = PatternConfig {
+        epsilon: 4.0,
+        t_train: 24,
+        depth: 2,
+        net: tiny_net(),
+    };
+    let err = recognize_patterns(&m, &cfg, &mut acc, &mut rng);
+    assert!(matches!(err, Err(DpError::BudgetExhausted { .. })));
+    // Whatever was spent stays within the total.
+    assert!(acc.spent() <= 1.0 + 1e-9);
+}
+
+#[test]
+fn clipping_bounds_every_cell_contribution() {
+    // Generate with an absurdly low clip and verify the clipped matrix is
+    // bounded by households-per-cell x clip x granule.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+    let mut spec = DatasetSpec::TX;
+    spec.households = 64;
+    spec.clip = 0.1;
+    let ds = Dataset::generate_at(
+        spec,
+        SpatialDistribution::Uniform,
+        Granularity::Daily,
+        10,
+        &mut rng,
+    );
+    let clipped = ds.consumption_matrix(4, 4, true);
+    let max_per_cell = 64.0 * ds.clip_bound();
+    assert!(clipped
+        .data()
+        .iter()
+        .all(|&v| v <= max_per_cell + 1e-9));
+    // And the clip actually bit (TX readings routinely exceed 0.1 kWh/h).
+    let raw = ds.consumption_matrix(4, 4, false);
+    assert!(clipped.total() < raw.total() * 0.9);
+}
+
+#[test]
+fn laplace_noise_scales_inversely_with_partition_budget() {
+    // One partition, two budgets: the release error shrinks ~10x for 10x ε.
+    let m = ConsumptionMatrix::from_vec(1, 1, 64, vec![5.0; 64]);
+    let pattern = m.clone();
+    let parts = k_quantize_with(&pattern, 1, PartitionScheme::Global);
+    let spread = |eps: f64, seed: u64| {
+        let mut errs = Vec::new();
+        for s in 0..40 {
+            let mut acc = BudgetAccountant::new(Epsilon::new(eps));
+            let mut rng = DpRng::seed_from_u64(seed + s);
+            let cfg = SanitizeConfig {
+                epsilon: eps,
+                clip: 1.0,
+                allocation: BudgetAllocation::Optimal,
+            };
+            let (out, _) = sanitize_partitions(&m, &parts, &cfg, &mut acc, &mut rng).unwrap();
+            errs.push((out.total() - m.total()).abs());
+        }
+        errs.iter().sum::<f64>() / errs.len() as f64
+    };
+    let low = spread(1.0, 100);
+    let high = spread(10.0, 200);
+    assert!(
+        low > 4.0 * high,
+        "mean error at eps=1 ({low}) should be much larger than at eps=10 ({high})"
+    );
+}
