@@ -197,7 +197,8 @@ mod tests {
         let out = f.sanitize(&m, 1.0, 10.0, &mut rng);
         let first = out.get(0, 0, 0);
         for t in 1..50 {
-            assert_eq!(out.get(0, 0, t), first);
+            // Exact equality is the claim: the value is copied, not recomputed.
+            assert!(out.get(0, 0, t).to_bits() == first.to_bits());
         }
     }
 }

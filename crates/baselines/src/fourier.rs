@@ -122,7 +122,9 @@ mod tests {
 
     #[test]
     fn dft_roundtrip_is_identity() {
-        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64).collect();
+        let x: Vec<f64> = (0..37)
+            .map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64)
+            .collect();
         let (re, im) = dft(&x);
         let back = idft_real(&re, &im);
         for (a, b) in x.iter().zip(&back) {
@@ -157,7 +159,12 @@ mod tests {
         let t = 64;
         let mut m = ConsumptionMatrix::zeros(1, 1, t);
         for i in 0..t {
-            m.set(0, 0, i, 5.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin());
+            m.set(
+                0,
+                0,
+                i,
+                5.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin(),
+            );
         }
         let mut rng = DpRng::seed_from_u64(0);
         let out = Fourier::new(10).sanitize(&m, 1.0, 1e9, &mut rng);

@@ -59,7 +59,12 @@ mod tests {
         let expect_var = 2.0 * b * b;
         let n = out.len() as f64;
         let mean: f64 = out.data().iter().sum::<f64>() / n;
-        let var: f64 = out.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var: f64 = out
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.5, "mean {mean}");
         assert!(
             (var - expect_var).abs() / expect_var < 0.15,
@@ -85,9 +90,8 @@ mod tests {
         let mut rng = DpRng::seed_from_u64(3);
         let out_s = Identity.sanitize(&short, 1.0, 10.0, &mut rng);
         let out_l = Identity.sanitize(&long, 1.0, 10.0, &mut rng);
-        let mad = |m: &ConsumptionMatrix| {
-            m.data().iter().map(|x| x.abs()).sum::<f64>() / m.len() as f64
-        };
+        let mad =
+            |m: &ConsumptionMatrix| m.data().iter().map(|x| x.abs()).sum::<f64>() / m.len() as f64;
         assert!(mad(&out_l) > 10.0 * mad(&out_s));
     }
 }

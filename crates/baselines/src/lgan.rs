@@ -10,6 +10,8 @@
 //! public metadata) before training and scaled back on release.
 
 use crate::mechanism::Mechanism;
+use rand::Rng;
+use rand::SeedableRng;
 use stpt_data::ConsumptionMatrix;
 use stpt_dp::prelude::*;
 use stpt_nn::dense::{Activation, Dense};
@@ -18,8 +20,6 @@ use stpt_nn::lstm::LstmCell;
 use stpt_nn::matrix::Matrix;
 use stpt_nn::optim::{Adam, Optimizer};
 use stpt_nn::param::{Param, Parameterized};
-use rand::Rng;
-use rand::SeedableRng;
 
 /// LGAN-DP configuration.
 #[derive(Debug, Clone, Copy)]
@@ -84,7 +84,11 @@ impl Generator {
     fn forward(
         &self,
         noise: &[f64],
-    ) -> (Vec<f64>, Vec<stpt_nn::lstm::LstmCache>, Vec<stpt_nn::dense::DenseCache>) {
+    ) -> (
+        Vec<f64>,
+        Vec<stpt_nn::lstm::LstmCache>,
+        Vec<stpt_nn::dense::DenseCache>,
+    ) {
         let hidden = self.lstm.hidden_dim();
         let mut h = Matrix::zeros(1, hidden);
         let mut c = Matrix::zeros(1, hidden);
@@ -151,7 +155,11 @@ impl Discriminator {
     fn forward(
         &self,
         window: &[f64],
-    ) -> (f64, Vec<stpt_nn::lstm::LstmCache>, stpt_nn::dense::DenseCache) {
+    ) -> (
+        f64,
+        Vec<stpt_nn::lstm::LstmCache>,
+        stpt_nn::dense::DenseCache,
+    ) {
         let hidden = self.lstm.hidden_dim();
         let mut h = Matrix::zeros(1, hidden);
         let mut c = Matrix::zeros(1, hidden);
@@ -216,7 +224,12 @@ impl Mechanism for LganDp {
             let pillar = c.pillar(x, y);
             let mut start = 0;
             while start + ws <= t_len {
-                windows.push(pillar[start..start + ws].iter().map(|v| v / scale_bound).collect());
+                windows.push(
+                    pillar[start..start + ws]
+                        .iter()
+                        .map(|v| v / scale_bound)
+                        .collect(),
+                );
                 start += ws;
             }
         }

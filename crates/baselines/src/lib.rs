@@ -12,6 +12,8 @@
 //! All implement the [`Mechanism`] trait over the clipped consumption
 //! matrix.
 
+#![forbid(unsafe_code)]
+
 pub mod fast;
 pub mod fourier;
 pub mod identity;

@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn smoothing_reduces_total_variation() {
-        let z: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let z: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let w = smooth_l2(&z, 3.0);
         let tv = |s: &[f64]| s.windows(2).map(|p| (p[1] - p[0]).abs()).sum::<f64>();
         assert!(tv(&w) < 0.2 * tv(&z));

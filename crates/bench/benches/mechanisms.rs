@@ -36,14 +36,10 @@ fn bench_mechanisms(c: &mut Criterion) {
     let mut group = c.benchmark_group("mechanisms_8x8x60");
     group.sample_size(10);
     for mech in &mechanisms {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mech.name()),
-            mech,
-            |b, mech| {
-                let mut rng = DpRng::seed_from_u64(7);
-                b.iter(|| mech.sanitize(&inst.clipped, spec.clip, eps, &mut rng));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(mech.name()), mech, |b, mech| {
+            let mut rng = DpRng::seed_from_u64(7);
+            b.iter(|| mech.sanitize(&inst.clipped, spec.clip, eps, &mut rng));
+        });
     }
     group.finish();
 

@@ -50,7 +50,13 @@ fn main() {
         SpatialDistribution::LaLike,
     ] {
         for (depth, k, block, t_block, alloc) in [
-            (3usize, 16usize, None, Some(0usize), BudgetAllocation::Optimal),
+            (
+                3usize,
+                16usize,
+                None,
+                Some(0usize),
+                BudgetAllocation::Optimal,
+            ),
             (3, 16, Some(4usize), Some(14), BudgetAllocation::Optimal),
             (3, 16, Some(2), Some(7), BudgetAllocation::Optimal),
             (3, 16, Some(8), None, BudgetAllocation::Optimal),
@@ -69,7 +75,7 @@ fn main() {
                 cfg.partition_block = block;
                 cfg.partition_t_block = t_block;
                 cfg.allocation = alloc;
-                let (out, _) = run_stpt_timed(&inst, &cfg);
+                let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
                 for (i, class) in QueryClass::ALL.iter().enumerate() {
                     sums[i] += mre_of(&env, &inst, &out.sanitized, *class, rep);
                 }

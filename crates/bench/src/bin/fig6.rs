@@ -51,7 +51,7 @@ fn main() {
             let cfg = stpt_config(&env, &spec, rep);
             let mut out = Vec::new();
 
-            let (stpt_out, _) = run_stpt_timed(&inst, &cfg);
+            let (stpt_out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             for class in QueryClass::ALL {
                 let mre = mre_of(&env, &inst, &stpt_out.sanitized, class, rep);
                 out.push((
@@ -101,7 +101,10 @@ fn main() {
     for spec in &specs {
         for class in QueryClass::ALL {
             println!("## {} — {} queries", spec.name, class.label());
-            println!("{}", row(&["Algorithm".into(), "Uniform".into(), "Normal".into()]));
+            println!(
+                "{}",
+                row(&["Algorithm".into(), "Uniform".into(), "Normal".into()])
+            );
             println!("|---|---|---|");
             let mut panel = PanelResult {
                 dataset: spec.name.to_string(),

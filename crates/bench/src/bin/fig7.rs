@@ -27,7 +27,7 @@ fn main() {
     for rep in 0..env.reps {
         let inst = make_instance(&env, spec, SpatialDistribution::LaLike, rep);
         let cfg = stpt_config(&env, &spec, rep);
-        let (stpt_out, _) = run_stpt_timed(&inst, &cfg);
+        let (stpt_out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
         let (wpo_out, _) = run_baseline(wpo().as_ref(), &inst, cfg.eps_total(), rep);
         let (id_out, _) = run_baseline(&Identity, &inst, cfg.eps_total(), rep);
         for class in QueryClass::ALL {
@@ -52,7 +52,12 @@ fn main() {
     };
     println!(
         "{}",
-        row(&["Algorithm".into(), "Random".into(), "Small".into(), "Large".into()])
+        row(&[
+            "Algorithm".into(),
+            "Random".into(),
+            "Small".into(),
+            "Large".into()
+        ])
     );
     println!("|---|---|---|---|");
     for name in ["STPT", "Identity", "WPO"] {

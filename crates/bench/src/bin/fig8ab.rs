@@ -33,7 +33,7 @@ fn main() {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
             cfg.eps_pattern = per_point * cfg.t_train as f64;
-            let (out, _) = run_stpt_timed(&inst, &cfg);
+            let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             mae_sum += out.pattern_mae;
             rmse_sum += out.pattern_rmse;
         }
@@ -54,7 +54,10 @@ fn main() {
     }
     // Shape check the paper highlights: the big win is between 0.01 and 0.05.
     let drop = (points[0].mae - points[2].mae) / points[0].mae.max(1e-12);
-    println!("\nMAE drop from 0.01 to 0.05 per-point budget: {:.0}%", drop * 100.0);
+    println!(
+        "\nMAE drop from 0.01 to 0.05 per-point budget: {:.0}%",
+        drop * 100.0
+    );
     dump_json("fig8ab", &points);
     println!("(wrote results/fig8ab.json)");
 }

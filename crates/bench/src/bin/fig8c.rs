@@ -32,7 +32,7 @@ fn main() {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
             cfg.quantization = k;
-            let (out, _) = run_stpt_timed(&inst, &cfg);
+            let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             for class in QueryClass::ALL {
                 *sums.entry(class.label().to_string()).or_default() +=
                     mre_of(&env, &inst, &out.sanitized, class, rep);

@@ -23,7 +23,7 @@ fn main() {
     let cfg = stpt_config(&env, &spec, 0);
     let mut timings = Vec::new();
 
-    let (_, secs) = run_stpt_timed(&inst, &cfg);
+    let (_, secs) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
     println!("{}", row(&["STPT".into(), format!("{secs:.2}")]));
     timings.push(Timing {
         algorithm: "STPT".into(),

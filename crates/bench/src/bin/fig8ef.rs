@@ -34,7 +34,7 @@ fn main() {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
             cfg.depth = depth;
-            let (out, _) = run_stpt_timed(&inst, &cfg);
+            let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             mae_sum += out.pattern_mae;
             rmse_sum += out.pattern_rmse;
         }

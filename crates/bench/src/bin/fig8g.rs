@@ -22,7 +22,12 @@ fn main() {
     println!("# eps_tot = {eps_tot}, {} reps\n", env.reps);
     println!(
         "{}",
-        row(&["Pattern %".into(), "Random".into(), "Small".into(), "Large".into()])
+        row(&[
+            "Pattern %".into(),
+            "Random".into(),
+            "Small".into(),
+            "Large".into()
+        ])
     );
     println!("|---|---|---|---|");
 
@@ -35,7 +40,7 @@ fn main() {
             let mut cfg = stpt_config(&env, &spec, rep);
             cfg.eps_pattern = eps_tot * share;
             cfg.eps_sanitize = eps_tot * (1.0 - share);
-            let (out, _) = run_stpt_timed(&inst, &cfg);
+            let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             for class in QueryClass::ALL {
                 *sums.entry(class.label().to_string()).or_default() +=
                     mre_of(&env, &inst, &out.sanitized, class, rep);

@@ -22,7 +22,12 @@ fn main() {
     println!("# split 1/3 pattern, 2/3 sanitize; {} reps\n", env.reps);
     println!(
         "{}",
-        row(&["eps_tot".into(), "Random".into(), "Small".into(), "Large".into()])
+        row(&[
+            "eps_tot".into(),
+            "Random".into(),
+            "Small".into(),
+            "Large".into()
+        ])
     );
     println!("|---|---|---|---|");
 
@@ -35,7 +40,7 @@ fn main() {
             let mut cfg = stpt_config(&env, &spec, rep);
             cfg.eps_pattern = eps_tot / 3.0;
             cfg.eps_sanitize = eps_tot * 2.0 / 3.0;
-            let (out, _) = run_stpt_timed(&inst, &cfg);
+            let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             for class in QueryClass::ALL {
                 *sums.entry(class.label().to_string()).or_default() +=
                     mre_of(&env, &inst, &out.sanitized, class, rep);
@@ -54,7 +59,10 @@ fn main() {
                 format!("{:.1}", mre["Large"]),
             ])
         );
-        points.push(Point { eps_total: eps_tot, mre });
+        points.push(Point {
+            eps_total: eps_tot,
+            mre,
+        });
     }
     dump_json("fig8h", &points);
     println!("(wrote results/fig8h.json)");

@@ -48,7 +48,7 @@ fn main() {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
             cfg.net.kind = kind;
-            let (out, _) = run_stpt_timed(&inst, &cfg);
+            let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             mae_sum += out.pattern_mae;
             for class in QueryClass::ALL {
                 *sums.entry(class.label().to_string()).or_default() +=

@@ -5,8 +5,8 @@
 
 use rand::SeedableRng;
 use serde::Serialize;
-use stpt_core::{ldp_release, LdpConfig};
 use stpt_bench::*;
+use stpt_core::{ldp_release, LdpConfig};
 use stpt_data::{Dataset, DatasetSpec, Granularity, SpatialDistribution};
 use stpt_dp::DpRng;
 use stpt_queries::QueryClass;
@@ -24,7 +24,15 @@ fn main() {
     let spec = DatasetSpec::CER;
     println!("# Extension — central STPT vs local DP (CER, Uniform, random queries)");
     println!("# {} reps\n", env.reps);
-    println!("{}", row(&["eps".into(), "STPT MRE".into(), "LDP MRE".into(), "gap".into()]));
+    println!(
+        "{}",
+        row(&[
+            "eps".into(),
+            "STPT MRE".into(),
+            "LDP MRE".into(),
+            "gap".into()
+        ])
+    );
     println!("|---|---|---|---|");
 
     let mut points = Vec::new();
@@ -36,14 +44,12 @@ fn main() {
             let mut cfg = stpt_config(&env, &spec, rep);
             cfg.eps_pattern = eps / 3.0;
             cfg.eps_sanitize = eps * 2.0 / 3.0;
-            let (out, _) = run_stpt_timed(&inst, &cfg);
+            let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             stpt_sum += mre_of(&env, &inst, &out.sanitized, QueryClass::Random, rep);
 
             // Rebuild the dataset for the LDP release (it needs per-user
             // series, not the aggregated matrix).
-            let mut drng = rand::rngs::StdRng::seed_from_u64(
-                stpt_dp::rng::run_seed(0xcef1, rep),
-            );
+            let mut drng = rand::rngs::StdRng::seed_from_u64(stpt_dp::rng::run_seed(0xcef1, rep));
             let ds = Dataset::generate_at(
                 spec,
                 SpatialDistribution::Uniform,
@@ -58,8 +64,7 @@ fn main() {
             let mut nrng = DpRng::seed_from_u64(stpt_dp::rng::run_seed(0x1d9, rep));
             let ldp = ldp_release(&ds, env.grid, env.grid, &ldp_cfg, &mut nrng);
             let truth = ds.consumption_matrix(env.grid, env.grid, true);
-            let mut qrng =
-                rand::rngs::StdRng::seed_from_u64(stpt_dp::rng::run_seed(0x9_0e5, rep));
+            let mut qrng = rand::rngs::StdRng::seed_from_u64(stpt_dp::rng::run_seed(0x9_0e5, rep));
             let queries = stpt_queries::generate_queries(
                 QueryClass::Random,
                 env.queries,

@@ -19,7 +19,7 @@ fn main() {
     };
     let inst = make_instance(&env, spec, dist, 0);
     let cfg = stpt_config(&env, &spec, 0);
-    let (out, secs) = run_stpt_timed(&inst, &cfg);
+    let (out, secs) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
     println!("STPT run: {secs:.1}s, pattern MAE {:.4}", out.pattern_mae);
 
     for class in QueryClass::ALL {
@@ -53,18 +53,50 @@ fn main() {
     for (k, scheme) in [
         (8usize, PartitionScheme::Global),
         (16, PartitionScheme::Global),
-        (8, PartitionScheme::Local { block: 8, t_boundary: env.t_train, t_block: 0 }),
-        (16, PartitionScheme::Local { block: 8, t_boundary: env.t_train, t_block: 0 }),
-        (32, PartitionScheme::Local { block: 8, t_boundary: env.t_train, t_block: 0 }),
-        (16, PartitionScheme::Local { block: 4, t_boundary: env.t_train, t_block: 0 }),
-        (16, PartitionScheme::Local { block: 16, t_boundary: env.t_train, t_block: 0 }),
+        (
+            8,
+            PartitionScheme::Local {
+                block: 8,
+                t_boundary: env.t_train,
+                t_block: 0,
+            },
+        ),
+        (
+            16,
+            PartitionScheme::Local {
+                block: 8,
+                t_boundary: env.t_train,
+                t_block: 0,
+            },
+        ),
+        (
+            32,
+            PartitionScheme::Local {
+                block: 8,
+                t_boundary: env.t_train,
+                t_block: 0,
+            },
+        ),
+        (
+            16,
+            PartitionScheme::Local {
+                block: 4,
+                t_boundary: env.t_train,
+                t_block: 0,
+            },
+        ),
+        (
+            16,
+            PartitionScheme::Local {
+                block: 16,
+                t_boundary: env.t_train,
+                t_block: 0,
+            },
+        ),
     ] {
         let parts = k_quantize_with(&out.pattern.pattern, k, scheme);
-        let mut recon = ConsumptionMatrix::zeros(
-            inst.clipped.cx(),
-            inst.clipped.cy(),
-            inst.clipped.ct(),
-        );
+        let mut recon =
+            ConsumptionMatrix::zeros(inst.clipped.cx(), inst.clipped.cy(), inst.clipped.ct());
         for p in &parts {
             let sum: f64 = p.cells.iter().map(|&c| inst.clipped.data()[c]).sum();
             let avg = sum / p.cells.len() as f64;

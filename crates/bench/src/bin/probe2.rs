@@ -10,11 +10,15 @@ fn main() {
     let spec = DatasetSpec::CER;
     let inst = make_instance(&env, spec, SpatialDistribution::Normal, 0);
     let cfg = stpt_config(&env, &spec, 0);
-    let (out, _) = run_stpt_timed(&inst, &cfg);
+    let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
     let truth = &inst.truth;
     let san = &out.sanitized;
 
-    println!("total truth {:.0}  sanitized {:.0}", truth.total(), san.total());
+    println!(
+        "total truth {:.0}  sanitized {:.0}",
+        truth.total(),
+        san.total()
+    );
 
     // 8x8 block aggregates over all time.
     println!("\nper-8x8-block relative error over full horizon (%):");

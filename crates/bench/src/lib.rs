@@ -13,6 +13,8 @@
 //! * `STPT_HOURS` — series length in granules (default 220 days = 100 train
 //!   + 120 test, the paper's release length).
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
@@ -20,7 +22,7 @@ use stpt_baselines::{Fast, Fourier, Identity, LganDp, Mechanism, Wavelet, Wpo};
 use stpt_core::{run_stpt, StptConfig, StptOutput};
 use stpt_data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
 use stpt_dp::rng::run_seed;
-use stpt_dp::DpRng;
+use stpt_dp::{DpError, DpRng};
 use stpt_queries::{evaluate_workload, generate_queries, QueryClass};
 
 /// Scale parameters shared by all experiments.
@@ -161,10 +163,13 @@ pub fn stpt_config(env: &ExperimentEnv, spec: &DatasetSpec, rep: u64) -> StptCon
 }
 
 /// Run STPT; returns the output and wall-clock seconds.
-pub fn run_stpt_timed(inst: &Instance, cfg: &StptConfig) -> (StptOutput, f64) {
+///
+/// Errors propagate from [`run_stpt`] — in practice only when `cfg`'s
+/// budget fractions are inconsistent with its total.
+pub fn run_stpt_timed(inst: &Instance, cfg: &StptConfig) -> Result<(StptOutput, f64), DpError> {
     let start = Instant::now();
-    let out = run_stpt(&inst.clipped, cfg).expect("budget accounting is self-consistent");
-    (out, start.elapsed().as_secs_f64())
+    let out = run_stpt(&inst.clipped, cfg)?;
+    Ok((out, start.elapsed().as_secs_f64()))
 }
 
 /// Write a JSON result blob under `results/<name>.json`.
@@ -190,6 +195,9 @@ pub fn row(cells: &[String]) -> String {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -251,7 +259,7 @@ mod tests {
         cfg.net.hidden_dim = 8;
         cfg.net.window = 4;
         cfg.net.epochs = 3;
-        let (stpt_out, _) = run_stpt_timed(&inst, &cfg);
+        let (stpt_out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
         let stpt_mre = mre_of(&env, &inst, &stpt_out.sanitized, QueryClass::Random, 0);
         let (id_out, _) = run_baseline(&Identity, &inst, cfg.eps_total(), 0);
         let id_mre = mre_of(&env, &inst, &id_out, QueryClass::Random, 0);

@@ -15,9 +15,9 @@
 //! reports are independent).
 
 use serde::{Deserialize, Serialize};
-use stpt_dp::prelude::*;
-use stpt_data::{ConsumptionMatrix, Dataset};
 use stpt_data::prelude::position_to_cell;
+use stpt_data::{ConsumptionMatrix, Dataset};
+use stpt_dp::prelude::*;
 
 /// Configuration of the local-DP release.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -151,10 +151,8 @@ mod tests {
         let truth = ds.consumption_matrix(4, 4, true);
         let mut rng = DpRng::seed_from_u64(4);
         let ldp = ldp_release(&ds, 4, 4, &cfg, &mut rng);
-        let mech = LaplaceMechanism::new(
-            Sensitivity::new(ds.clip_bound()),
-            Epsilon::new(30.0 / 10.0),
-        );
+        let mech =
+            LaplaceMechanism::new(Sensitivity::new(ds.clip_bound()), Epsilon::new(30.0 / 10.0));
         let mut central = truth.clone();
         let mut rng2 = DpRng::seed_from_u64(5);
         mech.perturb_in_place(central.data_mut(), &mut rng2);

@@ -38,6 +38,8 @@
 //! assert!((out.epsilon_spent - 30.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod allocation;
 pub mod ldp;
 pub mod pattern;

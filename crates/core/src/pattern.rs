@@ -16,9 +16,9 @@
 
 use crate::quadtree::{neighborhood_of, neighborhoods, representative_series, time_segments};
 use serde::{Deserialize, Serialize};
+use stpt_data::ConsumptionMatrix;
 use stpt_dp::prelude::*;
 use stpt_nn::seq::{make_windows, NetConfig, SequenceRegressor, TrainStats};
-use stpt_data::ConsumptionMatrix;
 
 /// Configuration of the pattern-recognition phase.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -248,8 +248,7 @@ fn hierarchical_weights(
                 let children: Vec<usize> = (0..2)
                     .flat_map(|a| (0..2).map(move |b2| (2 * px + a) * splits + (2 * py + b2)))
                     .collect();
-                let mean: f64 =
-                    children.iter().map(|&c| level_avgs[c]).sum::<f64>() / 4.0;
+                let mean: f64 = children.iter().map(|&c| level_avgs[c]).sum::<f64>() / 4.0;
                 for &c in &children {
                     devs[c] = level_avgs[c] - mean;
                     obs_var += devs[c] * devs[c];
@@ -320,6 +319,9 @@ pub fn prediction_error(
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use stpt_nn::seq::ModelKind;

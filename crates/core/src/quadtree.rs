@@ -36,7 +36,10 @@ impl Region {
 /// `ceil(t_train / levels)` (Equation 8).
 pub fn time_segments(t_train: usize, levels: usize) -> Vec<(usize, usize)> {
     assert!(levels > 0, "need at least one level");
-    assert!(t_train >= levels, "training window shorter than level count");
+    assert!(
+        t_train >= levels,
+        "training window shorter than level count"
+    );
     let seg = t_train.div_ceil(levels);
     (0..levels)
         .map(|i| (i * seg, ((i + 1) * seg).min(t_train)))
@@ -138,9 +141,9 @@ mod tests {
             assert_eq!(regions.len(), 4usize.pow(depth as u32));
             let mut covered = vec![vec![0u32; 8]; 8];
             for r in &regions {
-                for x in r.x.0..r.x.1 {
-                    for y in r.y.0..r.y.1 {
-                        covered[x][y] += 1;
+                for col in covered.iter_mut().take(r.x.1).skip(r.x.0) {
+                    for cell in col.iter_mut().take(r.y.1).skip(r.y.0) {
+                        *cell += 1;
                     }
                 }
             }
@@ -170,11 +173,17 @@ mod tests {
                 m.set(*x, *y, t, (i + 1) as f64 * (t + 1) as f64);
             }
         }
-        let root = Region { x: (0, 2), y: (0, 2) };
+        let root = Region {
+            x: (0, 2),
+            y: (0, 2),
+        };
         let rep = representative_series(&m, &root, (0, 3));
         // Average of 1..4 = 2.5, scaled by (t+1).
         assert_eq!(rep, vec![2.5, 5.0, 7.5]);
-        let single = Region { x: (1, 2), y: (1, 2) };
+        let single = Region {
+            x: (1, 2),
+            y: (1, 2),
+        };
         assert_eq!(representative_series(&m, &single, (1, 3)), vec![8.0, 12.0]);
     }
 

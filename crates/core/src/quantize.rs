@@ -220,7 +220,9 @@ mod tests {
             2,
             2,
             3,
-            vec![0.1, 0.9, 0.5, 0.2, 0.8, 0.4, 0.3, 0.7, 0.6, 0.15, 0.85, 0.55],
+            vec![
+                0.1, 0.9, 0.5, 0.2, 0.8, 0.4, 0.3, 0.7, 0.6, 0.15, 0.85, 0.55,
+            ],
         );
         let parts = k_quantize(&m, 4);
         let mut seen = vec![0u32; m.len()];
@@ -273,12 +275,7 @@ mod tests {
 
     #[test]
     fn pillar_sensitivity_bounded_by_ct_and_cells() {
-        let m = ConsumptionMatrix::from_vec(
-            2,
-            2,
-            4,
-            (0..16).map(|i| (i as f64) / 15.0).collect(),
-        );
+        let m = ConsumptionMatrix::from_vec(2, 2, 4, (0..16).map(|i| (i as f64) / 15.0).collect());
         for k in [1, 3, 7] {
             for p in k_quantize(&m, k) {
                 assert!(p.pillar_sensitivity >= 1);
@@ -295,9 +292,20 @@ mod tests {
             m.data_mut()[i] = ((i * 37) % 11) as f64 / 11.0;
         }
         for scheme in [
-            PartitionScheme::Local { block: 2, t_boundary: 6, t_block: 0 },
-            PartitionScheme::Local { block: 2, t_boundary: 6, t_block: 3 },
-            PartitionScheme::Adaptive { block: 2, t_boundary: 6 },
+            PartitionScheme::Local {
+                block: 2,
+                t_boundary: 6,
+                t_block: 0,
+            },
+            PartitionScheme::Local {
+                block: 2,
+                t_boundary: 6,
+                t_block: 3,
+            },
+            PartitionScheme::Adaptive {
+                block: 2,
+                t_boundary: 6,
+            },
         ] {
             let parts = k_quantize_with(&m, 4, scheme);
             let mut seen = vec![0u32; m.len()];
@@ -319,7 +327,11 @@ mod tests {
         let parts = k_quantize_with(
             &m,
             3,
-            PartitionScheme::Local { block: 2, t_boundary: 2, t_block: 0 },
+            PartitionScheme::Local {
+                block: 2,
+                t_boundary: 2,
+                t_block: 0,
+            },
         );
         // Cells of a partition never span two tiles.
         let ct = 4;
@@ -356,7 +368,10 @@ mod tests {
         let parts = k_quantize_with(
             &m,
             4,
-            PartitionScheme::Adaptive { block: 2, t_boundary: 5 },
+            PartitionScheme::Adaptive {
+                block: 2,
+                t_boundary: 5,
+            },
         );
         assert_eq!(parts.len(), 2, "{parts:?}");
     }
@@ -373,7 +388,10 @@ mod tests {
         let parts = k_quantize_with(
             &m,
             2,
-            PartitionScheme::Adaptive { block: 1, t_boundary: 6 },
+            PartitionScheme::Adaptive {
+                block: 1,
+                t_boundary: 6,
+            },
         );
         assert_eq!(parts.len(), 3, "{parts:?}");
         let mut sizes: Vec<usize> = parts.iter().map(|p| p.cells.len()).collect();
@@ -387,7 +405,11 @@ mod tests {
         let parts = k_quantize_with(
             &m,
             2,
-            PartitionScheme::Local { block: 1, t_boundary: 3, t_block: 0 },
+            PartitionScheme::Local {
+                block: 1,
+                t_boundary: 3,
+                t_block: 0,
+            },
         );
         assert_eq!(parts.len(), 2);
         assert_eq!(parts[0].cells, vec![0, 1, 2]);

@@ -6,8 +6,8 @@
 use crate::allocation::{allocate, BudgetAllocation};
 use crate::quantize::Partition;
 use serde::{Deserialize, Serialize};
-use stpt_dp::prelude::*;
 use stpt_data::ConsumptionMatrix;
+use stpt_dp::prelude::*;
 
 /// Configuration of the sanitisation phase.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -97,17 +97,15 @@ pub fn sanitize_partitions(
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::quantize::k_quantize;
 
     fn toy_matrix() -> ConsumptionMatrix {
-        ConsumptionMatrix::from_vec(
-            2,
-            2,
-            4,
-            (0..16).map(|i| (i % 5) as f64).collect(),
-        )
+        ConsumptionMatrix::from_vec(2, 2, 4, (0..16).map(|i| (i % 5) as f64).collect())
     }
 
     fn config(eps: f64) -> SanitizeConfig {
@@ -153,8 +151,7 @@ mod tests {
         let parts = k_quantize(&m.map(|v| v / 4.0), 4);
         let mut acc = BudgetAccountant::new(Epsilon::new(1e7));
         let mut rng = DpRng::seed_from_u64(2);
-        let (out, _) =
-            sanitize_partitions(&m, &parts, &config(1e7), &mut acc, &mut rng).unwrap();
+        let (out, _) = sanitize_partitions(&m, &parts, &config(1e7), &mut acc, &mut rng).unwrap();
         // Partition sums must match almost exactly (within-partition values
         // are uniformised, so compare sums, not cells).
         for p in &parts {

@@ -16,9 +16,9 @@ use crate::pattern::{prediction_error, recognize_patterns, PatternConfig, Patter
 use crate::quantize::{k_quantize_with, Partition, PartitionScheme};
 use crate::sanitize::{sanitize_partitions, PartitionRelease, SanitizeConfig};
 use serde::{Deserialize, Serialize};
+use stpt_data::{ConsumptionMatrix, Dataset};
 use stpt_dp::prelude::*;
 use stpt_nn::seq::{ModelKind, NetConfig};
-use stpt_data::{ConsumptionMatrix, Dataset};
 
 /// Full STPT configuration (the inputs of Algorithm 1).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -134,8 +134,7 @@ pub fn run_stpt(
         net: config.net.clone(),
     };
     let pattern = recognize_patterns(&c_norm, &pattern_cfg, &mut accountant, &mut rng)?;
-    let (pattern_mae, pattern_rmse) =
-        prediction_error(&c_norm, &pattern.pattern, config.t_train);
+    let (pattern_mae, pattern_rmse) = prediction_error(&c_norm, &pattern.pattern, config.t_train);
 
     let scheme = match (config.partition_block, config.partition_t_block) {
         (Some(block), Some(t_block)) => PartitionScheme::Local {

@@ -75,9 +75,11 @@ pub fn read_readings_csv(
     mut spec: DatasetSpec,
     granularity: Granularity,
 ) -> Result<Dataset, CsvError> {
+    /// Per-household accumulator: position plus granule -> kWh readings.
+    type HouseholdAcc = ((f64, f64), BTreeMap<usize, f64>);
+
     let reader = BufReader::new(reader);
-    // household id -> (position, granule -> kwh)
-    let mut acc: BTreeMap<u64, ((f64, f64), BTreeMap<usize, f64>)> = BTreeMap::new();
+    let mut acc: BTreeMap<u64, HouseholdAcc> = BTreeMap::new();
 
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;
@@ -132,20 +134,13 @@ pub fn read_readings_csv(
     }
 
     // Validate density and equal lengths.
-    let n_granules = acc
-        .values()
-        .next()
-        .map(|(_, g)| g.len())
-        .unwrap_or(0);
+    let n_granules = acc.values().next().map(|(_, g)| g.len()).unwrap_or(0);
     let mut households = Vec::with_capacity(acc.len());
     for (id, (position, granules)) in acc {
         if granules.len() != n_granules {
             return Err(CsvError::Ragged {
                 household: id,
-                message: format!(
-                    "has {} granules, expected {n_granules}",
-                    granules.len()
-                ),
+                message: format!("has {} granules, expected {n_granules}", granules.len()),
             });
         }
         if let Some((&last, _)) = granules.iter().next_back() {
@@ -242,8 +237,8 @@ mod tests {
     #[test]
     fn malformed_lines_are_rejected_with_line_numbers() {
         let csv = "0,0.5,0.5,0,1.0\n0,0.5,oops,1,2.0\n";
-        let err = read_readings_csv(csv.as_bytes(), DatasetSpec::CER, Granularity::Hourly)
-            .unwrap_err();
+        let err =
+            read_readings_csv(csv.as_bytes(), DatasetSpec::CER, Granularity::Hourly).unwrap_err();
         match err {
             CsvError::Parse { line, message } => {
                 assert_eq!(line, 2);
@@ -274,9 +269,12 @@ mod tests {
     #[test]
     fn ragged_households_are_rejected() {
         let csv = "0,0.5,0.5,0,1.0\n0,0.5,0.5,1,1.0\n1,0.2,0.2,0,1.0\n";
-        let err = read_readings_csv(csv.as_bytes(), DatasetSpec::CER, Granularity::Hourly)
-            .unwrap_err();
-        assert!(matches!(err, CsvError::Ragged { household: 1, .. }), "{err}");
+        let err =
+            read_readings_csv(csv.as_bytes(), DatasetSpec::CER, Granularity::Hourly).unwrap_err();
+        assert!(
+            matches!(err, CsvError::Ragged { household: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]

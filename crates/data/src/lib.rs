@@ -21,6 +21,8 @@
 //! assert_eq!(matrix.shape(), (8, 8, 48));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod io;
 pub mod matrix3;

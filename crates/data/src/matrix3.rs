@@ -178,7 +178,10 @@ impl ConsumptionMatrix {
         (y0, y1): (usize, usize),
         (t0, t1): (usize, usize),
     ) -> f64 {
-        assert!(x1 <= self.cx && y1 <= self.cy && t1 <= self.ct, "range out of bounds");
+        assert!(
+            x1 <= self.cx && y1 <= self.cy && t1 <= self.ct,
+            "range out of bounds"
+        );
         let mut acc = 0.0;
         for x in x0..x1 {
             for y in y0..y1 {
@@ -256,6 +259,9 @@ impl ConsumptionMatrix {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

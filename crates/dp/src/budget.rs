@@ -47,12 +47,14 @@ impl Epsilon {
 
     /// Split the budget evenly into `n` sequential parts (e.g. one per time
     /// slice, as the Identity baseline does).
+    #[must_use = "split returns the per-part budget; it does not mutate or spend self"]
     pub fn split(self, n: usize) -> Epsilon {
         assert!(n > 0, "cannot split a budget into zero parts");
         Epsilon::new(self.0 / n as f64)
     }
 
     /// Fraction of the budget, `0 < frac <= 1`.
+    #[must_use = "fraction returns the sub-budget; it does not mutate or spend self"]
     pub fn fraction(self, frac: f64) -> Epsilon {
         assert!(frac > 0.0 && frac <= 1.0, "fraction must be in (0,1]");
         Epsilon::new(self.0 * frac)
@@ -129,6 +131,7 @@ impl BudgetAccountant {
 
     /// Spend `eps` sequentially in `phase` (touches the same records as all
     /// other spends in `phase`). Fails if the total would be exceeded.
+    #[must_use = "an ignored Err(BudgetExhausted) silently overspends the privacy budget"]
     pub fn spend_sequential(&mut self, phase: &str, eps: Epsilon) -> Result<(), DpError> {
         self.check(eps.value())?;
         *self.sequential.entry(phase.to_string()).or_insert(0.0) += eps.value();
@@ -138,18 +141,24 @@ impl BudgetAccountant {
     /// Spend `eps` in `phase` on the disjoint partition `sibling`.
     /// Repeated spends on the same sibling add (sequential within the
     /// sibling); the phase as a whole is charged `max` over siblings.
+    #[must_use = "an ignored Err(BudgetExhausted) silently overspends the privacy budget"]
     pub fn spend_parallel(
         &mut self,
         phase: &str,
         sibling: &str,
         eps: Epsilon,
     ) -> Result<(), DpError> {
-        let phase_map = self.parallel.entry(phase.to_string()).or_default();
-        let current_max = phase_map.values().cloned().fold(0.0, f64::max);
-        let sib = phase_map.entry(sibling.to_string()).or_insert(0.0);
-        let new_sib = *sib + eps.value();
+        // Check against the total before touching any state, so a rejected
+        // spend leaves the accountant exactly as it was.
+        let (current_max, current_sib) = match self.parallel.get(phase) {
+            Some(sibs) => (
+                sibs.values().cloned().fold(0.0, f64::max),
+                sibs.get(sibling).copied().unwrap_or(0.0),
+            ),
+            None => (0.0, 0.0),
+        };
+        let new_sib = current_sib + eps.value();
         let delta = (new_sib - current_max).max(0.0);
-        // Check against the total before committing.
         let seq: f64 = self.sequential.values().sum();
         let par_others: f64 = self
             .parallel
@@ -167,10 +176,10 @@ impl BudgetAccountant {
         }
         *self
             .parallel
-            .get_mut(phase)
-            .expect("phase just inserted")
-            .get_mut(sibling)
-            .expect("sibling just inserted") = new_sib;
+            .entry(phase.to_string())
+            .or_default()
+            .entry(sibling.to_string())
+            .or_insert(0.0) = new_sib;
         Ok(())
     }
 
@@ -189,6 +198,9 @@ impl BudgetAccountant {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -229,7 +241,8 @@ mod tests {
     fn distinct_sequential_phases_add() {
         let mut acc = BudgetAccountant::new(Epsilon::new(30.0));
         acc.spend_sequential("pattern", Epsilon::new(10.0)).unwrap();
-        acc.spend_sequential("sanitize", Epsilon::new(20.0)).unwrap();
+        acc.spend_sequential("sanitize", Epsilon::new(20.0))
+            .unwrap();
         assert!((acc.spent() - 30.0).abs() < 1e-12);
         assert_eq!(acc.remaining(), 0.0);
     }
@@ -237,9 +250,12 @@ mod tests {
     #[test]
     fn parallel_spends_take_max() {
         let mut acc = BudgetAccountant::new(Epsilon::new(5.0));
-        acc.spend_parallel("slice", "cell-0", Epsilon::new(2.0)).unwrap();
-        acc.spend_parallel("slice", "cell-1", Epsilon::new(3.0)).unwrap();
-        acc.spend_parallel("slice", "cell-2", Epsilon::new(1.0)).unwrap();
+        acc.spend_parallel("slice", "cell-0", Epsilon::new(2.0))
+            .unwrap();
+        acc.spend_parallel("slice", "cell-1", Epsilon::new(3.0))
+            .unwrap();
+        acc.spend_parallel("slice", "cell-2", Epsilon::new(1.0))
+            .unwrap();
         assert!((acc.spent() - 3.0).abs() < 1e-12);
     }
 
@@ -282,8 +298,6 @@ mod tests {
                 .unwrap();
         }
         assert!((acc.spent() - 30.0).abs() < 1e-9);
-        assert!(acc
-            .spend_sequential("post", Epsilon::new(0.01))
-            .is_err());
+        assert!(acc.spend_sequential("post", Epsilon::new(0.01)).is_err());
     }
 }

@@ -24,6 +24,8 @@
 //! assert!((noisy - 42.0).abs() < 200.0); // wildly improbable to be farther
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod error;
 pub mod mechanism;
@@ -32,7 +34,7 @@ pub mod sensitivity;
 
 pub use budget::{BudgetAccountant, Epsilon};
 pub use error::DpError;
-pub use mechanism::{laplace_sample, GeometricMechanism, LaplaceMechanism};
+pub use mechanism::{is_exact_zero, laplace_sample, GeometricMechanism, LaplaceMechanism};
 pub use rng::DpRng;
 pub use sensitivity::{clip_series, Sensitivity};
 
@@ -40,7 +42,9 @@ pub use sensitivity::{clip_series, Sensitivity};
 pub mod prelude {
     pub use crate::budget::{BudgetAccountant, Epsilon};
     pub use crate::error::DpError;
-    pub use crate::mechanism::{laplace_sample, GeometricMechanism, LaplaceMechanism};
+    pub use crate::mechanism::{
+        is_exact_zero, laplace_sample, GeometricMechanism, LaplaceMechanism,
+    };
     pub use crate::rng::DpRng;
     pub use crate::sensitivity::{clip_series, Sensitivity};
     pub use rand::SeedableRng;

@@ -5,12 +5,28 @@ use crate::rng::DpRng;
 use crate::sensitivity::Sensitivity;
 use rand::Rng;
 
+/// True iff `x` is exactly `±0.0` at the bit level.
+///
+/// This is the intent-revealing form of an *exact* float-zero test: unlike
+/// a tolerance comparison it promises that no rounding slack is meant, and
+/// unlike `x == 0.0` it cannot be mistaken for an approximate check
+/// (`cargo xtask lint` rule XT03 bans the raw comparison in library code).
+#[inline]
+#[must_use]
+pub fn is_exact_zero(x: f64) -> bool {
+    // Shifting out the sign bit equates +0.0 and -0.0.
+    x.to_bits() << 1 == 0
+}
+
 /// Draw one sample from the Laplace distribution `Lap(0, scale)` via the
 /// inverse CDF: if `U ~ Uniform(-1/2, 1/2)`, then
 /// `-scale * sign(U) * ln(1 - 2|U|) ~ Lap(0, scale)`.
 pub fn laplace_sample(scale: f64, rng: &mut DpRng) -> f64 {
-    assert!(scale >= 0.0, "Laplace scale must be non-negative, got {scale}");
-    if scale == 0.0 {
+    assert!(
+        scale >= 0.0,
+        "Laplace scale must be non-negative, got {scale}"
+    );
+    if is_exact_zero(scale) {
         return 0.0;
     }
     // gen::<f64>() is in [0, 1); shift to (-1/2, 1/2].
@@ -110,8 +126,8 @@ impl GeometricMechanism {
             return 0;
         }
         let u: f64 = rng.gen::<f64>(); // [0, 1)
-        // Symmetric construction: magnitude from a geometric tail, sign from
-        // the uniform's half. P(|X| >= k) = 2α^k/(1+α) for k >= 1.
+                                       // Symmetric construction: magnitude from a geometric tail, sign from
+                                       // the uniform's half. P(|X| >= k) = 2α^k/(1+α) for k >= 1.
         let (sign, v) = if u < 0.5 {
             (-1.0, u * 2.0)
         } else {
@@ -133,6 +149,9 @@ impl GeometricMechanism {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::rng::DpRng;

@@ -42,6 +42,80 @@ proptest! {
         }
     }
 
+    /// Soundness under arbitrary interleavings: random phase/sibling names,
+    /// random budget fractions, random order of sequential vs parallel
+    /// spends. After every operation the accountant (a) never reports more
+    /// than the total, (b) agrees with an independently maintained reference
+    /// model of the composition laws, and (c) leaves its state untouched
+    /// when a spend is rejected.
+    #[test]
+    fn accountant_sound_under_arbitrary_interleavings(
+        total in 0.5f64..50.0,
+        ops in prop::collection::vec(
+            // (is_parallel, phase name id, sibling name id, fraction of total)
+            (0u8..2, 0u8..5, 0u8..4, 0.001f64..0.7),
+            1..60
+        )
+    ) {
+        use std::collections::HashMap;
+
+        let budget = Epsilon::new(total);
+        let mut acc = BudgetAccountant::new(budget);
+        // Reference model: sequential phases add; a parallel phase is
+        // charged the max over its siblings, siblings add internally.
+        let mut model_seq: HashMap<String, f64> = HashMap::new();
+        let mut model_par: HashMap<String, HashMap<String, f64>> = HashMap::new();
+        let model_spent = |seq: &HashMap<String, f64>,
+                           par: &HashMap<String, HashMap<String, f64>>| {
+            seq.values().sum::<f64>()
+                + par
+                    .values()
+                    .map(|sibs| sibs.values().cloned().fold(0.0, f64::max))
+                    .sum::<f64>()
+        };
+
+        for (is_par, phase_id, sib_id, frac) in ops {
+            let phase = format!("phase-{phase_id}");
+            let sibling = format!("cell-{sib_id}");
+            let eps = budget.fraction(frac);
+            let before = acc.spent();
+
+            let result = if is_par == 1 {
+                acc.spend_parallel(&phase, &sibling, eps)
+            } else {
+                acc.spend_sequential(&phase, eps)
+            };
+
+            match result {
+                Ok(()) => {
+                    if is_par == 1 {
+                        *model_par
+                            .entry(phase)
+                            .or_default()
+                            .entry(sibling)
+                            .or_insert(0.0) += eps.value();
+                    } else {
+                        *model_seq.entry(phase).or_insert(0.0) += eps.value();
+                    }
+                }
+                Err(_) => {
+                    // Bitwise: a rejected spend must leave state untouched.
+                    prop_assert!(
+                        acc.spent().to_bits() == before.to_bits(),
+                        "rejected spend changed state: {} -> {}", before, acc.spent()
+                    );
+                }
+            }
+
+            let expected = model_spent(&model_seq, &model_par);
+            prop_assert!((acc.spent() - expected).abs() < 1e-9,
+                "accountant {} disagrees with model {}", acc.spent(), expected);
+            prop_assert!(acc.spent() <= total * (1.0 + 1e-9),
+                "spent {} > total {}", acc.spent(), total);
+            prop_assert!((acc.remaining() - (total - acc.spent()).max(0.0)).abs() < 1e-9);
+        }
+    }
+
     /// Parallel composition is never charged more than sequential would be.
     #[test]
     fn parallel_never_costs_more_than_sequential(

@@ -46,6 +46,9 @@ pub fn relu_deriv(x: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,6 +1,8 @@
 //! Fully-connected layer with optional activation.
 
-use crate::activation::{relu, relu_deriv, sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
+use crate::activation::{
+    relu, relu_deriv, sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output,
+};
 use crate::matrix::Matrix;
 use crate::param::{Param, Parameterized};
 use rand::Rng;
@@ -37,7 +39,12 @@ pub struct DenseCache {
 
 impl Dense {
     /// Xavier-initialised dense layer.
-    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
         Dense {
             w: Param::xavier(input_dim, output_dim, rng),
             b: Param::zeros(1, output_dim),
@@ -78,7 +85,9 @@ impl Dense {
     pub fn backward(&mut self, cache: &DenseCache, dout: &Matrix) -> Matrix {
         let dpre = match self.activation {
             Activation::Identity => dout.clone(),
-            Activation::Sigmoid => dout.zip_with(&cache.out, |d, y| d * sigmoid_deriv_from_output(y)),
+            Activation::Sigmoid => {
+                dout.zip_with(&cache.out, |d, y| d * sigmoid_deriv_from_output(y))
+            }
             Activation::Tanh => dout.zip_with(&cache.out, |d, y| d * tanh_deriv_from_output(y)),
             Activation::Relu => dout.zip_with(&cache.pre, |d, p| d * relu_deriv(p)),
         };
@@ -171,7 +180,8 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
             let (ym, _) = layer.forward(&xm);
-            let fd = (crate::loss::mse(&yp, &target).0 - crate::loss::mse(&ym, &target).0) / (2.0 * h);
+            let fd =
+                (crate::loss::mse(&yp, &target).0 - crate::loss::mse(&ym, &target).0) / (2.0 * h);
             assert!(
                 (fd - dx.data()[i]).abs() < 1e-6,
                 "i={i}: fd {fd} vs analytic {}",

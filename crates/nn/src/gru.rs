@@ -85,10 +85,7 @@ impl GruCell {
             .add(&rh.matmul(&self.un.value))
             .add_row_broadcast(&self.bn.value)
             .map(f64::tanh);
-        let h_new = z
-            .map(|v| 1.0 - v)
-            .hadamard(&n)
-            .add(&z.hadamard(h_prev));
+        let h_new = z.map(|v| 1.0 - v).hadamard(&n).add(&z.hadamard(h_prev));
         (
             h_new,
             GruCache {
@@ -241,7 +238,8 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
             let (hm, _) = cell.forward(&xm, &h0);
-            let fd = (crate::loss::mse(&hp, &target).0 - crate::loss::mse(&hm, &target).0) / (2.0 * h);
+            let fd =
+                (crate::loss::mse(&hp, &target).0 - crate::loss::mse(&hm, &target).0) / (2.0 * h);
             assert!((fd - dx.data()[i]).abs() < 1e-6, "dx i={i}");
 
             let mut hp0 = h0.clone();
@@ -250,7 +248,8 @@ mod tests {
             let mut hm0 = h0.clone();
             hm0.data_mut()[i] -= h;
             let (hm, _) = cell.forward(&x, &hm0);
-            let fd = (crate::loss::mse(&hp, &target).0 - crate::loss::mse(&hm, &target).0) / (2.0 * h);
+            let fd =
+                (crate::loss::mse(&hp, &target).0 - crate::loss::mse(&hm, &target).0) / (2.0 * h);
             assert!((fd - dh0.data()[i]).abs() < 1e-6, "dh0 i={i}");
         }
     }

@@ -111,7 +111,12 @@ mod tests {
         let (y, _) = ln.forward(&x);
         for r in 0..3 {
             let mean: f64 = y.row(r).iter().sum::<f64>() / 8.0;
-            let var: f64 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 8.0;
+            let var: f64 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / 8.0;
             assert!(mean.abs() < 1e-10, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-6, "var {var}");
         }

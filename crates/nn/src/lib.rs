@@ -33,6 +33,8 @@
 //! assert!(stats.epoch_losses.last().unwrap() < &stats.epoch_losses[0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod attention;
 pub mod dense;

@@ -56,6 +56,9 @@ pub fn bce(prob: &Matrix, target: &Matrix) -> (f64, Matrix) {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -90,11 +90,24 @@ impl LstmCell {
     }
 
     /// One step: `(x_t, h_{t-1}, c_{t-1}) -> (h_t, c_t)`.
-    pub fn forward(&self, x: &Matrix, h_prev: &Matrix, c_prev: &Matrix) -> (Matrix, Matrix, LstmCache) {
-        let i = self.gate(x, h_prev, &self.wi, &self.ui, &self.bi).map(sigmoid);
-        let f = self.gate(x, h_prev, &self.wf, &self.uf, &self.bf).map(sigmoid);
-        let o = self.gate(x, h_prev, &self.wo, &self.uo, &self.bo).map(sigmoid);
-        let g = self.gate(x, h_prev, &self.wg, &self.ug, &self.bg).map(f64::tanh);
+    pub fn forward(
+        &self,
+        x: &Matrix,
+        h_prev: &Matrix,
+        c_prev: &Matrix,
+    ) -> (Matrix, Matrix, LstmCache) {
+        let i = self
+            .gate(x, h_prev, &self.wi, &self.ui, &self.bi)
+            .map(sigmoid);
+        let f = self
+            .gate(x, h_prev, &self.wf, &self.uf, &self.bf)
+            .map(sigmoid);
+        let o = self
+            .gate(x, h_prev, &self.wo, &self.uo, &self.bo)
+            .map(sigmoid);
+        let g = self
+            .gate(x, h_prev, &self.wg, &self.ug, &self.bg)
+            .map(f64::tanh);
         let c_new = f.hadamard(c_prev).add(&i.hadamard(&g));
         let tanh_c = c_new.map(f64::tanh);
         let h_new = o.hadamard(&tanh_c);
@@ -136,9 +149,7 @@ impl LstmCell {
 
         let do_ = dh.hadamard(tanh_c);
         // dc = dh ⊙ o ⊙ (1 - tanh²c) + dc_in
-        let mut dc = dh
-            .hadamard(o)
-            .zip_with(tanh_c, |d, tc| d * (1.0 - tc * tc));
+        let mut dc = dh.hadamard(o).zip_with(tanh_c, |d, tc| d * (1.0 - tc * tc));
         dc.add_assign(dc_in);
 
         let di = dc.hadamard(g);
@@ -200,6 +211,9 @@ impl Parameterized for LstmCell {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::gradcheck::check_gradients;

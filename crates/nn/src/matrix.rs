@@ -8,6 +8,15 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::ops::{Index, IndexMut};
 
+/// True iff `x` is exactly `±0.0` at the bit level — the intent-revealing
+/// exact-zero test behind the sparsity fast paths: a multiply by a bitwise
+/// zero contributes nothing, so the inner loop may be skipped without
+/// changing the result (which a tolerance-based test would not guarantee).
+#[inline]
+fn is_exact_zero(x: f64) -> bool {
+    x.to_bits() << 1 == 0
+}
+
 /// Dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -55,7 +64,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Xavier/Glorot-uniform initialisation: `U(-a, a)` with
@@ -111,7 +124,8 @@ impl Matrix {
     /// Matrix product `self · other` (ikj loop order for cache friendliness).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -120,7 +134,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
+                if is_exact_zero(a) {
                     continue;
                 }
                 let orow = &other.data[k * other.cols..(k + 1) * other.cols];
@@ -136,7 +150,8 @@ impl Matrix {
     /// `self · otherᵀ` without materialising the transpose.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_transpose shape mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -159,7 +174,8 @@ impl Matrix {
     /// `selfᵀ · other` without materialising the transpose.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "transpose_matmul shape mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             other.shape()
@@ -169,7 +185,7 @@ impl Matrix {
             let arow = &self.data[k * self.cols..(k + 1) * self.cols];
             let brow = &other.data[k * other.cols..(k + 1) * other.cols];
             for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
+                if is_exact_zero(a) {
                     continue;
                 }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
@@ -299,8 +315,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
-            out.data[r * out.cols + self.cols..(r + 1) * out.cols]
-                .copy_from_slice(other.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols].copy_from_slice(other.row(r));
         }
         out
     }
@@ -310,8 +325,7 @@ impl Matrix {
         assert!(from <= to && to <= self.cols, "column range out of bounds");
         let mut out = Matrix::zeros(self.rows, to - from);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[from..to]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[from..to]);
         }
         out
     }

@@ -158,6 +158,9 @@ fn ensure_state(state: &mut Vec<Matrix>, params: &[&mut Param]) {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -112,6 +112,9 @@ pub fn positional_encoding(t: usize, dim: usize) -> Matrix {
 }
 
 #[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::gradcheck::check_gradients;

@@ -6,6 +6,8 @@
 //! * [`metrics`] — Mean Relative Error (Equation 5) with the standard
 //!   small-denominator floor.
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod prefix;
 pub mod query;

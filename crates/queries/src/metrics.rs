@@ -44,7 +44,7 @@ pub fn evaluate_workload(
         .map(|q| relative_error(ps_truth.range_sum(q), ps_noisy.range_sum(q), rho))
         .collect();
     let mre = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
-    errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    errors.sort_by(f64::total_cmp);
     let median_re = if errors.is_empty() {
         0.0
     } else {
@@ -79,6 +79,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact values are the point of these assertions
     fn relative_error_basics() {
         assert_eq!(relative_error(100.0, 90.0, 1.0), 10.0);
         assert_eq!(relative_error(100.0, 110.0, 1.0), 10.0);
@@ -86,6 +87,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact values are the point of these assertions
     fn rho_floors_tiny_denominators() {
         // Truth is zero: without the floor this would be infinite.
         let e = relative_error(0.0, 5.0, 10.0);
@@ -94,6 +96,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact values are the point of these assertions
     fn identical_matrices_have_zero_mre() {
         let m = random_matrix(0);
         let mut rng = StdRng::seed_from_u64(1);

@@ -83,7 +83,9 @@ mod tests {
 
     fn random_matrix(cx: usize, cy: usize, ct: usize, seed: u64) -> ConsumptionMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..cx * cy * ct).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let data = (0..cx * cy * ct)
+            .map(|_| rng.gen_range(0.0..10.0))
+            .collect();
         ConsumptionMatrix::from_vec(cx, cy, ct, data)
     }
 

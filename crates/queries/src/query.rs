@@ -144,7 +144,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let qs = generate_queries(QueryClass::Random, 300, SHAPE, &mut rng);
         let mut volumes: Vec<usize> = qs.iter().map(RangeQuery::volume).collect();
-        assert!(qs.iter().all(|q| q.x.1 <= 32 && q.y.1 <= 32 && q.t.1 <= 120));
+        assert!(qs
+            .iter()
+            .all(|q| q.x.1 <= 32 && q.y.1 <= 32 && q.t.1 <= 120));
         volumes.sort_unstable();
         volumes.dedup();
         assert!(volumes.len() > 20, "volumes not diverse: {}", volumes.len());

@@ -1,0 +1,457 @@
+//! A hand-rolled Rust lexer, sufficient for lexical lint rules.
+//!
+//! The lexer understands exactly as much Rust as the rules need: it
+//! separates comments, string/char/byte literals, numbers, identifiers and
+//! punctuation, tracks line numbers, and collects `xtask-allow` directives
+//! from comments. It deliberately does **not** build a syntax tree — the
+//! rules in [`crate::rules`] are written against the flat token stream,
+//! which keeps the tool dependency-free (no `syn`) and fast enough to scan
+//! the whole workspace in milliseconds.
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// The classes of token the rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword, e.g. `fn`, `unwrap`, `rand_distr`.
+    Ident(String),
+    /// A lifetime such as `'a` (kept distinct so `'a` is never confused
+    /// with a char literal).
+    Lifetime(String),
+    /// A numeric literal. `is_float` is true for literals with a decimal
+    /// point, an exponent, or an `f32`/`f64` suffix.
+    Number {
+        /// Literal text as written.
+        text: String,
+        /// Whether the literal is floating-point.
+        is_float: bool,
+    },
+    /// A string, raw-string, byte-string, char, or byte literal. The
+    /// payload is not preserved; rules never look inside literals.
+    StrLike,
+    /// A single punctuation character (`==` arrives as two `=` tokens;
+    /// rules that care check adjacency).
+    Punct(char),
+}
+
+/// An `xtask-allow` escape hatch parsed from a comment:
+/// `// xtask-allow(XT04): reason the panic is acceptable`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// The rule id inside the parentheses, e.g. `XT04`.
+    pub rule: String,
+    /// The justification after the colon (trimmed; may be empty, which the
+    /// driver reports as a malformed directive).
+    pub reason: String,
+    /// 1-based line the directive appears on.
+    pub line: u32,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// All allow directives found in comments.
+    pub allows: Vec<AllowDirective>,
+    /// Lines on which a comment contained `xtask-allow` but not in the
+    /// grammar the tool accepts — surfaced as malformed.
+    pub malformed_allows: Vec<u32>,
+}
+
+/// Lex Rust source text.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                'r' | 'b' if self.starts_raw_or_byte_literal() => self.raw_or_byte_literal(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphanumeric() => self.ident(),
+                c => {
+                    self.push(TokenKind::Punct(c));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.out.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.scan_allow(&text, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.scan_allow(&text, line);
+    }
+
+    /// Recognise `xtask-allow(RULE): reason` comments. The directive must
+    /// be the first thing in the comment (after the `//`/`/*` markers), so
+    /// prose that merely *mentions* xtask-allow is not parsed.
+    fn scan_allow(&mut self, comment: &str, line: u32) {
+        let text = comment.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = text.strip_prefix("xtask-allow") else {
+            return;
+        };
+        let parsed = (|| {
+            let rest = rest.strip_prefix('(')?;
+            let close = rest.find(')')?;
+            let rule = rest[..close].trim();
+            if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+                return None;
+            }
+            let after = rest[close + 1..].trim_start();
+            let reason = after.strip_prefix(':')?.trim();
+            Some((rule.to_string(), reason.to_string()))
+        })();
+        match parsed {
+            Some((rule, reason)) => self.out.allows.push(AllowDirective { rule, reason, line }),
+            None => self.out.malformed_allows.push(line),
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.push(TokenKind::StrLike);
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    return;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Does the cursor start `r"`, `r#"`, `br"`, `b"`, `b'`, `br#"` …?
+    fn starts_raw_or_byte_literal(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i) == Some('r') {
+            i += 1;
+            let mut j = i;
+            while self.peek(j) == Some('#') {
+                j += 1;
+            }
+            return self.peek(j) == Some('"');
+        }
+        // Plain byte string/char: b"..." or b'x'.
+        i == 1 && matches!(self.peek(i), Some('"') | Some('\''))
+    }
+
+    fn raw_or_byte_literal(&mut self) {
+        self.push(TokenKind::StrLike);
+        if self.peek(0) == Some('b') {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some('r') {
+            self.pos += 1;
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.pos += 1;
+            }
+            self.pos += 1; // opening quote
+                           // Scan for `"` followed by `hashes` hashes.
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                if c == '"' {
+                    let all = (1..=hashes).all(|k| self.peek(k) == Some('#'));
+                    if all {
+                        self.pos += 1 + hashes;
+                        return;
+                    }
+                }
+                self.pos += 1;
+            }
+        } else if self.peek(0) == Some('"') {
+            self.string_literal_body();
+        } else {
+            // b'x' byte char.
+            self.pos += 1; // quote
+            if self.peek(0) == Some('\\') {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            if self.peek(0) == Some('\'') {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Body of a `"..."` after the token was already pushed.
+    fn string_literal_body(&mut self) {
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    return;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'a` (no closing quote soon) is a lifetime or loop label; `'x'`
+        // or `'\n'` is a char literal.
+        let is_char = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
+        if is_char {
+            self.push(TokenKind::StrLike);
+            self.pos += 1; // opening quote
+            if self.peek(0) == Some('\\') {
+                self.pos += 1;
+                // Skip the escape body up to the closing quote (handles
+                // \u{...} too).
+                while self.peek(0).is_some_and(|c| c != '\'') {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+            } else {
+                self.pos += 2; // char + closing quote
+            }
+        } else {
+            let start = self.pos;
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Lifetime(text));
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else if c == '.' && self.peek(1).is_none_or(|n| n.is_ascii_digit()) && !is_float {
+                // A decimal point starts the fractional part; `1..5` and
+                // `1.method()` must not consume the dot.
+                is_float = true;
+                self.pos += 1;
+            } else if (c == '+' || c == '-')
+                && matches!(self.chars.get(self.pos - 1), Some('e') | Some('E'))
+            {
+                // Exponent sign, e.g. `1e-9`.
+                is_float = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let lower = text.to_ascii_lowercase();
+        // `1e9` counts as float; hex literals like 0xE5 do not.
+        let has_exponent = !lower.starts_with("0x") && lower.contains('e');
+        let is_float = is_float || has_exponent || lower.ends_with("f32") || lower.ends_with("f64");
+        self.push(TokenKind::Number { text, is_float });
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r####"
+            // thread_rng in a comment
+            /* and unwrap() in /* a nested */ block */
+            let s = "thread_rng inside a string";
+            let r = r#"raw with unwrap()"#;
+            let c = '\u{1F600}';
+            real_ident();
+        "####;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\ntarget();\n";
+        let lexed = lex(src);
+        let target = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("target".into()))
+            .unwrap();
+        assert_eq!(target.line, 5);
+    }
+
+    #[test]
+    fn float_and_int_literals_are_distinguished() {
+        let lexed = lex("a == 0.0; b == 0; c == 1e-9; d == 2f64; e == 0xE5; r = 1..5;");
+        let floats: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Number {
+                    text,
+                    is_float: true,
+                } => Some(text.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec!["0.0", "1e-9", "2f64"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'q';");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime(_)))
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLike)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src = "
+            // xtask-allow(XT04): constant parameters cannot fail
+            foo();
+            // xtask-allow(XT03) missing colon
+            bar();
+            /* xtask-allow(XT01): in a block comment */
+        ";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "XT04");
+        assert_eq!(lexed.allows[0].reason, "constant parameters cannot fail");
+        assert_eq!(lexed.allows[1].rule, "XT01");
+        assert_eq!(lexed.malformed_allows, vec![4]);
+    }
+
+    #[test]
+    fn empty_reason_is_collected_for_the_driver_to_reject() {
+        let lexed = lex("// xtask-allow(XT05):\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].reason.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Workspace tooling for the STPT reproduction.
+//!
+//! The one subcommand that matters is `cargo xtask lint`: a dependency-free
+//! static-analysis pass enforcing the DP-soundness invariants that rustc
+//! and clippy cannot see:
+//!
+//! | rule | name           | invariant |
+//! |------|----------------|-----------|
+//! | XT01 | unseeded-rng   | all randomness flows from explicit seeds |
+//! | XT02 | raw-noise      | noise sampling lives in `crates/dp` only |
+//! | XT03 | float-eq       | no `==`/`!=` on float literals in library code |
+//! | XT04 | panic-in-lib   | library code returns `Result`, never panics |
+//! | XT05 | budget-bypass  | budget spend results are never discarded |
+//!
+//! Violations are suppressed per-site with `// xtask-allow(XTnn): reason`;
+//! the reason is mandatory. See `DESIGN.md` § "Privacy-invariant tooling".
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{check_file, Diagnostic, SourceFile};
+pub use scan::{lint_workspace, render_human, render_json};

@@ -1,0 +1,86 @@
+//! `cargo xtask` — workspace tooling entry point.
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::scan::{lint_workspace, render_human, render_json};
+
+const USAGE: &str = "\
+usage: cargo xtask lint [--json] [ROOT]
+
+Run the DP-soundness static-analysis pass (rules XT01..XT05) over every
+.rs file in the workspace (vendor/ and test fixtures excluded).
+
+  --json   emit machine-readable diagnostics on stdout
+  ROOT     workspace root to scan (defaults to this workspace)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("lint") => {
+            let mut json = false;
+            let mut root: Option<PathBuf> = None;
+            for arg in it {
+                match arg {
+                    "--json" => json = true,
+                    "--help" | "-h" => {
+                        print!("{USAGE}");
+                        return ExitCode::SUCCESS;
+                    }
+                    other if !other.starts_with('-') && root.is_none() => {
+                        root = Some(PathBuf::from(other));
+                    }
+                    other => {
+                        eprintln!("xtask: unknown argument `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(default_workspace_root);
+            match lint_workspace(&root) {
+                Ok(diags) => {
+                    if json {
+                        print!("{}", render_json(&diags));
+                    } else {
+                        print!("{}", render_human(&diags));
+                    }
+                    if diags.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("xtask: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root is two levels above this crate's manifest
+/// (`crates/xtask` → workspace), resolved at compile time so the binary
+/// works from any cwd.
+fn default_workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}

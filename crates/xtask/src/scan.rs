@@ -1,0 +1,162 @@
+//! Workspace walking and diagnostic rendering.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::lex;
+use crate::rules::{check_file, Diagnostic, SourceFile};
+
+/// Directories never descended into. `vendor/` holds shims for external
+/// crates — dependencies are not ours to lint — and `tests/fixtures`
+/// holds deliberately-violating inputs for the lint's own tests.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "node_modules"];
+
+/// Lint every `.rs` file under `root`, returning sorted diagnostics.
+///
+/// Errors only on I/O failure (unreadable tree); individual files that
+/// fail to read are reported as diagnostics rather than aborting the run.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    files.sort();
+
+    let mut diags = Vec::new();
+    for path in files {
+        let rel = rel_path(root, &path);
+        match fs::read_to_string(&path) {
+            Ok(src) => {
+                let file = SourceFile::new(rel, lex(&src));
+                diags.extend(check_file(&file));
+            }
+            Err(e) => diags.push(Diagnostic {
+                rule: "XTIO",
+                file: rel,
+                line: 0,
+                message: format!("could not read file: {e}"),
+            }),
+        }
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(diags)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            if rel_path(root, &path).contains("tests/fixtures") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render diagnostics the way rustc does: `rule: message` with a
+/// `--> file:line` arrow, plus a summary line.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        s.push_str(&format!(
+            "error[{}]: {}\n  --> {}:{}\n\n",
+            d.rule, d.message, d.file, d.line
+        ));
+    }
+    if diags.is_empty() {
+        s.push_str("xtask lint: clean — no DP-soundness violations\n");
+    } else {
+        s.push_str(&format!(
+            "xtask lint: {} violation{} found\n",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        ));
+    }
+    s
+}
+
+/// Render diagnostics as a stable JSON document for tooling/CI.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!("],\n  \"count\": {}\n}}\n", diags.len()));
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str, file: &str, line: u32, msg: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let diags = vec![d("XT01", "crates/a/src/lib.rs", 3, "uses \"entropy\"")];
+        let out = render_json(&diags);
+        assert!(out.contains("\"rule\": \"XT01\""));
+        assert!(out.contains("\\\"entropy\\\""));
+        assert!(out.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn human_output_summarises() {
+        assert!(render_human(&[]).contains("clean"));
+        let one = render_human(&[d("XT05", "f.rs", 1, "m")]);
+        assert!(one.contains("1 violation found"));
+        assert!(one.contains("--> f.rs:1"));
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: XT01 negative — explicit seeds, a local fn named `random`, and
+// the banned names appearing only in strings/comments.
+fn sample(seed: u64) -> f64 {
+    // thread_rng is mentioned here but only in a comment
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _label = "from_entropy";
+    random(&mut rng)
+}
+
+fn random(rng: &mut StdRng) -> f64 {
+    rng.gen()
+}

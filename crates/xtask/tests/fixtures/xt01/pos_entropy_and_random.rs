@@ -1,0 +1,11 @@
+// Fixture: XT01 positive — from_entropy and rand::random, including in a
+// #[test] (XT01 applies to test code too).
+fn seed_badly() -> StdRng {
+    StdRng::from_entropy()
+}
+
+#[test]
+fn flaky() {
+    let x: f64 = rand::random();
+    assert!(x >= 0.0);
+}

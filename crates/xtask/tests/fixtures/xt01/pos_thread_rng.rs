@@ -1,0 +1,5 @@
+// Fixture: XT01 positive — thread_rng pulls OS entropy.
+fn sample() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

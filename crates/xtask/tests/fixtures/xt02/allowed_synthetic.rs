@@ -1,0 +1,9 @@
+// Fixture: XT02 suppressed — synthetic data generation with a reasoned
+// escape hatch, in both line-above and same-line forms.
+// xtask-allow(XT02): synthetic household draws, never added to released data
+use rand_distr::{Distribution, LogNormal};
+
+fn synthesize(rng: &mut StdRng) -> f64 {
+    let d = rand_distr::LogNormal::new(0.0, 1.0); // xtask-allow(XT02): synthetic draw, same-line form
+    d.unwrap().sample(rng)
+}

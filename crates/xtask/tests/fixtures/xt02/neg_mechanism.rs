@@ -1,0 +1,7 @@
+// Fixture: XT02 negative — noise obtained through the stpt-dp mechanism
+// API, which charges the budget accountant.
+use stpt_dp::{laplace_sample, LaplaceMechanism};
+
+fn noisy(x: f64, mech: &LaplaceMechanism, rng: &mut DpRng) -> f64 {
+    mech.release(x, rng) + laplace_sample(mech.scale(), rng)
+}

@@ -1,0 +1,5 @@
+// Fixture: XT02 positive — fully-qualified rand_distr path, no `use`.
+fn noisy(x: f64, rng: &mut StdRng) -> f64 {
+    let d = rand_distr::Normal::new(0.0, 1.0).unwrap();
+    x + rand_distr::Distribution::sample(&d, rng)
+}

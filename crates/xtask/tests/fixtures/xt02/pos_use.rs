@@ -1,0 +1,6 @@
+// Fixture: XT02 positive — importing rand_distr outside crates/dp.
+use rand_distr::{Distribution, Normal};
+
+fn noisy(x: f64, rng: &mut StdRng) -> f64 {
+    x + Normal::new(0.0, 1.0).unwrap().sample(rng)
+}

@@ -1,0 +1,17 @@
+// Fixture: XT03 negative — integer equality, float comparison by
+// ordering, bit-level exact checks, and float-eq confined to tests.
+fn fine(n: usize, x: f64) -> bool {
+    n == 0 && x < 0.5 && x.to_bits() << 1 == 0
+}
+
+fn ranges(xs: &[f64]) -> usize {
+    xs[1..3].len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_is_deliberate_here() {
+        assert!(super::fine(0, 0.0) == true || 0.0 == 0.0);
+    }
+}

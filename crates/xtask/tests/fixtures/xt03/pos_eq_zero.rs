@@ -1,0 +1,8 @@
+// Fixture: XT03 positive — equality against float literals in lib code.
+fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+fn nonzero(x: f64) -> bool {
+    0.0 != x
+}

@@ -1,0 +1,4 @@
+// Fixture: XT03 positive — exponent and suffixed float literals count.
+fn weird(x: f64, y: f32) -> bool {
+    x == 1e-9 || y != 2f32
+}

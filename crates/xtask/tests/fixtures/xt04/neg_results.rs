@@ -1,0 +1,27 @@
+// Fixture: XT04 negative — Result propagation, unwrap_or* adapters,
+// panics confined to tests, and a reasoned allow.
+fn parse(s: &str) -> Result<f64, std::num::ParseFloatError> {
+    s.parse::<f64>()
+}
+
+fn first_or_zero(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or(0.0)
+}
+
+fn lazily(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or_else(|| 0.0)
+}
+
+fn justified(xs: &[f64]) -> f64 {
+    // xtask-allow(XT04): slice is checked non-empty by the caller's contract
+    *xs.first().expect("non-empty by contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        super::parse("x").unwrap_err();
+        "1.5".parse::<f64>().unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: XT04 positive — panic! and unreachable! in library code.
+fn index(xs: &[f64], i: usize) -> f64 {
+    if i >= xs.len() {
+        panic!("index {i} out of range");
+    }
+    match xs.get(i) {
+        Some(v) => *v,
+        None => unreachable!(),
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: XT04 positive — unwrap and expect in library code.
+fn parse(s: &str) -> f64 {
+    s.parse::<f64>().unwrap()
+}
+
+fn first(xs: &[f64]) -> f64 {
+    *xs.first().expect("non-empty input")
+}

@@ -1,0 +1,15 @@
+// Fixture: XT05 negative — spend results propagated with `?`, matched,
+// or bound to a named variable for inspection.
+fn propagate(acc: &mut BudgetAccountant, eps: Epsilon) -> Result<(), DpError> {
+    acc.spend_sequential("pattern", eps)?;
+    acc.spend_parallel("sanitize", "tile-0", eps)?;
+    Ok(())
+}
+
+fn inspect(acc: &mut BudgetAccountant, eps: Epsilon) -> bool {
+    let outcome = acc.spend_sequential("pattern", eps);
+    match acc.spend_parallel("sanitize", "tile-1", eps) {
+        Ok(()) => outcome.is_ok(),
+        Err(_) => false,
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: XT05 positive — budget spend result discarded with `let _ =`.
+fn run(acc: &mut BudgetAccountant, eps: Epsilon) {
+    let _ = acc.spend_sequential("pattern", eps);
+    let _ = acc.spend_parallel("sanitize", "tile-0", eps);
+}

@@ -1,0 +1,5 @@
+// Fixture: XT05 positive — budget spend result swallowed with `.ok()`.
+fn run(acc: &mut BudgetAccountant, eps: Epsilon) {
+    acc.spend_sequential("pattern", eps).ok();
+    acc.spend_parallel("sanitize", format!("tile-{}", 1).as_str(), eps).ok();
+}

@@ -1,0 +1,218 @@
+//! Fixture-driven tests for the XT01–XT05 rules: every rule has at least
+//! two positive fixtures (violations detected, with the right rule ID and
+//! count) and one negative fixture (clean code stays clean), plus
+//! escape-hatch and whole-tree scanning coverage.
+
+use xtask::lexer::lex;
+use xtask::rules::{check_file, SourceFile};
+use xtask::scan::{lint_workspace, render_json};
+
+/// Run the rules over fixture source as if it lived at `rel_path`.
+fn lint_as(rel_path: &str, src: &str) -> Vec<(String, u32)> {
+    check_file(&SourceFile::new(rel_path, lex(src)))
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect()
+}
+
+fn rules_of(diags: &[(String, u32)]) -> Vec<&str> {
+    diags.iter().map(|(r, _)| r.as_str()).collect()
+}
+
+const LIB_PATH: &str = "crates/core/src/fixture.rs";
+
+// ---- XT01: unseeded-rng ------------------------------------------------
+
+#[test]
+fn xt01_flags_thread_rng() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt01/pos_thread_rng.rs"));
+    assert_eq!(rules_of(&diags), vec!["XT01"]);
+    assert_eq!(diags[0].1, 3);
+}
+
+#[test]
+fn xt01_flags_from_entropy_and_rand_random_even_in_tests() {
+    let diags = lint_as(
+        LIB_PATH,
+        include_str!("fixtures/xt01/pos_entropy_and_random.rs"),
+    );
+    assert_eq!(rules_of(&diags), vec!["XT01", "XT01"]);
+}
+
+#[test]
+fn xt01_ignores_seeded_rng_local_random_fn_and_strings() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt01/neg_seeded.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---- XT02: raw-noise ---------------------------------------------------
+
+#[test]
+fn xt02_flags_rand_distr_import_outside_dp() {
+    let diags = lint_as(
+        "crates/baselines/src/fixture.rs",
+        include_str!("fixtures/xt02/pos_use.rs"),
+    );
+    // One hit for the `use`; the unwrap also trips XT04 — both real.
+    assert!(rules_of(&diags).contains(&"XT02"), "{diags:?}");
+}
+
+#[test]
+fn xt02_flags_fully_qualified_paths() {
+    let diags = lint_as(
+        "crates/queries/src/fixture.rs",
+        include_str!("fixtures/xt02/pos_fully_qualified.rs"),
+    );
+    let xt02: Vec<_> = diags.iter().filter(|(r, _)| r == "XT02").collect();
+    assert_eq!(xt02.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn xt02_does_not_fire_inside_the_dp_crate() {
+    let diags = lint_as(
+        "crates/dp/src/fixture.rs",
+        include_str!("fixtures/xt02/pos_use.rs"),
+    );
+    assert!(!rules_of(&diags).contains(&"XT02"), "{diags:?}");
+}
+
+#[test]
+fn xt02_accepts_mechanism_api_use() {
+    let diags = lint_as(
+        "crates/baselines/src/fixture.rs",
+        include_str!("fixtures/xt02/neg_mechanism.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn xt02_allow_suppresses_in_both_placements() {
+    let diags = lint_as(
+        "crates/data/src/fixture.rs",
+        include_str!("fixtures/xt02/allowed_synthetic.rs"),
+    );
+    assert!(!rules_of(&diags).contains(&"XT02"), "{diags:?}");
+}
+
+// ---- XT03: float-eq ----------------------------------------------------
+
+#[test]
+fn xt03_flags_eq_and_ne_against_float_literals() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt03/pos_eq_zero.rs"));
+    assert_eq!(rules_of(&diags), vec!["XT03", "XT03"]);
+}
+
+#[test]
+fn xt03_flags_exponent_and_suffixed_literals() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt03/pos_exponent.rs"));
+    assert_eq!(rules_of(&diags), vec!["XT03", "XT03"]);
+}
+
+#[test]
+fn xt03_ignores_int_eq_bit_checks_ranges_and_test_code() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt03/neg_helpers.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn xt03_is_silent_in_test_targets() {
+    let diags = lint_as(
+        "crates/core/tests/fixture.rs",
+        include_str!("fixtures/xt03/pos_eq_zero.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---- XT04: panic-in-lib ------------------------------------------------
+
+#[test]
+fn xt04_flags_unwrap_and_expect() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt04/pos_unwrap_expect.rs"));
+    assert_eq!(rules_of(&diags), vec!["XT04", "XT04"]);
+}
+
+#[test]
+fn xt04_flags_panic_and_unreachable_macros() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt04/pos_panic.rs"));
+    assert_eq!(rules_of(&diags), vec!["XT04", "XT04"]);
+}
+
+#[test]
+fn xt04_ignores_results_adapters_tests_and_reasoned_allows() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt04/neg_results.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn xt04_is_silent_in_bins_and_benches() {
+    let src = include_str!("fixtures/xt04/pos_unwrap_expect.rs");
+    assert!(lint_as("crates/bench/src/bin/fig6.rs", src).is_empty());
+    assert!(lint_as("crates/bench/benches/mechanisms.rs", src).is_empty());
+}
+
+// ---- XT05: budget-bypass -----------------------------------------------
+
+#[test]
+fn xt05_flags_let_underscore_discard() {
+    let diags = lint_as(
+        LIB_PATH,
+        include_str!("fixtures/xt05/pos_let_underscore.rs"),
+    );
+    assert_eq!(rules_of(&diags), vec!["XT05", "XT05"]);
+}
+
+#[test]
+fn xt05_flags_ok_adapter_discard() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt05/pos_ok.rs"));
+    assert_eq!(rules_of(&diags), vec!["XT05", "XT05"]);
+}
+
+#[test]
+fn xt05_accepts_propagation_and_inspection() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt05/neg_handled.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn xt05_applies_to_bins_but_not_tests() {
+    let src = include_str!("fixtures/xt05/pos_let_underscore.rs");
+    assert_eq!(
+        rules_of(&lint_as("crates/bench/src/bin/fig6.rs", src)),
+        vec!["XT05", "XT05"]
+    );
+    assert!(lint_as("crates/dp/tests/proptests.rs", src).is_empty());
+}
+
+// ---- scanner + output --------------------------------------------------
+
+/// Build a scratch tree, scan it, and check skipping + JSON output.
+#[test]
+fn scanner_skips_vendor_and_fixture_dirs() {
+    let root = std::env::temp_dir().join(format!("xtask-scan-{}", std::process::id()));
+    let mk = |rel: &str, src: &str| {
+        let p = root.join(rel);
+        std::fs::create_dir_all(p.parent().expect("fixture paths have parents")).expect("mkdir");
+        std::fs::write(p, src).expect("write fixture");
+    };
+    mk(
+        "crates/core/src/lib.rs",
+        "fn f(x: f64) -> bool { x == 0.0 }\n",
+    );
+    mk("vendor/rand/src/lib.rs", "fn f() { thread_rng(); }\n");
+    mk(
+        "crates/xtask/tests/fixtures/xt01/pos.rs",
+        "fn f() { thread_rng(); }\n",
+    );
+    mk("crates/core/README.md", "not rust\n");
+
+    let diags = lint_workspace(&root).expect("scan succeeds");
+    let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec!["XT03"], "{diags:?}");
+    assert_eq!(diags[0].file, "crates/core/src/lib.rs");
+
+    let json = render_json(&diags);
+    assert!(json.contains("\"rule\": \"XT03\""));
+    assert!(json.contains("\"count\": 1"));
+
+    std::fs::remove_dir_all(&root).ok();
+}

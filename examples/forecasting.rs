@@ -75,5 +75,8 @@ fn main() {
         .sum::<f64>()
         / test_t.len() as f64
         * max;
-    println!("  {:<26} MAE {persistence_mae:>8.1}", "persistence (x_t = x_t-1)");
+    println!(
+        "  {:<26} MAE {persistence_mae:>8.1}",
+        "persistence (x_t = x_t-1)"
+    );
 }

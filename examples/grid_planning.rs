@@ -94,7 +94,10 @@ fn main() {
             let (xr, yr) = cluster.mbr(grid);
             let q = RangeQuery::new(xr, yr, window, matrix.shape());
             let demand = matrix.range_sum(q.x, q.y, q.t);
-            println!("  [{label}] {:<24} MBR {:?}x{:?}: {:>10.0} kWh", cluster.name, xr, yr, demand);
+            println!(
+                "  [{label}] {:<24} MBR {:?}x{:?}: {:>10.0} kWh",
+                cluster.name, xr, yr, demand
+            );
             if demand > best.1 {
                 best = (cluster.name, demand);
             }

@@ -52,14 +52,21 @@ fn main() {
     // refuses rather than weakening the guarantee.
     println!("\noverdraft check:");
     let mut acc = BudgetAccountant::new(Epsilon::new(1.0));
-    acc.spend_sequential("release-1", Epsilon::new(0.8)).unwrap();
+    acc.spend_sequential("release-1", Epsilon::new(0.8))
+        .unwrap();
     match acc.spend_sequential("release-2", Epsilon::new(0.5)) {
-        Err(DpError::BudgetExhausted { requested, remaining }) => {
+        Err(DpError::BudgetExhausted {
+            requested,
+            remaining,
+        }) => {
             println!("  second release rejected: requested eps={requested}, remaining eps={remaining:.2} ✔");
         }
         other => panic!("expected budget exhaustion, got {other:?}"),
     }
     // The failed spend did not corrupt the ledger.
     assert!((acc.spent() - 0.8).abs() < 1e-12);
-    println!("  ledger unchanged after rejection: spent = {:.2}", acc.spent());
+    println!(
+        "  ledger unchanged after rejection: spent = {:.2}",
+        acc.spent()
+    );
 }

@@ -54,7 +54,12 @@ fn main() {
     let stpt_result = evaluate_workload(&truth, &out.sanitized, &queries);
 
     let mut noise_rng = DpRng::seed_from_u64(9);
-    let identity = Identity.sanitize(&truth, dataset.clip_bound(), cfg.eps_total(), &mut noise_rng);
+    let identity = Identity.sanitize(
+        &truth,
+        dataset.clip_bound(),
+        cfg.eps_total(),
+        &mut noise_rng,
+    );
     let id_result = evaluate_workload(&truth, &identity, &queries);
 
     println!("mean relative error over 200 random range queries:");

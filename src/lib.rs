@@ -18,6 +18,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
+
 pub use stpt_baselines as baselines;
 pub use stpt_core as core;
 pub use stpt_data as data;

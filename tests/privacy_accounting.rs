@@ -2,10 +2,10 @@
 //! clipping, composition across the pipeline phases, and noise calibration.
 
 use rand::SeedableRng;
+use stpt_suite::core::quantize::{k_quantize_with, PartitionScheme};
 use stpt_suite::core::{
     recognize_patterns, sanitize_partitions, BudgetAllocation, PatternConfig, SanitizeConfig,
 };
-use stpt_suite::core::quantize::{k_quantize_with, PartitionScheme};
 use stpt_suite::data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
 use stpt_suite::dp::prelude::*;
 use stpt_suite::nn::seq::{ModelKind, NetConfig};
@@ -47,7 +47,11 @@ fn phases_compose_sequentially_to_the_total() {
         net: tiny_net(),
     };
     let pattern = recognize_patterns(&m, &pattern_cfg, &mut acc, &mut rng).unwrap();
-    assert!((acc.spent() - 4.0).abs() < 1e-9, "after pattern: {}", acc.spent());
+    assert!(
+        (acc.spent() - 4.0).abs() < 1e-9,
+        "after pattern: {}",
+        acc.spent()
+    );
 
     let parts = k_quantize_with(
         &pattern.pattern,
@@ -64,11 +68,13 @@ fn phases_compose_sequentially_to_the_total() {
         allocation: BudgetAllocation::Optimal,
     };
     let (_, _) = sanitize_partitions(&m, &parts, &san_cfg, &mut acc, &mut rng).unwrap();
-    assert!((acc.spent() - 9.0).abs() < 1e-9, "after sanitize: {}", acc.spent());
+    assert!(
+        (acc.spent() - 9.0).abs() < 1e-9,
+        "after sanitize: {}",
+        acc.spent()
+    );
     // Nothing left.
-    assert!(acc
-        .spend_sequential("extra", Epsilon::new(0.01))
-        .is_err());
+    assert!(acc.spend_sequential("extra", Epsilon::new(0.01)).is_err());
 }
 
 #[test]
@@ -106,10 +112,7 @@ fn clipping_bounds_every_cell_contribution() {
     );
     let clipped = ds.consumption_matrix(4, 4, true);
     let max_per_cell = 64.0 * ds.clip_bound();
-    assert!(clipped
-        .data()
-        .iter()
-        .all(|&v| v <= max_per_cell + 1e-9));
+    assert!(clipped.data().iter().all(|&v| v <= max_per_cell + 1e-9));
     // And the clip actually bit (TX readings routinely exceed 0.1 kWh/h).
     let raw = ds.consumption_matrix(4, 4, false);
     assert!(clipped.total() < raw.total() * 0.9);

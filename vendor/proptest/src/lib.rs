@@ -1,0 +1,195 @@
+//! Offline stand-in for the [`proptest`](https://proptest-rs.github.io)
+//! crate, implementing the subset of its API this workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] macro (multiple `#[test] fn name(pat in strategy)`
+//!   items per invocation),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * range strategies (`0.0f64..1e6`, `1usize..500`, `0u8..=3`, …),
+//! * tuple strategies, [`any::<T>()`](arbitrary::any), [`Just`],
+//!   [`collection::vec`], `prop_map` and `prop_flat_map`.
+//!
+//! Differences from real proptest, deliberately accepted for hermeticity:
+//! no shrinking of failing inputs (the failure message reports the case
+//! number and the seed is deterministic per test name, so failures still
+//! reproduce exactly), and no persistence files. The case count defaults
+//! to 64 and can be raised with the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias so `prop::collection::vec(...)` resolves as it does with the
+    /// real crate's prelude.
+    pub use crate as prop;
+}
+
+/// Number of random cases each property runs (`PROPTEST_CASES` env var,
+/// default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item expands to a `#[test]` that samples its strategies from a
+/// deterministic per-test RNG and runs the body [`cases()`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..$crate::cases() {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __result {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            $crate::cases(),
+                            __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a [`proptest!`] body; failures abort the current case with
+/// a message instead of unwinding, mirroring proptest's macro of the same
+/// name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro wires patterns, strategies, and assertions together.
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(
+            x in 0.5f64..2.0,
+            (a, b) in (0u8..5, 10usize..20),
+            v in prop::collection::vec(-1.0f64..1.0, 3..7)
+        ) {
+            prop_assert!((0.5..2.0).contains(&x), "x out of range: {x}");
+            prop_assert!(a < 5);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|e| (-1.0..1.0).contains(e)));
+        }
+
+        /// prop_map and prop_flat_map compose.
+        #[test]
+        fn mapping_composes(
+            len in (1usize..5).prop_flat_map(|n| {
+                prop::collection::vec(Just(n), n)
+            }),
+            doubled in (1u32..10).prop_map(|v| v * 2)
+        ) {
+            prop_assert!(!len.is_empty());
+            prop_assert_eq!(len.len(), len[0]);
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        let mut c = crate::test_runner::TestRng::for_test("different");
+        let s = 0.0f64..1.0;
+        let (xa, xb, xc) = (
+            Strategy::sample(&s, &mut a),
+            Strategy::sample(&s, &mut b),
+            Strategy::sample(&s, &mut c),
+        );
+        assert_eq!(xa.to_bits(), xb.to_bits());
+        assert_ne!(xa.to_bits(), xc.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate, providing the `Normal` and `LogNormal` distributions the data
+//! generators use. See the vendored `rand` shim for why this exists.
+//!
+//! **DP-soundness note:** nothing in this crate charges a privacy budget.
+//! Sampling from it is only legitimate for *synthetic data generation*
+//! (building digital-twin datasets), never for privacy noise — release
+//! noise must flow through `stpt-dp`'s mechanisms. `cargo xtask lint` rule
+//! XT02 enforces exactly that: any `rand_distr` use outside `crates/dp`
+//! needs an explicit `xtask-allow` justification.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, StandardSample};
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A distribution from which values of type `T` can be drawn.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Construct from mean and standard deviation. Fails on non-finite
+    /// parameters or negative standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller. The spare variate is discarded so that `sample` can
+        // take `&self`, matching the rand_distr signature.
+        let mut u1 = f64::sample_standard(rng);
+        // The draw is in [0, 1); ln(0) would give -inf, so nudge into (0, 1).
+        if u1 <= 0.0 {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = f64::sample_standard(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Construct from the mean and standard deviation of the *underlying*
+    /// normal distribution.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        // The median of LogNormal(mu, sigma) is exp(mu).
+        let d = LogNormal::new(1.0, 0.75).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let below = (0..n)
+            .filter(|_| d.sample(&mut rng) < std::f64::consts::E)
+            .count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac {frac}");
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn zero_sigma_is_degenerate() {
+        let d = Normal::new(5.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 5.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! `par_iter()` here returns the ordinary sequential iterator: all rayon
+//! call sites compile and produce identical results, just without the
+//! parallel speed-up. The experiment harness is the only consumer; when a
+//! real thread-pool becomes worthwhile, this shim is the seam to implement
+//! it behind (std::thread::scope over chunks), without touching callers.
+
+#![forbid(unsafe_code)]
+
+/// The glob import mirroring `rayon::prelude::*`.
+pub mod prelude {
+    /// Sequential stand-in for rayon's `IntoParallelRefIterator`: provides
+    /// `.par_iter()` on slices and vectors.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = &'a Self::Item>;
+
+        /// Iterate — sequentially in this shim.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        type Iter = core::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        type Iter = core::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let flat: Vec<u32> = xs[..2].par_iter().flat_map(|&x| vec![x; 2]).collect();
+        assert_eq!(flat, vec![1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls for the vendored `serde`
+//! shim's value-model traits. The input item is parsed directly from the
+//! `proc_macro` token stream — no `syn`/`quote` dependency, keeping the
+//! workspace build hermetic.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * named-field structs → JSON objects in field-declaration order,
+//! * newtype structs (`struct Epsilon(f64)`) → transparent,
+//! * other tuple structs → JSON arrays,
+//! * unit structs → `null`,
+//! * enums with unit, tuple, and struct variants → serde's externally
+//!   tagged layout (`"Variant"` / `{"Variant": ...}`).
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported and fail with a compile error naming this file.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Parsed shape of the derive input item.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive the value-model `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the value-model `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission is valid Rust"),
+    }
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip leading `#[...]` attributes (including doc comments) and a
+/// `pub`/`pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The attribute body: a bracketed group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn next_ident(iter: &mut TokenIter) -> Option<String> {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip tokens until a top-level `,` (consumed) or the end of the stream,
+/// tracking `<...>` nesting so commas inside generic arguments don't split
+/// fields. A `->` arrow's `>` (joint `-` then `>`) is not a closer.
+fn skip_past_comma(iter: &mut TokenIter) {
+    let mut angle_depth = 0i64;
+    let mut joint_dash = false;
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' && !joint_dash {
+                    angle_depth -= 1;
+                } else if c == ',' && angle_depth == 0 {
+                    return;
+                }
+                joint_dash = c == '-' && p.spacing() == proc_macro::Spacing::Joint;
+            }
+            _ => joint_dash = false,
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut iter = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match next_ident(&mut iter) {
+            Some(name) => fields.push(name),
+            None => return fields,
+        }
+        // Consume the `:` then the type.
+        iter.next();
+        skip_past_comma(&mut iter);
+    }
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut iter = group.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_past_comma(&mut iter);
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                iter.next();
+                VariantFields::Named(names)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_past_comma(&mut iter);
+        variants.push(Variant { name, fields });
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = next_ident(&mut iter).ok_or("expected `struct` or `enum`")?;
+    let name = next_ident(&mut iter).ok_or("expected the item name")?;
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+    let kind = match (keyword.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream())?)
+        }
+        _ => {
+            return Err(format!(
+                "serde shim: cannot derive for `{name}`: unsupported item shape"
+            ))
+        }
+    };
+    Ok(Input { name, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields = ::std::vec::Vec::new(); {pushes} \
+                 ::serde::Value::Object(__fields)"
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let pushes: String = (0..*n)
+                .map(|i| format!("__items.push(::serde::Serialize::to_value(&self.{i}));"))
+                .collect();
+            format!(
+                "let mut __items = ::std::vec::Vec::new(); {pushes} \
+                 ::serde::Value::Array(__items)"
+            )
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| gen_variant_ser(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_variant_ser(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::String(::std::string::String::from({vname:?})),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let pushes: String = binds
+                    .iter()
+                    .map(|b| format!("__items.push(::serde::Serialize::to_value({b}));"))
+                    .collect();
+                format!(
+                    "{{ let mut __items = ::std::vec::Vec::new(); {pushes} \
+                     ::serde::Value::Array(__items) }}"
+                )
+            };
+            format!(
+                "{enum_name}::{vname}({}) => {{ let mut __tagged = ::std::vec::Vec::new(); \
+                 __tagged.push((::std::string::String::from({vname:?}), {inner})); \
+                 ::serde::Value::Object(__tagged) }},",
+                binds.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => {{ \
+                 let mut __fields = ::std::vec::Vec::new(); {pushes} \
+                 let mut __tagged = ::std::vec::Vec::new(); \
+                 __tagged.push((::std::string::String::from({vname:?}), \
+                 ::serde::Value::Object(__fields))); \
+                 ::serde::Value::Object(__tagged) }},",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(__fields, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __fields = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for struct {name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for struct {name}\"))?; \
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple length for {name}\")); }} \
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+             \"expected null for unit struct {name}\")) }}"
+        ),
+        Kind::Enum(variants) => gen_enum_de(name, variants),
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => return ::std::result::Result::Ok({name}::{}),",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let unit_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::std::option::Option::Some(__s) = __v.as_str() {{ \
+             match __s {{ {unit_arms} _ => {{}} }} }}"
+        )
+    };
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Tuple(1) => Some(format!(
+                    "{vname:?} => return ::std::result::Result::Ok(\
+                     {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VariantFields::Tuple(n) => {
+                    let inits: String = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{ \
+                         let __items = __inner.as_array().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected array for {name}::{vname}\"))?; \
+                         if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(\"wrong arity for {name}::{vname}\")); }} \
+                         return ::std::result::Result::Ok({name}::{vname}({inits})); }},"
+                    ))
+                }
+                VariantFields::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::get_field(__fields, {f:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{ \
+                         let __fields = __inner.as_object().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected object for {name}::{vname}\"))?; \
+                         return ::std::result::Result::Ok({name}::{vname} {{ {inits} }}); }},"
+                    ))
+                }
+            }
+        })
+        .collect();
+    let tagged_match = if tagged_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::std::option::Option::Some(__obj) = __v.as_object() {{ \
+             if __obj.len() == 1 {{ \
+             let (__tag, __inner) = &__obj[0]; \
+             match __tag.as_str() {{ {tagged_arms} _ => {{}} }} }} }}"
+        )
+    };
+    format!(
+        "{unit_match} {tagged_match} \
+         ::std::result::Result::Err(::serde::DeError::custom(\
+         \"no matching variant of enum {name}\"))"
+    )
+}
