@@ -14,9 +14,9 @@ use rand::Rng;
 use rand::SeedableRng;
 use stpt_data::ConsumptionMatrix;
 use stpt_dp::prelude::*;
-use stpt_nn::dense::{Activation, Dense};
+use stpt_nn::dense::{Activation, Dense, DenseScratch};
 use stpt_nn::loss::bce;
-use stpt_nn::lstm::LstmCell;
+use stpt_nn::lstm::{LstmCell, LstmScratch};
 use stpt_nn::matrix::Matrix;
 use stpt_nn::optim::{Adam, Optimizer};
 use stpt_nn::param::{Param, Parameterized};
@@ -80,52 +80,35 @@ impl Generator {
     }
 
     /// Generate a window from i.i.d. noise inputs; returns the sequence and
-    /// the caches needed for backprop.
-    fn forward(
-        &self,
-        noise: &[f64],
-    ) -> (
-        Vec<f64>,
-        Vec<stpt_nn::lstm::LstmCache>,
-        Vec<stpt_nn::dense::DenseCache>,
-    ) {
-        let hidden = self.lstm.hidden_dim();
-        let mut h = Matrix::zeros(1, hidden);
-        let mut c = Matrix::zeros(1, hidden);
-        let mut out = Vec::with_capacity(noise.len());
-        let mut lstm_caches = Vec::with_capacity(noise.len());
-        let mut head_caches = Vec::with_capacity(noise.len());
-        for &z in noise {
-            let x = Matrix::from_vec(1, 1, vec![z]);
-            let (hn, cn, cache) = self.lstm.forward(&x, &h, &c);
-            h = hn;
-            c = cn;
-            let (y, hc) = self.head.forward(&h);
+    /// the scratch state needed for backprop.
+    fn forward(&self, noise: &[f64]) -> (Vec<f64>, LstmScratch, Vec<DenseScratch>) {
+        let t = noise.len();
+        let mut s = LstmScratch::default();
+        self.lstm.begin_seq(&mut s, 1, t);
+        let mut out = Vec::with_capacity(t);
+        let mut head_scratches = Vec::with_capacity(t);
+        for (i, &z) in noise.iter().enumerate() {
+            s.xs[i].copy_row_from(0, &[z]);
+            self.lstm.step(&mut s, i);
+            let (y, hc) = self.head.forward(&s.hs[i + 1]);
             out.push(y[(0, 0)]);
-            lstm_caches.push(cache);
-            head_caches.push(hc);
+            head_scratches.push(hc);
         }
-        (out, lstm_caches, head_caches)
+        (out, s, head_scratches)
     }
 
     /// Backprop `dL/dy_t` through head and LSTM (accumulates grads).
-    fn backward(
-        &mut self,
-        lstm_caches: &[stpt_nn::lstm::LstmCache],
-        head_caches: &[stpt_nn::dense::DenseCache],
-        dy: &[f64],
-    ) {
-        let hidden = self.lstm.hidden_dim();
+    fn backward(&mut self, s: &mut LstmScratch, head_scratches: &mut [DenseScratch], dy: &[f64]) {
         let t = dy.len();
-        let mut dh_next = Matrix::zeros(1, hidden);
-        let mut dc_next = Matrix::zeros(1, hidden);
+        self.lstm.begin_backward(s, 1);
         for i in (0..t).rev() {
             let dyi = Matrix::from_vec(1, 1, vec![dy[i]]);
-            let mut dh = self.head.backward(&head_caches[i], &dyi);
-            dh.add_assign(&dh_next);
-            let (_, dh_prev, dc_prev) = self.lstm.backward(&lstm_caches[i], &dh, &dc_next);
-            dh_next = dh_prev;
-            dc_next = dc_prev;
+            let mut dh = self.head.backward(&mut head_scratches[i], &dyi);
+            // Fold in dL/dh flowing back from the later timestep.
+            dh.add_assign(&s.dh);
+            s.dh.copy_from(&dh);
+            self.lstm.step_backward(s, i);
+            s.advance_back();
         }
     }
 }
@@ -151,49 +134,40 @@ impl Discriminator {
         }
     }
 
-    /// Probability that the window is real, with caches.
-    fn forward(
-        &self,
-        window: &[f64],
-    ) -> (
-        f64,
-        Vec<stpt_nn::lstm::LstmCache>,
-        stpt_nn::dense::DenseCache,
-    ) {
-        let hidden = self.lstm.hidden_dim();
-        let mut h = Matrix::zeros(1, hidden);
-        let mut c = Matrix::zeros(1, hidden);
-        let mut caches = Vec::with_capacity(window.len());
-        for &v in window {
-            let x = Matrix::from_vec(1, 1, vec![v]);
-            let (hn, cn, cache) = self.lstm.forward(&x, &h, &c);
-            h = hn;
-            c = cn;
-            caches.push(cache);
+    /// Probability that the window is real, with the scratch state needed
+    /// for backprop. The window length is recovered from `dinput`'s length
+    /// at backward time, so `backward` takes it explicitly.
+    fn forward(&self, window: &[f64]) -> (f64, LstmScratch, DenseScratch) {
+        let t = window.len();
+        let mut s = LstmScratch::default();
+        self.lstm.begin_seq(&mut s, 1, t);
+        for (i, &v) in window.iter().enumerate() {
+            s.xs[i].copy_row_from(0, &[v]);
+            self.lstm.step(&mut s, i);
         }
-        let (p, head_cache) = self.head.forward(&h);
-        (p[(0, 0)], caches, head_cache)
+        let (p, head_scratch) = self.head.forward(&s.hs[t]);
+        (p[(0, 0)], s, head_scratch)
     }
 
-    /// Backprop from `dL/dprob`; accumulates grads and returns `dL/dinput`
-    /// for each window position (needed to train the generator).
+    /// Backprop from `dL/dprob` over a `t`-step window; accumulates grads
+    /// and returns `dL/dinput` for each window position (needed to train
+    /// the generator).
     fn backward(
         &mut self,
-        caches: &[stpt_nn::lstm::LstmCache],
-        head_cache: &stpt_nn::dense::DenseCache,
+        s: &mut LstmScratch,
+        head_scratch: &mut DenseScratch,
         dprob: f64,
+        t: usize,
     ) -> Vec<f64> {
-        let hidden = self.lstm.hidden_dim();
-        let t = caches.len();
         let dp = Matrix::from_vec(1, 1, vec![dprob]);
-        let mut dh = self.head.backward(head_cache, &dp);
-        let mut dc = Matrix::zeros(1, hidden);
+        let dh = self.head.backward(head_scratch, &dp);
+        self.lstm.begin_backward(s, 1);
+        s.dh.copy_from(&dh);
         let mut dinput = vec![0.0; t];
         for i in (0..t).rev() {
-            let (dx, dh_prev, dc_prev) = self.lstm.backward(&caches[i], &dh, &dc);
-            dinput[i] = dx[(0, 0)];
-            dh = dh_prev;
-            dc = dc_prev;
+            self.lstm.step_backward(s, i);
+            dinput[i] = s.dx[(0, 0)];
+            s.advance_back();
         }
         dinput
     }
@@ -258,23 +232,33 @@ impl Mechanism for LganDp {
                 real_idx.push(rng.gen_range(0..windows.len()));
             }
             for &i in &real_idx {
-                let (p, caches, hc) = disc.forward(&windows[i]);
+                let (p, mut caches, mut hc) = disc.forward(&windows[i]);
                 // BCE with target 1: dL/dp = (p - 1)/(p(1-p)) / batch.
                 let (_, grad) = bce(
                     &Matrix::from_vec(1, 1, vec![p]),
                     &Matrix::from_vec(1, 1, vec![1.0]),
                 );
-                disc.backward(&caches, &hc, grad[(0, 0)] / self.batch as f64);
+                let _ = disc.backward(
+                    &mut caches,
+                    &mut hc,
+                    grad[(0, 0)] / self.batch as f64,
+                    windows[i].len(),
+                );
             }
             for _ in 0..self.batch {
                 let noise: Vec<f64> = (0..ws).map(|_| rng.gen::<f64>()).collect();
                 let (fake, _, _) = gen.forward(&noise);
-                let (p, caches, hc) = disc.forward(&fake);
+                let (p, mut caches, mut hc) = disc.forward(&fake);
                 let (_, grad) = bce(
                     &Matrix::from_vec(1, 1, vec![p]),
                     &Matrix::from_vec(1, 1, vec![0.0]),
                 );
-                disc.backward(&caches, &hc, grad[(0, 0)] / self.batch as f64);
+                let _ = disc.backward(
+                    &mut caches,
+                    &mut hc,
+                    grad[(0, 0)] / self.batch as f64,
+                    fake.len(),
+                );
             }
             // Clip and perturb the discriminator gradients (the DP step).
             disc.clip_grads(self.grad_clip);
@@ -289,8 +273,8 @@ impl Mechanism for LganDp {
             gen.zero_grad();
             for _ in 0..self.batch {
                 let noise: Vec<f64> = (0..ws).map(|_| rng.gen::<f64>()).collect();
-                let (fake, lstm_caches, head_caches) = gen.forward(&noise);
-                let (p, dcaches, dhc) = disc.forward(&fake);
+                let (fake, mut lstm_scratch, mut head_scratches) = gen.forward(&noise);
+                let (p, mut dcaches, mut dhc) = disc.forward(&fake);
                 // Non-saturating generator loss: maximise log D(G(z)).
                 let (_, grad) = bce(
                     &Matrix::from_vec(1, 1, vec![p]),
@@ -298,8 +282,13 @@ impl Mechanism for LganDp {
                 );
                 // Get dL/dinput without accumulating into D's grads twice:
                 // D's grads are zeroed right after.
-                let dinput = disc.backward(&dcaches, &dhc, grad[(0, 0)] / self.batch as f64);
-                gen.backward(&lstm_caches, &head_caches, &dinput);
+                let dinput = disc.backward(
+                    &mut dcaches,
+                    &mut dhc,
+                    grad[(0, 0)] / self.batch as f64,
+                    fake.len(),
+                );
+                gen.backward(&mut lstm_scratch, &mut head_scratches, &dinput);
             }
             disc.zero_grad();
             gen.clip_grads(self.grad_clip);

@@ -19,14 +19,29 @@ pub struct SelfAttention {
     scale: f64,
 }
 
-/// Forward-pass cache for one sequence.
-#[derive(Debug, Clone)]
-pub struct AttentionCache {
+/// Reusable forward/backward scratch for one [`SelfAttention`].
+#[derive(Debug, Clone, Default)]
+pub struct AttnScratch {
     x: Matrix,
     q: Matrix,
     k: Matrix,
     v: Matrix,
     attn: Matrix,
+    y: Matrix,
+    dattn: Matrix,
+    dscores: Matrix,
+    dq: Matrix,
+    dk: Matrix,
+    dv: Matrix,
+}
+
+impl AttnScratch {
+    /// Attention output of the last forward pass.
+    #[inline]
+    #[must_use]
+    pub fn out(&self) -> &Matrix {
+        &self.y
+    }
 }
 
 impl SelfAttention {
@@ -41,64 +56,73 @@ impl SelfAttention {
     }
 
     /// Embedding dimensionality.
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.wq.value.rows()
     }
 
-    /// Forward over one sequence `x` of shape `T × dim`.
-    pub fn forward(&self, x: &Matrix) -> (Matrix, AttentionCache) {
-        let q = x.matmul(&self.wq.value);
-        let k = x.matmul(&self.wk.value);
-        let v = x.matmul(&self.wv.value);
-        let scores = q.matmul_transpose(&k).scale(self.scale);
-        let attn = scores.softmax_rows();
-        let y = attn.matmul(&v);
-        (
-            y,
-            AttentionCache {
-                x: x.clone(),
-                q,
-                k,
-                v,
-                attn,
-            },
-        )
+    /// Forward over one sequence `x` of shape `T × dim`, writing into `s`
+    /// (result is `s.out()`).
+    pub fn forward_into(&self, x: &Matrix, s: &mut AttnScratch) {
+        s.x.copy_from(x);
+        x.matmul_into(&self.wq.value, &mut s.q);
+        x.matmul_into(&self.wk.value, &mut s.k);
+        x.matmul_into(&self.wv.value, &mut s.v);
+        s.q.matmul_transpose_into(&s.k, &mut s.attn);
+        let scale = self.scale;
+        s.attn.map_in_place(|v| v * scale);
+        s.attn.softmax_rows_in_place();
+        s.attn.matmul_into(&s.v, &mut s.y);
     }
 
     /// Backward over one sequence; accumulates parameter gradients and
-    /// returns `dL/dx`.
-    pub fn backward(&mut self, cache: &AttentionCache, dy: &Matrix) -> Matrix {
-        let AttentionCache { x, q, k, v, attn } = cache;
-
+    /// writes `dL/dx` into `dx`. `s` must hold the matching forward pass.
+    pub fn backward_into(&mut self, s: &mut AttnScratch, dy: &Matrix, dx: &mut Matrix) {
         // y = attn · v
-        let dattn = dy.matmul_transpose(v);
-        let dv = attn.transpose_matmul(dy);
+        dy.matmul_transpose_into(&s.v, &mut s.dattn);
+        s.attn.transpose_matmul_into(dy, &mut s.dv);
 
         // Softmax backward per row: ds = attn ⊙ (dattn - rowsum(dattn ⊙ attn)).
-        let t = attn.rows();
-        let mut dscores = Matrix::zeros(t, t);
+        let t = s.attn.rows();
+        s.dscores.resize(t, t);
         for r in 0..t {
-            let arow = attn.row(r);
-            let drow = dattn.row(r);
+            let arow = s.attn.row(r);
+            let drow = s.dattn.row(r);
             let dot: f64 = arow.iter().zip(drow).map(|(&a, &d)| a * d).sum();
             for c in 0..t {
-                dscores[(r, c)] = arow[c] * (drow[c] - dot);
+                s.dscores[(r, c)] = arow[c] * (drow[c] - dot);
             }
         }
-        let dscores = dscores.scale(self.scale);
+        let scale = self.scale;
+        s.dscores.map_in_place(|v| v * scale);
 
         // scores = q·kᵀ
-        let dq = dscores.matmul(k);
-        let dk = dscores.transpose_matmul(q);
+        s.dscores.matmul_into(&s.k, &mut s.dq);
+        s.dscores.transpose_matmul_into(&s.q, &mut s.dk);
 
         // Projections.
-        self.wq.grad.add_assign(&x.transpose_matmul(&dq));
-        self.wk.grad.add_assign(&x.transpose_matmul(&dk));
-        self.wv.grad.add_assign(&x.transpose_matmul(&dv));
+        self.wq.grad.add_transpose_matmul(&s.x, &s.dq);
+        self.wk.grad.add_transpose_matmul(&s.x, &s.dk);
+        self.wv.grad.add_transpose_matmul(&s.x, &s.dv);
 
-        let mut dx = dq.matmul_transpose(&self.wq.value);
-        dx.add_assign(&dk.matmul_transpose(&self.wk.value));
-        dx.add_assign(&dv.matmul_transpose(&self.wv.value));
+        s.dq.matmul_transpose_into(&self.wq.value, dx);
+        dx.add_matmul_transpose(&s.dk, &self.wk.value);
+        dx.add_matmul_transpose(&s.dv, &self.wv.value);
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward_into`].
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> (Matrix, AttnScratch) {
+        let mut s = AttnScratch::default();
+        self.forward_into(x, &mut s);
+        (s.y.clone(), s)
+    }
+
+    /// Allocating convenience wrapper around [`Self::backward_into`].
+    #[must_use]
+    pub fn backward(&mut self, s: &mut AttnScratch, dy: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(s, dy, &mut dx);
         dx
     }
 }
@@ -161,9 +185,9 @@ mod tests {
                 crate::loss::mse(&y, &target).0
             },
             |a| {
-                let (y, cache) = a.forward(&x);
+                let (y, mut cache) = a.forward(&x);
                 let (_, dy) = crate::loss::mse(&y, &target);
-                a.backward(&cache, &dy);
+                let _ = a.backward(&mut cache, &dy);
             },
             3e-4,
         );
@@ -175,9 +199,9 @@ mod tests {
         let mut attn = SelfAttention::new(2, &mut rng);
         let x = Matrix::xavier(3, 2, &mut rng);
         let target = Matrix::zeros(3, 2);
-        let (y, cache) = attn.forward(&x);
+        let (y, mut cache) = attn.forward(&x);
         let (_, dy) = crate::loss::mse(&y, &target);
-        let dx = attn.backward(&cache, &dy);
+        let dx = attn.backward(&mut cache, &dy);
         let h = 1e-6;
         for i in 0..x.data().len() {
             let mut xp = x.clone();

@@ -29,12 +29,25 @@ pub struct Dense {
     activation: Activation,
 }
 
-/// Forward-pass cache needed by [`Dense::backward`].
-#[derive(Debug, Clone)]
-pub struct DenseCache {
+/// Reusable forward/backward scratch for one [`Dense`] layer.
+///
+/// Holds the forward cache (`x`, `pre`, `out`) plus backward temporaries, all
+/// recycled across calls so steady-state training never allocates.
+#[derive(Debug, Clone, Default)]
+pub struct DenseScratch {
     x: Matrix,
     pre: Matrix,
     out: Matrix,
+    dpre: Matrix,
+}
+
+impl DenseScratch {
+    /// Activation output of the last forward pass.
+    #[inline]
+    #[must_use]
+    pub fn out(&self) -> &Matrix {
+        &self.out
+    }
 }
 
 impl Dense {
@@ -53,47 +66,65 @@ impl Dense {
     }
 
     /// Input dimensionality.
+    #[must_use]
     pub fn input_dim(&self) -> usize {
         self.w.value.rows()
     }
 
     /// Output dimensionality.
+    #[must_use]
     pub fn output_dim(&self) -> usize {
         self.w.value.cols()
     }
 
-    /// Forward pass for a batch (rows = samples).
-    pub fn forward(&self, x: &Matrix) -> (Matrix, DenseCache) {
-        let pre = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
-        let out = match self.activation {
-            Activation::Identity => pre.clone(),
-            Activation::Sigmoid => pre.map(sigmoid),
-            Activation::Tanh => pre.map(f64::tanh),
-            Activation::Relu => pre.map(relu),
-        };
-        (
-            out.clone(),
-            DenseCache {
-                x: x.clone(),
-                pre,
-                out,
-            },
-        )
+    /// Forward pass for a batch (rows = samples), writing into `s`.
+    ///
+    /// The result is `s.out()`; `s` keeps everything [`Self::backward_into`]
+    /// needs.
+    pub fn forward_into(&self, x: &Matrix, s: &mut DenseScratch) {
+        s.x.copy_from(x);
+        x.matmul_into(&self.w.value, &mut s.pre);
+        s.pre.add_row_assign(&self.b.value);
+        match self.activation {
+            Activation::Identity => s.out.copy_from(&s.pre),
+            Activation::Sigmoid => s.pre.map_into(sigmoid, &mut s.out),
+            Activation::Tanh => s.pre.map_into(f64::tanh, &mut s.out),
+            Activation::Relu => s.pre.map_into(relu, &mut s.out),
+        }
     }
 
-    /// Backward pass: accumulate parameter gradients, return `dL/dx`.
-    pub fn backward(&mut self, cache: &DenseCache, dout: &Matrix) -> Matrix {
-        let dpre = match self.activation {
-            Activation::Identity => dout.clone(),
+    /// Backward pass: accumulate parameter gradients, write `dL/dx` into
+    /// `dx` (resized as needed). `s` must hold the matching forward pass.
+    pub fn backward_into(&mut self, s: &mut DenseScratch, dout: &Matrix, dx: &mut Matrix) {
+        match self.activation {
+            Activation::Identity => s.dpre.copy_from(dout),
             Activation::Sigmoid => {
-                dout.zip_with(&cache.out, |d, y| d * sigmoid_deriv_from_output(y))
+                dout.zip_with_into(&s.out, |d, y| d * sigmoid_deriv_from_output(y), &mut s.dpre)
             }
-            Activation::Tanh => dout.zip_with(&cache.out, |d, y| d * tanh_deriv_from_output(y)),
-            Activation::Relu => dout.zip_with(&cache.pre, |d, p| d * relu_deriv(p)),
-        };
-        self.w.grad.add_assign(&cache.x.transpose_matmul(&dpre));
-        self.b.grad.add_assign(&dpre.sum_rows());
-        dpre.matmul_transpose(&self.w.value)
+            Activation::Tanh => {
+                dout.zip_with_into(&s.out, |d, y| d * tanh_deriv_from_output(y), &mut s.dpre)
+            }
+            Activation::Relu => dout.zip_with_into(&s.pre, |d, p| d * relu_deriv(p), &mut s.dpre),
+        }
+        self.w.grad.add_transpose_matmul(&s.x, &s.dpre);
+        self.b.grad.add_sum_rows(&s.dpre);
+        s.dpre.matmul_transpose_into(&self.w.value, dx);
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward_into`].
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> (Matrix, DenseScratch) {
+        let mut s = DenseScratch::default();
+        self.forward_into(x, &mut s);
+        (s.out.clone(), s)
+    }
+
+    /// Allocating convenience wrapper around [`Self::backward_into`].
+    #[must_use]
+    pub fn backward(&mut self, s: &mut DenseScratch, dout: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(s, dout, &mut dx);
+        dx
     }
 }
 
@@ -136,6 +167,32 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bitwise_identical() {
+        // The same forward/backward through a recycled scratch must produce
+        // bit-identical results — the determinism argument for the arena.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::xavier(4, 3, &mut rng);
+        let dout = Matrix::xavier(4, 2, &mut rng);
+
+        let mut s = DenseScratch::default();
+        let mut dx = Matrix::default();
+        layer.forward_into(&x, &mut s);
+        let out_fresh = s.out().clone();
+        layer.backward_into(&mut s, &dout, &mut dx);
+        let dx_fresh = dx.clone();
+        let grad_fresh = layer.w.grad.clone();
+
+        layer.zero_grad();
+        // Second pass through the *same* buffers.
+        layer.forward_into(&x, &mut s);
+        assert_eq!(s.out(), &out_fresh);
+        layer.backward_into(&mut s, &dout, &mut dx);
+        assert_eq!(dx, dx_fresh);
+        assert_eq!(layer.w.grad, grad_fresh);
+    }
+
+    #[test]
     fn gradients_match_finite_difference_all_activations() {
         for act in [
             Activation::Identity,
@@ -154,9 +211,9 @@ mod tests {
                     crate::loss::mse(&y, &target).0
                 },
                 |l| {
-                    let (y, cache) = l.forward(&x);
+                    let (y, mut cache) = l.forward(&x);
                     let (_, dy) = crate::loss::mse(&y, &target);
-                    l.backward(&cache, &dy);
+                    let _ = l.backward(&mut cache, &dy);
                 },
                 2e-4,
             );
@@ -169,9 +226,9 @@ mod tests {
         let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
         let x = Matrix::xavier(2, 3, &mut rng);
         let target = Matrix::zeros(2, 2);
-        let (y, cache) = layer.forward(&x);
+        let (y, mut cache) = layer.forward(&x);
         let (_, dy) = crate::loss::mse(&y, &target);
-        let dx = layer.backward(&cache, &dy);
+        let dx = layer.backward(&mut cache, &dy);
         let h = 1e-6;
         for i in 0..x.data().len() {
             let mut xp = x.clone();

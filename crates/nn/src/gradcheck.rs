@@ -1,6 +1,8 @@
 //! Finite-difference gradient checking used across the layer test suites.
 
+use crate::matrix::Matrix;
 use crate::param::Parameterized;
+use crate::workspace::{SeqBody, Workspace};
 
 /// Verify analytic gradients against central finite differences.
 ///
@@ -41,4 +43,29 @@ pub fn check_gradients<M: Parameterized>(
             );
         }
     }
+}
+
+/// Finite-difference check a [`SeqBody`] end to end through its
+/// [`Workspace`] interface: `tokens` → final state → MSE against a zero
+/// target. Verifies both the forward wiring and the parameter gradients of
+/// `backward_into` for any body implementor.
+///
+/// Intended for tests only — it is O(#params) forward passes.
+pub fn check_seq_body<B: SeqBody>(body: &mut B, tokens: &Matrix, tol: f64) {
+    let target = Matrix::zeros(1, body.state_dim());
+    let loss = |b: &mut B| {
+        let mut ws = Workspace::new();
+        ws.tokens.copy_from(tokens);
+        b.forward_into(&mut ws);
+        crate::loss::mse(&ws.final_state, &target).0
+    };
+    let backward = |b: &mut B| {
+        let mut ws = Workspace::new();
+        ws.tokens.copy_from(tokens);
+        b.forward_into(&mut ws);
+        let (_, dfinal) = crate::loss::mse(&ws.final_state, &target);
+        ws.dfinal.copy_from(&dfinal);
+        b.backward_into(&mut ws);
+    };
+    check_gradients(body, loss, backward, tol);
 }

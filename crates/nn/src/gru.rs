@@ -11,7 +11,7 @@
 //! ```
 
 use crate::activation::sigmoid;
-use crate::matrix::Matrix;
+use crate::matrix::{grow_buffers, Matrix};
 use crate::param::{Param, Parameterized};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -30,15 +30,42 @@ pub struct GruCell {
     bn: Param,
 }
 
-/// Per-timestep cache for backpropagation through time.
-#[derive(Debug, Clone)]
-pub struct GruCache {
-    x: Matrix,
-    h_prev: Matrix,
-    z: Matrix,
-    r: Matrix,
-    n: Matrix,
-    rh: Matrix,
+/// Reusable sequence scratch for one [`GruCell`]: per-timestep forward
+/// caches plus backward temporaries, recycled across minibatches.
+#[derive(Debug, Clone, Default)]
+pub struct GruScratch {
+    /// Per-step inputs; write `xs[t]` before calling [`GruCell::step`].
+    pub xs: Vec<Matrix>,
+    /// Hidden states: `hs[0]` is h₀ (zeroed by `begin_seq`), `hs[t+1]` is
+    /// the state produced by step `t`.
+    pub hs: Vec<Matrix>,
+    /// Incoming `dL/dh` for the step being back-propagated.
+    pub dh: Matrix,
+    /// Outgoing `dL/dh_{t-1}` written by [`GruCell::step_backward`].
+    pub dh_prev: Matrix,
+    /// Outgoing `dL/dx_t` written by [`GruCell::step_backward`].
+    pub dx: Matrix,
+    z: Vec<Matrix>,
+    r: Vec<Matrix>,
+    n: Vec<Matrix>,
+    rh: Vec<Matrix>,
+    pre: Matrix,
+    tmp: Matrix,
+    dn: Matrix,
+    dz: Matrix,
+    dr: Matrix,
+    dan: Matrix,
+    daz: Matrix,
+    dar: Matrix,
+    drh: Matrix,
+}
+
+impl GruScratch {
+    /// Move to the previous timestep during backprop: the outgoing
+    /// `dh_prev` becomes the next iteration's incoming `dh`.
+    pub fn advance_back(&mut self) {
+        std::mem::swap(&mut self.dh, &mut self.dh_prev);
+    }
 }
 
 impl GruCell {
@@ -58,91 +85,163 @@ impl GruCell {
     }
 
     /// Hidden-state dimensionality.
+    #[must_use]
     pub fn hidden_dim(&self) -> usize {
         self.uz.value.rows()
     }
 
     /// Input dimensionality.
+    #[must_use]
     pub fn input_dim(&self) -> usize {
         self.wz.value.rows()
     }
 
-    /// One step: `(x_t, h_{t-1}) -> h_t`.
-    pub fn forward(&self, x: &Matrix, h_prev: &Matrix) -> (Matrix, GruCache) {
-        let z = x
-            .matmul(&self.wz.value)
-            .add(&h_prev.matmul(&self.uz.value))
-            .add_row_broadcast(&self.bz.value)
-            .map(sigmoid);
-        let r = x
-            .matmul(&self.wr.value)
-            .add(&h_prev.matmul(&self.ur.value))
-            .add_row_broadcast(&self.br.value)
-            .map(sigmoid);
-        let rh = r.hadamard(h_prev);
-        let n = x
-            .matmul(&self.wn.value)
-            .add(&rh.matmul(&self.un.value))
-            .add_row_broadcast(&self.bn.value)
-            .map(f64::tanh);
-        let h_new = z.map(|v| 1.0 - v).hadamard(&n).add(&z.hadamard(h_prev));
-        (
-            h_new,
-            GruCache {
-                x: x.clone(),
-                h_prev: h_prev.clone(),
-                z,
-                r,
-                n,
-                rh,
-            },
-        )
+    /// Prepare `s` for a `t_max`-step sequence over batches of `rows`
+    /// samples: size all per-step buffers and zero the initial state
+    /// `hs[0]`.
+    pub fn begin_seq(&self, s: &mut GruScratch, rows: usize, t_max: usize) {
+        grow_buffers(&mut s.xs, t_max);
+        grow_buffers(&mut s.hs, t_max + 1);
+        grow_buffers(&mut s.z, t_max);
+        grow_buffers(&mut s.r, t_max);
+        grow_buffers(&mut s.n, t_max);
+        grow_buffers(&mut s.rh, t_max);
+        for x in &mut s.xs[..t_max] {
+            x.resize(rows, self.input_dim());
+        }
+        s.hs[0].resize(rows, self.hidden_dim());
+        s.hs[0].zero_out();
     }
 
-    /// Backward through one step given `dL/dh_t`; accumulates parameter
-    /// gradients and returns `(dL/dx_t, dL/dh_{t-1})`.
-    pub fn backward(&mut self, cache: &GruCache, dh: &Matrix) -> (Matrix, Matrix) {
-        let GruCache {
-            x,
-            h_prev,
+    /// One step: reads `s.xs[t]` and `s.hs[t]`, writes `s.hs[t+1]` and the
+    /// per-step gate caches.
+    pub fn step(&self, s: &mut GruScratch, t: usize) {
+        let GruScratch {
+            xs,
+            hs,
             z,
             r,
             n,
             rh,
-        } = cache;
+            pre,
+            tmp,
+            ..
+        } = s;
+        let (prev, next) = hs.split_at_mut(t + 1);
+        let x = &xs[t];
+        let h_prev = &prev[t];
+        let h_new = &mut next[0];
+
+        // z = σ(x Wz + h Uz + bz)
+        x.matmul_into(&self.wz.value, pre);
+        h_prev.matmul_into(&self.uz.value, tmp);
+        pre.add_assign(tmp);
+        pre.add_row_assign(&self.bz.value);
+        pre.map_into(sigmoid, &mut z[t]);
+
+        // r = σ(x Wr + h Ur + br)
+        x.matmul_into(&self.wr.value, pre);
+        h_prev.matmul_into(&self.ur.value, tmp);
+        pre.add_assign(tmp);
+        pre.add_row_assign(&self.br.value);
+        pre.map_into(sigmoid, &mut r[t]);
+
+        // n = tanh(x Wn + (r ⊙ h) Un + bn)
+        r[t].zip_with_into(h_prev, |a, b| a * b, &mut rh[t]);
+        x.matmul_into(&self.wn.value, pre);
+        rh[t].matmul_into(&self.un.value, tmp);
+        pre.add_assign(tmp);
+        pre.add_row_assign(&self.bn.value);
+        pre.map_into(f64::tanh, &mut n[t]);
+
+        // h' = (1-z) ⊙ n + z ⊙ h, keeping the ((1-z)·n) + (z·h) grouping.
+        h_new.resize(x.rows(), self.hidden_dim());
+        for (((o, &zv), &nv), &hv) in h_new
+            .data_mut()
+            .iter_mut()
+            .zip(z[t].data())
+            .zip(n[t].data())
+            .zip(h_prev.data())
+        {
+            *o = (1.0 - zv) * nv + zv * hv;
+        }
+    }
+
+    /// Prepare for backprop from the end of a sequence over batches of
+    /// `rows` samples: zero the incoming `dh`. Callers then add the loss
+    /// gradient into `s.dh`.
+    pub fn begin_backward(&self, s: &mut GruScratch, rows: usize) {
+        s.dh.resize(rows, self.hidden_dim());
+        s.dh.zero_out();
+    }
+
+    /// Backward through step `t`: reads `s.dh` (`dL/dh_{t+1}`) and the
+    /// cached forward activations, accumulates parameter gradients, writes
+    /// `s.dx` and `s.dh_prev`. Call [`GruScratch::advance_back`] before
+    /// stepping to `t-1`.
+    pub fn step_backward(&mut self, s: &mut GruScratch, t: usize) {
+        let GruScratch {
+            xs,
+            hs,
+            z,
+            r,
+            n,
+            rh,
+            dh,
+            dh_prev,
+            dx,
+            dn,
+            dz,
+            dr,
+            dan,
+            daz,
+            dar,
+            drh,
+            ..
+        } = s;
+        let x = &xs[t];
+        let h_prev = &hs[t];
 
         // h' = (1-z)⊙n + z⊙h
-        let dn = dh.zip_with(z, |d, zv| d * (1.0 - zv));
-        let dz = dh.hadamard(&h_prev.sub(n));
-        let mut dh_prev = dh.hadamard(z);
+        dh.zip_with_into(&z[t], |d, zv| d * (1.0 - zv), dn);
+        // dz = dh ⊙ (h_prev - n)
+        dz.resize(dh.rows(), dh.cols());
+        for (((o, &d), &hv), &nv) in dz
+            .data_mut()
+            .iter_mut()
+            .zip(dh.data())
+            .zip(h_prev.data())
+            .zip(n[t].data())
+        {
+            *o = d * (hv - nv);
+        }
+        dh.zip_with_into(&z[t], |d, zv| d * zv, dh_prev);
 
         // Candidate: n = tanh(a_n), a_n = xWn + rh·Un + bn
-        let dan = dn.zip_with(n, |d, nv| d * (1.0 - nv * nv));
-        self.wn.grad.add_assign(&x.transpose_matmul(&dan));
-        self.un.grad.add_assign(&rh.transpose_matmul(&dan));
-        self.bn.grad.add_assign(&dan.sum_rows());
-        let mut dx = dan.matmul_transpose(&self.wn.value);
-        let drh = dan.matmul_transpose(&self.un.value);
-        let dr = drh.hadamard(h_prev);
-        dh_prev.add_assign(&drh.hadamard(r));
+        dn.zip_with_into(&n[t], |d, nv| d * (1.0 - nv * nv), dan);
+        self.wn.grad.add_transpose_matmul(x, dan);
+        self.un.grad.add_transpose_matmul(&rh[t], dan);
+        self.bn.grad.add_sum_rows(dan);
+        dan.matmul_transpose_into(&self.wn.value, dx);
+        dan.matmul_transpose_into(&self.un.value, drh);
+        drh.zip_with_into(h_prev, |a, b| a * b, dr);
+        dh_prev.add_assign_product(drh, &r[t]);
 
         // Update gate: z = σ(a_z)
-        let daz = dz.zip_with(z, |d, zv| d * zv * (1.0 - zv));
-        self.wz.grad.add_assign(&x.transpose_matmul(&daz));
-        self.uz.grad.add_assign(&h_prev.transpose_matmul(&daz));
-        self.bz.grad.add_assign(&daz.sum_rows());
-        dx.add_assign(&daz.matmul_transpose(&self.wz.value));
-        dh_prev.add_assign(&daz.matmul_transpose(&self.uz.value));
+        dz.zip_with_into(&z[t], |d, zv| d * zv * (1.0 - zv), daz);
+        self.wz.grad.add_transpose_matmul(x, daz);
+        self.uz.grad.add_transpose_matmul(h_prev, daz);
+        self.bz.grad.add_sum_rows(daz);
+        dx.add_matmul_transpose(daz, &self.wz.value);
+        dh_prev.add_matmul_transpose(daz, &self.uz.value);
 
         // Reset gate: r = σ(a_r)
-        let dar = dr.zip_with(r, |d, rv| d * rv * (1.0 - rv));
-        self.wr.grad.add_assign(&x.transpose_matmul(&dar));
-        self.ur.grad.add_assign(&h_prev.transpose_matmul(&dar));
-        self.br.grad.add_assign(&dar.sum_rows());
-        dx.add_assign(&dar.matmul_transpose(&self.wr.value));
-        dh_prev.add_assign(&dar.matmul_transpose(&self.ur.value));
-
-        (dx, dh_prev)
+        dr.zip_with_into(&r[t], |d, rv| d * rv * (1.0 - rv), dar);
+        self.wr.grad.add_transpose_matmul(x, dar);
+        self.ur.grad.add_transpose_matmul(h_prev, dar);
+        self.br.grad.add_sum_rows(dar);
+        dx.add_matmul_transpose(dar, &self.wr.value);
+        dh_prev.add_matmul_transpose(dar, &self.ur.value);
     }
 }
 
@@ -169,16 +268,24 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn one_step(cell: &GruCell, s: &mut GruScratch, x: &Matrix, h0: &Matrix) {
+        cell.begin_seq(s, x.rows(), 1);
+        s.xs[0].copy_from(x);
+        s.hs[0].copy_from(h0);
+        cell.step(s, 0);
+    }
+
     #[test]
     fn forward_shapes_and_bounds() {
         let mut rng = StdRng::seed_from_u64(0);
         let cell = GruCell::new(3, 5, &mut rng);
         let x = Matrix::xavier(4, 3, &mut rng);
         let h = Matrix::zeros(4, 5);
-        let (h1, _) = cell.forward(&x, &h);
-        assert_eq!(h1.shape(), (4, 5));
+        let mut s = GruScratch::default();
+        one_step(&cell, &mut s, &x, &h);
+        assert_eq!(s.hs[1].shape(), (4, 5));
         // With h0 = 0, h1 = (1-z)⊙n so |h1| <= 1.
-        assert!(h1.data().iter().all(|&v| v.abs() <= 1.0));
+        assert!(s.hs[1].data().iter().all(|&v| v.abs() <= 1.0));
     }
 
     #[test]
@@ -189,9 +296,10 @@ mod tests {
         cell.bz.value = Matrix::full(1, 2, 50.0); // force z -> 1
         let h_prev = Matrix::from_rows(&[vec![0.3, -0.7]]);
         let x = Matrix::from_rows(&[vec![1.0, -1.0]]);
-        let (h1, _) = cell.forward(&x, &h_prev);
+        let mut s = GruScratch::default();
+        one_step(&cell, &mut s, &x, &h_prev);
         for i in 0..2 {
-            assert!((h1[(0, i)] - h_prev[(0, i)]).abs() < 1e-6);
+            assert!((s.hs[1][(0, i)] - h_prev[(0, i)]).abs() < 1e-6);
         }
     }
 
@@ -203,19 +311,27 @@ mod tests {
         let x1 = Matrix::xavier(2, 2, &mut rng);
         let target = Matrix::xavier(2, 3, &mut rng);
 
+        let run = |c: &GruCell, s: &mut GruScratch| {
+            c.begin_seq(s, 2, 2);
+            s.xs[0].copy_from(&x0);
+            s.xs[1].copy_from(&x1);
+            c.step(s, 0);
+            c.step(s, 1);
+        };
         let loss = |c: &mut GruCell| {
-            let h0 = Matrix::zeros(2, 3);
-            let (h1, _) = c.forward(&x0, &h0);
-            let (h2, _) = c.forward(&x1, &h1);
-            crate::loss::mse(&h2, &target).0
+            let mut s = GruScratch::default();
+            run(c, &mut s);
+            crate::loss::mse(&s.hs[2], &target).0
         };
         let backward = |c: &mut GruCell| {
-            let h0 = Matrix::zeros(2, 3);
-            let (h1, c1) = c.forward(&x0, &h0);
-            let (h2, c2) = c.forward(&x1, &h1);
-            let (_, dh2) = crate::loss::mse(&h2, &target);
-            let (_, dh1) = c.backward(&c2, &dh2);
-            let _ = c.backward(&c1, &dh1);
+            let mut s = GruScratch::default();
+            run(c, &mut s);
+            let (_, dh2) = crate::loss::mse(&s.hs[2], &target);
+            c.begin_backward(&mut s, 2);
+            s.dh.add_assign(&dh2);
+            c.step_backward(&mut s, 1);
+            s.advance_back();
+            c.step_backward(&mut s, 0);
         };
         check_gradients(&mut cell, loss, backward, 2e-4);
     }
@@ -227,29 +343,32 @@ mod tests {
         let x = Matrix::xavier(1, 2, &mut rng);
         let h0 = Matrix::xavier(1, 2, &mut rng);
         let target = Matrix::zeros(1, 2);
-        let (h1, cache) = cell.forward(&x, &h0);
-        let (_, dh1) = crate::loss::mse(&h1, &target);
-        let (dx, dh0) = cell.backward(&cache, &dh1);
+        let mut s = GruScratch::default();
+        one_step(&cell, &mut s, &x, &h0);
+        let (_, dh1) = crate::loss::mse(&s.hs[1], &target);
+        cell.begin_backward(&mut s, 1);
+        s.dh.add_assign(&dh1);
+        cell.step_backward(&mut s, 0);
+        let (dx, dh0) = (s.dx.clone(), s.dh_prev.clone());
         let h = 1e-6;
+        let loss_at = |cell: &GruCell, x: &Matrix, h0: &Matrix| {
+            let mut s = GruScratch::default();
+            one_step(cell, &mut s, x, h0);
+            crate::loss::mse(&s.hs[1], &target).0
+        };
         for i in 0..2 {
             let mut xp = x.clone();
             xp.data_mut()[i] += h;
-            let (hp, _) = cell.forward(&xp, &h0);
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let (hm, _) = cell.forward(&xm, &h0);
-            let fd =
-                (crate::loss::mse(&hp, &target).0 - crate::loss::mse(&hm, &target).0) / (2.0 * h);
+            let fd = (loss_at(&cell, &xp, &h0) - loss_at(&cell, &xm, &h0)) / (2.0 * h);
             assert!((fd - dx.data()[i]).abs() < 1e-6, "dx i={i}");
 
             let mut hp0 = h0.clone();
             hp0.data_mut()[i] += h;
-            let (hp, _) = cell.forward(&x, &hp0);
             let mut hm0 = h0.clone();
             hm0.data_mut()[i] -= h;
-            let (hm, _) = cell.forward(&x, &hm0);
-            let fd =
-                (crate::loss::mse(&hp, &target).0 - crate::loss::mse(&hm, &target).0) / (2.0 * h);
+            let fd = (loss_at(&cell, &x, &hp0) - loss_at(&cell, &x, &hm0)) / (2.0 * h);
             assert!((fd - dh0.data()[i]).abs() < 1e-6, "dh0 i={i}");
         }
     }

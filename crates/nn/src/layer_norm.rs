@@ -15,11 +15,22 @@ pub struct LayerNorm {
     eps: f64,
 }
 
-/// Forward-pass cache for [`LayerNorm::backward`].
-#[derive(Debug, Clone)]
-pub struct LayerNormCache {
+/// Reusable forward/backward scratch for one [`LayerNorm`].
+#[derive(Debug, Clone, Default)]
+pub struct LayerNormScratch {
     xhat: Matrix,
+    y: Matrix,
     inv_std: Vec<f64>,
+    dxhat: Vec<f64>,
+}
+
+impl LayerNormScratch {
+    /// Normalised output of the last forward pass.
+    #[inline]
+    #[must_use]
+    pub fn out(&self) -> &Matrix {
+        &self.y
+    }
 }
 
 impl LayerNorm {
@@ -35,40 +46,38 @@ impl LayerNorm {
     }
 
     /// Feature dimensionality.
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.gamma.value.cols()
     }
 
-    /// Normalise each row of `x`.
-    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+    /// Normalise each row of `x`, writing into `s` (result is `s.out()`).
+    pub fn forward_into(&self, x: &Matrix, s: &mut LayerNormScratch) {
         let d = x.cols() as f64;
-        let mut xhat = Matrix::zeros(x.rows(), x.cols());
-        let mut inv_std = Vec::with_capacity(x.rows());
+        s.xhat.resize(x.rows(), x.cols());
+        s.y.resize(x.rows(), x.cols());
+        s.inv_std.clear();
         for r in 0..x.rows() {
             let row = x.row(r);
             let mean = row.iter().sum::<f64>() / d;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d;
             let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std.push(istd);
-            for (o, &v) in xhat.row_mut(r).iter_mut().zip(row) {
+            s.inv_std.push(istd);
+            for (o, &v) in s.xhat.row_mut(r).iter_mut().zip(row) {
                 *o = (v - mean) * istd;
             }
-        }
-        let mut y = xhat.clone();
-        for r in 0..y.rows() {
-            for (c, o) in y.row_mut(r).iter_mut().enumerate() {
-                *o = *o * self.gamma.value[(0, c)] + self.beta.value[(0, c)];
+            for (c, (o, &xh)) in s.y.row_mut(r).iter_mut().zip(s.xhat.row(r)).enumerate() {
+                *o = xh * self.gamma.value[(0, c)] + self.beta.value[(0, c)];
             }
         }
-        (y, LayerNormCache { xhat, inv_std })
     }
 
-    /// Backward pass; accumulates γ/β gradients and returns `dL/dx`.
-    pub fn backward(&mut self, cache: &LayerNormCache, dy: &Matrix) -> Matrix {
+    /// Backward pass; accumulates γ/β gradients and writes `dL/dx` into `dx`.
+    pub fn backward_into(&mut self, s: &mut LayerNormScratch, dy: &Matrix, dx: &mut Matrix) {
         let d = dy.cols() as f64;
-        let mut dx = Matrix::zeros(dy.rows(), dy.cols());
+        dx.resize(dy.rows(), dy.cols());
         for r in 0..dy.rows() {
-            let xhat_row = cache.xhat.row(r);
+            let xhat_row = s.xhat.row(r);
             let dy_row = dy.row(r);
             // Accumulate affine grads.
             for c in 0..dy.cols() {
@@ -76,16 +85,31 @@ impl LayerNorm {
                 self.beta.grad[(0, c)] += dy_row[c];
             }
             // dxhat = dy ⊙ γ
-            let dxhat: Vec<f64> = (0..dy.cols())
-                .map(|c| dy_row[c] * self.gamma.value[(0, c)])
-                .collect();
-            let sum_dxhat: f64 = dxhat.iter().sum();
-            let sum_dxhat_xhat: f64 = dxhat.iter().zip(xhat_row).map(|(&a, &b)| a * b).sum();
-            let istd = cache.inv_std[r];
+            s.dxhat.clear();
+            s.dxhat
+                .extend((0..dy.cols()).map(|c| dy_row[c] * self.gamma.value[(0, c)]));
+            let sum_dxhat: f64 = s.dxhat.iter().sum();
+            let sum_dxhat_xhat: f64 = s.dxhat.iter().zip(xhat_row).map(|(&a, &b)| a * b).sum();
+            let istd = s.inv_std[r];
             for c in 0..dy.cols() {
-                dx[(r, c)] = istd / d * (d * dxhat[c] - sum_dxhat - xhat_row[c] * sum_dxhat_xhat);
+                dx[(r, c)] = istd / d * (d * s.dxhat[c] - sum_dxhat - xhat_row[c] * sum_dxhat_xhat);
             }
         }
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward_into`].
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormScratch) {
+        let mut s = LayerNormScratch::default();
+        self.forward_into(x, &mut s);
+        (s.y.clone(), s)
+    }
+
+    /// Allocating convenience wrapper around [`Self::backward_into`].
+    #[must_use]
+    pub fn backward(&mut self, s: &mut LayerNormScratch, dy: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(s, dy, &mut dx);
         dx
     }
 }
@@ -150,9 +174,9 @@ mod tests {
                 crate::loss::mse(&y, &target).0
             },
             |l| {
-                let (y, cache) = l.forward(&x);
+                let (y, mut cache) = l.forward(&x);
                 let (_, dy) = crate::loss::mse(&y, &target);
-                l.backward(&cache, &dy);
+                let _ = l.backward(&mut cache, &dy);
             },
             2e-4,
         );
@@ -164,9 +188,9 @@ mod tests {
         let mut ln = LayerNorm::new(3);
         let x = Matrix::xavier(2, 3, &mut rng);
         let target = Matrix::zeros(2, 3);
-        let (y, cache) = ln.forward(&x);
+        let (y, mut cache) = ln.forward(&x);
         let (_, dy) = crate::loss::mse(&y, &target);
-        let dx = ln.backward(&cache, &dy);
+        let dx = ln.backward(&mut cache, &dy);
         let h = 1e-6;
         for i in 0..x.data().len() {
             let mut xp = x.clone();

@@ -14,6 +14,9 @@
 //! * [`optim`] — SGD, RMSProp (the paper's optimizer) and Adam.
 //! * [`loss`] — MSE/MAE/RMSE and binary cross-entropy (for the LGAN-DP
 //!   baseline's discriminator).
+//! * [`workspace`] — the [`workspace::Workspace`] scratch arena and the
+//!   unified [`workspace::SeqBody`] body trait (allocation-free training;
+//!   see `DESIGN.md` §9).
 //! * [`seq`] — sliding-window forecasters assembling the above into the
 //!   paper's architectures.
 //!
@@ -49,7 +52,9 @@ pub mod param;
 pub mod rnn_cell;
 pub mod seq;
 pub mod transformer;
+pub mod workspace;
 
 pub use matrix::Matrix;
 pub use param::{Param, Parameterized};
 pub use seq::{make_windows, ModelKind, NetConfig, SequenceRegressor, TrainStats};
+pub use workspace::{AttentionGruBody, SeqBody, Workspace};

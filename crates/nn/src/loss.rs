@@ -8,16 +8,25 @@ use crate::matrix::Matrix;
 /// Returns `(loss, dL/dpred)` where the loss is averaged over every scalar so
 /// gradients are batch-size independent.
 pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let loss = mse_into(pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// Allocation-free [`mse`]: writes `dL/dpred` into `grad` (resized as
+/// needed) and returns the loss. Used by the training hot loop.
+#[track_caller]
+pub fn mse_into(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f64 {
     assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
     let n = (pred.rows() * pred.cols()) as f64;
+    grad.resize(pred.rows(), pred.cols());
     let mut loss = 0.0;
-    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
     for i in 0..pred.data().len() {
         let d = pred.data()[i] - target.data()[i];
         loss += d * d;
         grad.data_mut()[i] = 2.0 * d / n;
     }
-    (loss / n, grad)
+    loss / n
 }
 
 /// Mean absolute error (reported as MAE in Figures 8a/8e).

@@ -13,7 +13,7 @@
 //! ```
 
 use crate::activation::sigmoid;
-use crate::matrix::Matrix;
+use crate::matrix::{grow_buffers, Matrix};
 use crate::param::{Param, Parameterized};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -35,17 +35,49 @@ pub struct LstmCell {
     bg: Param,
 }
 
-/// Per-timestep cache for backpropagation through time.
-#[derive(Debug, Clone)]
-pub struct LstmCache {
-    x: Matrix,
-    h_prev: Matrix,
-    c_prev: Matrix,
-    i: Matrix,
-    f: Matrix,
-    o: Matrix,
-    g: Matrix,
-    tanh_c: Matrix,
+/// Reusable sequence scratch for one [`LstmCell`]: per-timestep forward
+/// caches plus backward temporaries, recycled across minibatches.
+#[derive(Debug, Clone, Default)]
+pub struct LstmScratch {
+    /// Per-step inputs; write `xs[t]` before calling [`LstmCell::step`].
+    pub xs: Vec<Matrix>,
+    /// Hidden states: `hs[0]` is h₀ (zeroed by `begin_seq`), `hs[t+1]` is
+    /// the state produced by step `t`.
+    pub hs: Vec<Matrix>,
+    /// Cell states, indexed like `hs`.
+    pub cs: Vec<Matrix>,
+    /// Incoming `dL/dh` for the step being back-propagated.
+    pub dh: Matrix,
+    /// Outgoing `dL/dh_{t-1}` written by [`LstmCell::step_backward`].
+    pub dh_prev: Matrix,
+    /// Incoming `dL/dc` for the step being back-propagated.
+    pub dc: Matrix,
+    /// Outgoing `dL/dc_{t-1}` written by [`LstmCell::step_backward`].
+    pub dc_prev: Matrix,
+    /// Outgoing `dL/dx_t` written by [`LstmCell::step_backward`].
+    pub dx: Matrix,
+    i: Vec<Matrix>,
+    f: Vec<Matrix>,
+    o: Vec<Matrix>,
+    g: Vec<Matrix>,
+    tanh_c: Vec<Matrix>,
+    pre: Matrix,
+    tmp: Matrix,
+    dct: Matrix,
+    do_: Matrix,
+    di: Matrix,
+    df: Matrix,
+    dg: Matrix,
+    da: Matrix,
+}
+
+impl LstmScratch {
+    /// Move to the previous timestep during backprop: the outgoing
+    /// `dh_prev`/`dc_prev` become the next iteration's incoming `dh`/`dc`.
+    pub fn advance_back(&mut self) {
+        std::mem::swap(&mut self.dh, &mut self.dh_prev);
+        std::mem::swap(&mut self.dc, &mut self.dc_prev);
+    }
 }
 
 impl LstmCell {
@@ -74,120 +106,184 @@ impl LstmCell {
     }
 
     /// Hidden-state dimensionality.
+    #[must_use]
     pub fn hidden_dim(&self) -> usize {
         self.ui.value.rows()
     }
 
     /// Input dimensionality.
+    #[must_use]
     pub fn input_dim(&self) -> usize {
         self.wi.value.rows()
     }
 
-    fn gate(&self, x: &Matrix, h: &Matrix, w: &Param, u: &Param, b: &Param) -> Matrix {
-        x.matmul(&w.value)
-            .add(&h.matmul(&u.value))
-            .add_row_broadcast(&b.value)
+    /// Prepare `s` for a `t_max`-step sequence over batches of `rows`
+    /// samples: size all per-step buffers and zero the initial states
+    /// `hs[0]` and `cs[0]`.
+    pub fn begin_seq(&self, s: &mut LstmScratch, rows: usize, t_max: usize) {
+        grow_buffers(&mut s.xs, t_max);
+        grow_buffers(&mut s.hs, t_max + 1);
+        grow_buffers(&mut s.cs, t_max + 1);
+        grow_buffers(&mut s.i, t_max);
+        grow_buffers(&mut s.f, t_max);
+        grow_buffers(&mut s.o, t_max);
+        grow_buffers(&mut s.g, t_max);
+        grow_buffers(&mut s.tanh_c, t_max);
+        for x in &mut s.xs[..t_max] {
+            x.resize(rows, self.input_dim());
+        }
+        s.hs[0].resize(rows, self.hidden_dim());
+        s.hs[0].zero_out();
+        s.cs[0].resize(rows, self.hidden_dim());
+        s.cs[0].zero_out();
     }
 
-    /// One step: `(x_t, h_{t-1}, c_{t-1}) -> (h_t, c_t)`.
-    pub fn forward(
-        &self,
+    /// Gate preactivation `x W + h U + b` into `s.pre` (via `s.tmp`).
+    fn gate_pre(
+        pre: &mut Matrix,
+        tmp: &mut Matrix,
         x: &Matrix,
-        h_prev: &Matrix,
-        c_prev: &Matrix,
-    ) -> (Matrix, Matrix, LstmCache) {
-        let i = self
-            .gate(x, h_prev, &self.wi, &self.ui, &self.bi)
-            .map(sigmoid);
-        let f = self
-            .gate(x, h_prev, &self.wf, &self.uf, &self.bf)
-            .map(sigmoid);
-        let o = self
-            .gate(x, h_prev, &self.wo, &self.uo, &self.bo)
-            .map(sigmoid);
-        let g = self
-            .gate(x, h_prev, &self.wg, &self.ug, &self.bg)
-            .map(f64::tanh);
-        let c_new = f.hadamard(c_prev).add(&i.hadamard(&g));
-        let tanh_c = c_new.map(f64::tanh);
-        let h_new = o.hadamard(&tanh_c);
-        (
-            h_new,
-            c_new,
-            LstmCache {
-                x: x.clone(),
-                h_prev: h_prev.clone(),
-                c_prev: c_prev.clone(),
-                i,
-                f,
-                o,
-                g,
-                tanh_c,
-            },
-        )
+        h: &Matrix,
+        w: &Param,
+        u: &Param,
+        b: &Param,
+    ) {
+        x.matmul_into(&w.value, pre);
+        h.matmul_into(&u.value, tmp);
+        pre.add_assign(tmp);
+        pre.add_row_assign(&b.value);
     }
 
-    /// Backward through one step given `dL/dh_t` and `dL/dc_t` (from the
-    /// future); accumulates parameter gradients and returns
-    /// `(dx, dh_prev, dc_prev)`.
-    pub fn backward(
-        &mut self,
-        cache: &LstmCache,
-        dh: &Matrix,
-        dc_in: &Matrix,
-    ) -> (Matrix, Matrix, Matrix) {
-        let LstmCache {
-            x,
-            h_prev,
-            c_prev,
+    /// One step: reads `s.xs[t]`, `s.hs[t]`, `s.cs[t]`; writes `s.hs[t+1]`,
+    /// `s.cs[t+1]` and the per-step gate caches.
+    pub fn step(&self, s: &mut LstmScratch, t: usize) {
+        let LstmScratch {
+            xs,
+            hs,
+            cs,
             i,
             f,
             o,
             g,
             tanh_c,
-        } = cache;
+            pre,
+            tmp,
+            ..
+        } = s;
+        let (h_prev_part, h_next_part) = hs.split_at_mut(t + 1);
+        let (c_prev_part, c_next_part) = cs.split_at_mut(t + 1);
+        let x = &xs[t];
+        let h_prev = &h_prev_part[t];
+        let c_prev = &c_prev_part[t];
+        let h_new = &mut h_next_part[0];
+        let c_new = &mut c_next_part[0];
 
-        let do_ = dh.hadamard(tanh_c);
+        Self::gate_pre(pre, tmp, x, h_prev, &self.wi, &self.ui, &self.bi);
+        pre.map_into(sigmoid, &mut i[t]);
+        Self::gate_pre(pre, tmp, x, h_prev, &self.wf, &self.uf, &self.bf);
+        pre.map_into(sigmoid, &mut f[t]);
+        Self::gate_pre(pre, tmp, x, h_prev, &self.wo, &self.uo, &self.bo);
+        pre.map_into(sigmoid, &mut o[t]);
+        Self::gate_pre(pre, tmp, x, h_prev, &self.wg, &self.ug, &self.bg);
+        pre.map_into(f64::tanh, &mut g[t]);
+
+        // c' = f ⊙ c + i ⊙ g, keeping the (f·c) + (i·g) grouping.
+        c_new.resize(x.rows(), self.hidden_dim());
+        for ((((cn, &fv), &cv), &iv), &gv) in c_new
+            .data_mut()
+            .iter_mut()
+            .zip(f[t].data())
+            .zip(c_prev.data())
+            .zip(i[t].data())
+            .zip(g[t].data())
+        {
+            *cn = fv * cv + iv * gv;
+        }
+        c_new.map_into(f64::tanh, &mut tanh_c[t]);
+        o[t].zip_with_into(&tanh_c[t], |a, b| a * b, h_new);
+    }
+
+    /// Prepare for backprop from the end of a sequence over batches of
+    /// `rows` samples: zero the incoming `dh` and `dc`. Callers then add
+    /// the loss gradient into `s.dh` (and `s.dc` if any).
+    pub fn begin_backward(&self, s: &mut LstmScratch, rows: usize) {
+        s.dh.resize(rows, self.hidden_dim());
+        s.dh.zero_out();
+        s.dc.resize(rows, self.hidden_dim());
+        s.dc.zero_out();
+    }
+
+    /// Backward through step `t`: reads `s.dh`/`s.dc` and the cached
+    /// forward activations, accumulates parameter gradients, writes `s.dx`,
+    /// `s.dh_prev` and `s.dc_prev`. Call [`LstmScratch::advance_back`]
+    /// before stepping to `t-1`.
+    pub fn step_backward(&mut self, s: &mut LstmScratch, t: usize) {
+        let LstmScratch {
+            xs,
+            hs,
+            cs,
+            i,
+            f,
+            o,
+            g,
+            tanh_c,
+            dh,
+            dh_prev,
+            dc,
+            dc_prev,
+            dx,
+            dct,
+            do_,
+            di,
+            df,
+            dg,
+            da,
+            ..
+        } = s;
+        let x = &xs[t];
+        let h_prev = &hs[t];
+        let c_prev = &cs[t];
+
+        dh.zip_with_into(&o[t], |d, ov| d * ov, dct);
         // dc = dh ⊙ o ⊙ (1 - tanh²c) + dc_in
-        let mut dc = dh.hadamard(o).zip_with(tanh_c, |d, tc| d * (1.0 - tc * tc));
-        dc.add_assign(dc_in);
+        dct.resize(dh.rows(), dh.cols());
+        for (v, &tc) in dct.data_mut().iter_mut().zip(tanh_c[t].data()) {
+            *v *= 1.0 - tc * tc;
+        }
+        dct.add_assign(dc);
+        dh.zip_with_into(&tanh_c[t], |d, tc| d * tc, do_);
 
-        let di = dc.hadamard(g);
-        let df = dc.hadamard(c_prev);
-        let dg = dc.hadamard(i);
-        let dc_prev = dc.hadamard(f);
+        dct.zip_with_into(&g[t], |d, gv| d * gv, di);
+        dct.zip_with_into(c_prev, |d, cv| d * cv, df);
+        dct.zip_with_into(&i[t], |d, iv| d * iv, dg);
+        dct.zip_with_into(&f[t], |d, fv| d * fv, dc_prev);
 
-        let mut dx = Matrix::zeros(x.rows(), x.cols());
-        let mut dh_prev = Matrix::zeros(h_prev.rows(), h_prev.cols());
+        dx.resize(x.rows(), x.cols());
+        dx.zero_out();
+        dh_prev.resize(h_prev.rows(), h_prev.cols());
+        dh_prev.zero_out();
 
-        // σ-gates
+        // σ-gates, in the fixed order i, f, o.
         for (d, gate, w, u, b) in [
-            (&di, i, 0usize, 0usize, 0usize),
-            (&df, f, 1, 1, 1),
-            (&do_, o, 2, 2, 2),
+            (&*di, &i[t], &mut self.wi, &mut self.ui, &mut self.bi),
+            (&*df, &f[t], &mut self.wf, &mut self.uf, &mut self.bf),
+            (&*do_, &o[t], &mut self.wo, &mut self.uo, &mut self.bo),
         ] {
-            let da = d.zip_with(gate, |dv, gv| dv * gv * (1.0 - gv));
-            let (w, u, b) = match (w, u, b) {
-                (0, _, _) => (&mut self.wi, &mut self.ui, &mut self.bi),
-                (1, _, _) => (&mut self.wf, &mut self.uf, &mut self.bf),
-                _ => (&mut self.wo, &mut self.uo, &mut self.bo),
-            };
-            w.grad.add_assign(&x.transpose_matmul(&da));
-            u.grad.add_assign(&h_prev.transpose_matmul(&da));
-            b.grad.add_assign(&da.sum_rows());
-            dx.add_assign(&da.matmul_transpose(&w.value));
-            dh_prev.add_assign(&da.matmul_transpose(&u.value));
+            d.zip_with_into(gate, |dv, gv| dv * gv * (1.0 - gv), da);
+            w.grad.add_transpose_matmul(x, da);
+            u.grad.add_transpose_matmul(h_prev, da);
+            b.grad.add_sum_rows(da);
+            dx.add_matmul_transpose(da, &w.value);
+            dh_prev.add_matmul_transpose(da, &u.value);
         }
 
         // tanh candidate
-        let dag = dg.zip_with(g, |dv, gv| dv * (1.0 - gv * gv));
-        self.wg.grad.add_assign(&x.transpose_matmul(&dag));
-        self.ug.grad.add_assign(&h_prev.transpose_matmul(&dag));
-        self.bg.grad.add_assign(&dag.sum_rows());
-        dx.add_assign(&dag.matmul_transpose(&self.wg.value));
-        dh_prev.add_assign(&dag.matmul_transpose(&self.ug.value));
-
-        (dx, dh_prev, dc_prev)
+        dg.zip_with_into(&g[t], |dv, gv| dv * (1.0 - gv * gv), da);
+        self.wg.grad.add_transpose_matmul(x, da);
+        self.ug.grad.add_transpose_matmul(h_prev, da);
+        self.bg.grad.add_sum_rows(da);
+        dx.add_matmul_transpose(da, &self.wg.value);
+        dh_prev.add_matmul_transpose(da, &self.ug.value);
     }
 }
 
@@ -225,9 +321,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let cell = LstmCell::new(3, 4, &mut rng);
         let x = Matrix::xavier(2, 3, &mut rng);
-        let (h1, c1, _) = cell.forward(&x, &Matrix::zeros(2, 4), &Matrix::zeros(2, 4));
-        assert_eq!(h1.shape(), (2, 4));
-        assert_eq!(c1.shape(), (2, 4));
+        let mut s = LstmScratch::default();
+        cell.begin_seq(&mut s, 2, 1);
+        s.xs[0].copy_from(&x);
+        cell.step(&mut s, 0);
+        assert_eq!(s.hs[1].shape(), (2, 4));
+        assert_eq!(s.cs[1].shape(), (2, 4));
     }
 
     #[test]
@@ -244,13 +343,13 @@ mod tests {
         cell.bf.value = Matrix::full(1, 2, 50.0); // f -> 1
         cell.bi.value = Matrix::full(1, 2, -50.0); // i -> 0
         let c_prev = Matrix::from_rows(&[vec![0.4, -0.2]]);
-        let (_, c1, _) = cell.forward(
-            &Matrix::from_rows(&[vec![1.0, -1.0]]),
-            &Matrix::zeros(1, 2),
-            &c_prev,
-        );
+        let mut s = LstmScratch::default();
+        cell.begin_seq(&mut s, 1, 1);
+        s.xs[0].copy_from(&Matrix::from_rows(&[vec![1.0, -1.0]]));
+        s.cs[0].copy_from(&c_prev);
+        cell.step(&mut s, 0);
         for i in 0..2 {
-            assert!((c1[(0, i)] - c_prev[(0, i)]).abs() < 1e-6);
+            assert!((s.cs[1][(0, i)] - c_prev[(0, i)]).abs() < 1e-6);
         }
     }
 
@@ -262,22 +361,27 @@ mod tests {
         let x1 = Matrix::xavier(2, 2, &mut rng);
         let target = Matrix::xavier(2, 3, &mut rng);
 
+        let run = |c: &LstmCell, s: &mut LstmScratch| {
+            c.begin_seq(s, 2, 2);
+            s.xs[0].copy_from(&x0);
+            s.xs[1].copy_from(&x1);
+            c.step(s, 0);
+            c.step(s, 1);
+        };
         let loss = |c: &mut LstmCell| {
-            let h0 = Matrix::zeros(2, 3);
-            let c0 = Matrix::zeros(2, 3);
-            let (h1, c1, _) = c.forward(&x0, &h0, &c0);
-            let (h2, _, _) = c.forward(&x1, &h1, &c1);
-            crate::loss::mse(&h2, &target).0
+            let mut s = LstmScratch::default();
+            run(c, &mut s);
+            crate::loss::mse(&s.hs[2], &target).0
         };
         let backward = |c: &mut LstmCell| {
-            let h0 = Matrix::zeros(2, 3);
-            let c0 = Matrix::zeros(2, 3);
-            let (h1, c1v, cch1) = c.forward(&x0, &h0, &c0);
-            let (h2, _, cch2) = c.forward(&x1, &h1, &c1v);
-            let (_, dh2) = crate::loss::mse(&h2, &target);
-            let dc2 = Matrix::zeros(2, 3);
-            let (_, dh1, dc1) = c.backward(&cch2, &dh2, &dc2);
-            let _ = c.backward(&cch1, &dh1, &dc1);
+            let mut s = LstmScratch::default();
+            run(c, &mut s);
+            let (_, dh2) = crate::loss::mse(&s.hs[2], &target);
+            c.begin_backward(&mut s, 2);
+            s.dh.add_assign(&dh2);
+            c.step_backward(&mut s, 1);
+            s.advance_back();
+            c.step_backward(&mut s, 0);
         };
         check_gradients(&mut cell, loss, backward, 3e-4);
     }

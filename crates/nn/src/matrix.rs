@@ -6,6 +6,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// True iff `x` is exactly `±0.0` at the bit level — the intent-revealing
@@ -17,6 +18,47 @@ fn is_exact_zero(x: f64) -> bool {
     x.to_bits() << 1 == 0
 }
 
+/// A shape incompatibility between two matrix operands.
+///
+/// Returned by the checked `try_*_into` kernel entry points; the panicking
+/// operators route the same condition through [`assert_shape`] so every
+/// shape diagnostic in the crate carries one consistent message format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Operation that rejected the operands (e.g. `"matmul"`).
+    pub op: &'static str,
+    /// Left operand shape.
+    pub lhs: (usize, usize),
+    /// Right operand shape.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shape mismatch: {:?} vs {:?}",
+            self.op, self.lhs, self.rhs
+        )
+    }
+}
+
+/// The single choke point for every panicking shape check in this module:
+/// all operators funnel through here so the message format stays uniform.
+#[track_caller]
+#[inline]
+fn assert_shape(ok: bool, op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) {
+    assert!(ok, "{}", ShapeError { op, lhs, rhs });
+}
+
+/// Grow a per-timestep buffer list to at least `n` entries (never shrinks,
+/// so repeated sequences through the same scratch recycle allocations).
+pub(crate) fn grow_buffers(v: &mut Vec<Matrix>, n: usize) {
+    if v.len() < n {
+        v.resize_with(n, Matrix::default);
+    }
+}
+
 /// Dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -25,8 +67,23 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+impl Default for Matrix {
+    /// Empty 0×0 matrix: the dormant state of a [`Workspace`] buffer before
+    /// its first `resize`.
+    ///
+    /// [`Workspace`]: crate::workspace::Workspace
+    fn default() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
 impl Matrix {
     /// Zero matrix of shape `rows × cols`.
+    #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
@@ -36,6 +93,7 @@ impl Matrix {
     }
 
     /// Matrix filled with `value`.
+    #[must_use]
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
         Matrix {
             rows,
@@ -45,23 +103,27 @@ impl Matrix {
     }
 
     /// Build from a row-major data vector.
+    #[must_use]
+    #[track_caller]
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "data length {} != {rows}x{cols}",
-            data.len()
+        assert_shape(
+            data.len() == rows * cols,
+            "from_vec",
+            (rows, cols),
+            (1, data.len()),
         );
         Matrix { rows, cols, data }
     }
 
     /// Build from nested rows.
+    #[must_use]
+    #[track_caller]
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
-            assert_eq!(row.len(), c, "ragged rows");
+            assert_shape(row.len() == c, "from_rows", (r, c), (1, row.len()));
             data.extend_from_slice(row);
         }
         Matrix {
@@ -73,6 +135,7 @@ impl Matrix {
 
     /// Xavier/Glorot-uniform initialisation: `U(-a, a)` with
     /// `a = sqrt(6 / (fan_in + fan_out))`.
+    #[must_use]
     pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
         let a = (6.0 / (rows + cols) as f64).sqrt();
         let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
@@ -81,24 +144,28 @@ impl Matrix {
 
     /// Number of rows.
     #[inline]
+    #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
     #[inline]
+    #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Shape as `(rows, cols)`.
     #[inline]
+    #[must_use]
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
 
     /// Underlying row-major data.
     #[inline]
+    #[must_use]
     pub fn data(&self) -> &[f64] {
         &self.data
     }
@@ -111,6 +178,7 @@ impl Matrix {
 
     /// A view of row `r`.
     #[inline]
+    #[must_use]
     pub fn row(&self, r: usize) -> &[f64] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -121,16 +189,74 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · other` (ikj loop order for cache friendliness).
-    pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols,
-            other.rows,
-            "matmul shape mismatch: {:?} x {:?}",
+    /// Reshape to `rows × cols`, reusing the existing allocation whenever it
+    /// is large enough. A same-shape resize is a no-op (the only path hit in
+    /// steady-state training); on a shape change the contents are zeroed.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        if self.rows == rows && self.cols == cols {
+            return;
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrite `self` with a copy of `src`, resizing as needed.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Overwrite row `r` of `self` with `src` (length must equal `cols`).
+    #[track_caller]
+    pub fn copy_row_from(&mut self, r: usize, src: &[f64]) {
+        assert_shape(
+            src.len() == self.cols,
+            "copy_row_from",
             self.shape(),
-            other.shape()
+            (1, src.len()),
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Matrix product `self · other` (ikj loop order for cache friendliness).
+    #[must_use]
+    #[track_caller]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product written into `out` (resized as needed).
+    #[track_caller]
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_shape(
+            self.cols == other.rows,
+            "matmul",
+            self.shape(),
+            other.shape(),
+        );
+        self.matmul_raw(other, out);
+    }
+
+    /// Checked matrix product into `out`; `Err` on incompatible operands.
+    pub fn try_matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        self.matmul_raw(other, out);
+        Ok(())
+    }
+
+    fn matmul_raw(&self, other: &Matrix, out: &mut Matrix) {
+        out.resize(self.rows, other.cols);
+        out.zero_out();
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -144,23 +270,52 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self · otherᵀ` without materialising the transpose.
+    #[must_use]
+    #[track_caller]
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols,
-            other.cols,
-            "matmul_transpose shape mismatch: {:?} x {:?}ᵀ",
+        let mut out = Matrix::default();
+        self.matmul_transpose_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into `out` (resized as needed).
+    #[track_caller]
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_shape(
+            self.cols == other.cols,
+            "matmul_transpose",
             self.shape(),
-            other.shape()
+            other.shape(),
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transpose_raw(other, out);
+    }
+
+    /// Checked `self · otherᵀ` into `out`; `Err` on incompatible operands.
+    pub fn try_matmul_transpose_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError {
+                op: "matmul_transpose",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        self.matmul_transpose_raw(other, out);
+        Ok(())
+    }
+
+    fn matmul_transpose_raw(&self, other: &Matrix, out: &mut Matrix) {
+        out.resize(self.rows, other.rows);
         for i in 0..self.rows {
-            let arow = self.row(i);
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..other.rows {
-                let brow = other.row(j);
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
                 let mut acc = 0.0;
                 for (&a, &b) in arow.iter().zip(brow) {
                     acc += a * b;
@@ -168,19 +323,49 @@ impl Matrix {
                 out.data[i * other.rows + j] = acc;
             }
         }
-        out
     }
 
     /// `selfᵀ · other` without materialising the transpose.
+    #[must_use]
+    #[track_caller]
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows,
-            other.rows,
-            "transpose_matmul shape mismatch: {:?}ᵀ x {:?}",
+        let mut out = Matrix::default();
+        self.transpose_matmul_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ · other` written into `out` (resized as needed).
+    #[track_caller]
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_shape(
+            self.rows == other.rows,
+            "transpose_matmul",
             self.shape(),
-            other.shape()
+            other.shape(),
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.transpose_matmul_raw(other, out);
+    }
+
+    /// Checked `selfᵀ · other` into `out`; `Err` on incompatible operands.
+    pub fn try_transpose_matmul_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError {
+                op: "transpose_matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        self.transpose_matmul_raw(other, out);
+        Ok(())
+    }
+
+    fn transpose_matmul_raw(&self, other: &Matrix, out: &mut Matrix) {
+        out.resize(self.cols, other.cols);
+        out.zero_out();
         for k in 0..self.rows {
             let arow = &self.data[k * self.cols..(k + 1) * self.cols];
             let brow = &other.data[k * other.cols..(k + 1) * other.cols];
@@ -194,10 +379,10 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transposed copy.
+    #[must_use]
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for i in 0..self.rows {
@@ -209,79 +394,285 @@ impl Matrix {
     }
 
     /// Element-wise sum.
+    #[must_use]
+    #[track_caller]
     pub fn add(&self, other: &Matrix) -> Matrix {
         self.zip_with(other, |a, b| a + b)
     }
 
     /// Element-wise difference.
+    #[must_use]
+    #[track_caller]
     pub fn sub(&self, other: &Matrix) -> Matrix {
         self.zip_with(other, |a, b| a - b)
     }
 
     /// Element-wise (Hadamard) product.
+    #[must_use]
+    #[track_caller]
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         self.zip_with(other, |a, b| a * b)
     }
 
     /// Element-wise combination with `f`.
+    #[must_use]
+    #[track_caller]
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
+        let mut out = Matrix::default();
+        self.zip_with_into(other, f, &mut out);
+        out
+    }
+
+    /// Element-wise combination with `f` written into `out` (resized as
+    /// needed).
+    #[track_caller]
+    pub fn zip_with_into(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64, out: &mut Matrix) {
+        assert_shape(
+            self.shape() == other.shape(),
+            "zip_with",
+            self.shape(),
+            other.shape(),
+        );
+        out.resize(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
         }
     }
 
     /// In-place element-wise addition.
+    #[track_caller]
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        assert_shape(
+            self.shape() == other.shape(),
+            "add_assign",
+            self.shape(),
+            other.shape(),
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
     }
 
+    /// In-place fused `self += other * s`, without a temporary.
+    #[track_caller]
+    pub fn add_assign_scaled(&mut self, other: &Matrix, s: f64) {
+        assert_shape(
+            self.shape() == other.shape(),
+            "add_assign_scaled",
+            self.shape(),
+            other.shape(),
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * s;
+        }
+    }
+
+    /// In-place fused Hadamard accumulate `self += a ⊙ b`, without a
+    /// temporary. Per-cell arithmetic matches `hadamard` + `add_assign`
+    /// bitwise (one product, one add either way).
+    #[track_caller]
+    pub fn add_assign_product(&mut self, a: &Matrix, b: &Matrix) {
+        assert_shape(
+            a.shape() == b.shape(),
+            "add_assign_product",
+            a.shape(),
+            b.shape(),
+        );
+        assert_shape(
+            self.shape() == a.shape(),
+            "add_assign_product",
+            self.shape(),
+            a.shape(),
+        );
+        for ((o, &av), &bv) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
+            *o += av * bv;
+        }
+    }
+
+    /// Fused gradient accumulate `self += aᵀ · b` without a temporary.
+    ///
+    /// Each output cell is summed into a local accumulator in the same
+    /// order as [`Self::transpose_matmul_into`], then added to `self` with
+    /// a single `+=`, so the result is bitwise identical to the
+    /// temp-then-`add_assign` sequence it replaces.
+    #[track_caller]
+    pub fn add_transpose_matmul(&mut self, a: &Matrix, b: &Matrix) {
+        assert_shape(
+            a.rows == b.rows,
+            "add_transpose_matmul",
+            a.shape(),
+            b.shape(),
+        );
+        assert_shape(
+            self.shape() == (a.cols, b.cols),
+            "add_transpose_matmul",
+            self.shape(),
+            (a.cols, b.cols),
+        );
+        if a.rows == 1 {
+            // Outer product: self[i, :] += a[0, i] * b[0, :].
+            for (i, &av) in a.data.iter().enumerate() {
+                if is_exact_zero(av) {
+                    continue;
+                }
+                let out_row = &mut self.data[i * b.cols..(i + 1) * b.cols];
+                for (o, &bv) in out_row.iter_mut().zip(&b.data) {
+                    *o += av * bv;
+                }
+            }
+        } else {
+            // k-outer over a stack block of output columns: contiguous,
+            // vectorizable inner loops, zero-check hoisted out of them. Each
+            // acc cell still sums its terms in k-ascending order (with the
+            // same exact-zero skip), so per-cell rounding matches the
+            // unfused `transpose_matmul_into` + `add_assign` path.
+            const BLOCK: usize = 64;
+            for i in 0..a.cols {
+                let mut jb = 0;
+                while jb < b.cols {
+                    let jw = (b.cols - jb).min(BLOCK);
+                    let mut acc = [0.0f64; BLOCK];
+                    for k in 0..a.rows {
+                        let av = a.data[k * a.cols + i];
+                        if is_exact_zero(av) {
+                            continue;
+                        }
+                        let brow = &b.data[k * b.cols + jb..k * b.cols + jb + jw];
+                        for (ac, &bv) in acc[..jw].iter_mut().zip(brow) {
+                            *ac += av * bv;
+                        }
+                    }
+                    let out = &mut self.data[i * b.cols + jb..i * b.cols + jb + jw];
+                    for (o, &ac) in out.iter_mut().zip(&acc[..jw]) {
+                        *o += ac;
+                    }
+                    jb += jw;
+                }
+            }
+        }
+    }
+
+    /// Fused accumulate `self += a · bᵀ` without a temporary.
+    ///
+    /// Each output cell is a dot product accumulated in the same order as
+    /// [`Self::matmul_transpose_into`], then added to `self` with a single
+    /// `+=` — bitwise identical to the temp-then-`add_assign` sequence it
+    /// replaces.
+    #[track_caller]
+    pub fn add_matmul_transpose(&mut self, a: &Matrix, b: &Matrix) {
+        assert_shape(
+            a.cols == b.cols,
+            "add_matmul_transpose",
+            a.shape(),
+            b.shape(),
+        );
+        assert_shape(
+            self.shape() == (a.rows, b.rows),
+            "add_matmul_transpose",
+            self.shape(),
+            (a.rows, b.rows),
+        );
+        for i in 0..a.rows {
+            let arow = &a.data[i * a.cols..(i + 1) * a.cols];
+            for j in 0..b.rows {
+                let brow = &b.data[j * b.cols..(j + 1) * b.cols];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                self.data[i * b.rows + j] += acc;
+            }
+        }
+    }
+
+    /// Fused bias-gradient accumulate: `self += column sums of src`.
+    ///
+    /// Column sums accumulate from zero in row order exactly as in
+    /// [`Self::sum_rows_into`], then land in `self` with a single `+=` —
+    /// bitwise identical to the temp-then-`add_assign` sequence it
+    /// replaces.
+    #[track_caller]
+    pub fn add_sum_rows(&mut self, src: &Matrix) {
+        assert_shape(
+            self.rows == 1 && self.cols == src.cols,
+            "add_sum_rows",
+            self.shape(),
+            src.shape(),
+        );
+        for (j, o) in self.data.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for r in 0..src.rows {
+                acc += src.data[r * src.cols + j];
+            }
+            *o += acc;
+        }
+    }
+
     /// Add a 1×cols row vector to every row (broadcast bias add).
+    #[must_use]
+    #[track_caller]
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
-        assert_eq!(bias.rows, 1, "bias must be a row vector");
-        assert_eq!(bias.cols, self.cols, "bias width mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias.data) {
+        out.add_row_assign(bias);
+        out
+    }
+
+    /// In-place broadcast bias add: `self[r] += bias` for every row.
+    #[track_caller]
+    pub fn add_row_assign(&mut self, bias: &Matrix) {
+        assert_shape(
+            bias.rows == 1 && bias.cols == self.cols,
+            "add_row_assign",
+            self.shape(),
+            bias.shape(),
+        );
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &b) in row.iter_mut().zip(&bias.data) {
                 *o += b;
             }
         }
-        out
     }
 
     /// Column-wise sum, returning a 1×cols row vector (bias gradient).
+    #[must_use]
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
-            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
-                *o += v;
-            }
-        }
+        let mut out = Matrix::default();
+        self.sum_rows_into(&mut out);
         out
     }
 
+    /// Column-wise sum written into `out` as a 1×cols row vector.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.resize(1, self.cols);
+        out.zero_out();
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &v) in out.data.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+    }
+
     /// Scalar multiple.
+    #[must_use]
     pub fn scale(&self, s: f64) -> Matrix {
         self.map(|x| x * s)
     }
 
     /// Element-wise map.
+    #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+        let mut out = Matrix::default();
+        self.map_into(f, &mut out);
+        out
+    }
+
+    /// Element-wise map written into `out` (resized as needed).
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Matrix) {
+        out.resize(self.rows, self.cols);
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
         }
     }
 
@@ -298,6 +689,7 @@ impl Matrix {
     }
 
     /// Frobenius norm.
+    #[must_use]
     pub fn norm(&self) -> f64 {
         self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
     }
@@ -310,8 +702,10 @@ impl Matrix {
     }
 
     /// Concatenate horizontally: `[self | other]`.
+    #[must_use]
+    #[track_caller]
     pub fn hcat(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        assert_shape(self.rows == other.rows, "hcat", self.shape(), other.shape());
         let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
@@ -321,6 +715,7 @@ impl Matrix {
     }
 
     /// Extract columns `[from, to)`.
+    #[must_use]
     pub fn columns(&self, from: usize, to: usize) -> Matrix {
         assert!(from <= to && to <= self.cols, "column range out of bounds");
         let mut out = Matrix::zeros(self.rows, to - from);
@@ -331,10 +726,17 @@ impl Matrix {
     }
 
     /// Softmax over each row.
+    #[must_use]
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
+        out.softmax_rows_in_place();
+        out
+    }
+
+    /// Numerically stable in-place softmax over each row.
+    pub fn softmax_rows_in_place(&mut self) {
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut sum = 0.0;
             for x in row.iter_mut() {
@@ -345,7 +747,6 @@ impl Matrix {
                 *x /= sum;
             }
         }
-        out
     }
 }
 
@@ -486,5 +887,187 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_ops() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::xavier(4, 5, &mut rng);
+        let b = Matrix::xavier(5, 3, &mut rng);
+        let c = Matrix::xavier(6, 5, &mut rng);
+        let d = Matrix::xavier(4, 2, &mut rng);
+
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        a.matmul_transpose_into(&c, &mut out);
+        assert_eq!(out, a.matmul_transpose(&c));
+
+        a.transpose_matmul_into(&d, &mut out);
+        assert_eq!(out, a.transpose_matmul(&d));
+
+        a.map_into(|x| x * 2.0 + 1.0, &mut out);
+        assert_eq!(out, a.map(|x| x * 2.0 + 1.0));
+
+        let e = Matrix::xavier(4, 5, &mut rng);
+        a.zip_with_into(&e, |x, y| x - y, &mut out);
+        assert_eq!(out, a.sub(&e));
+
+        a.sum_rows_into(&mut out);
+        assert_eq!(out, a.sum_rows());
+    }
+
+    #[test]
+    fn into_kernels_reuse_stale_buffers_bitwise() {
+        // An `_into` call must give the same answer whether `out` is fresh
+        // or holds stale data of another shape.
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Matrix::xavier(3, 4, &mut rng);
+        let b = Matrix::xavier(4, 6, &mut rng);
+        let mut stale = Matrix::full(9, 2, 42.0);
+        a.matmul_into(&b, &mut stale);
+        assert_eq!(stale, a.matmul(&b));
+    }
+
+    #[test]
+    fn try_kernels_report_shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::default();
+        let err = a.try_matmul_into(&b, &mut out).unwrap_err();
+        assert_eq!(err.op, "matmul");
+        assert_eq!((err.lhs, err.rhs), ((2, 3), (2, 3)));
+        assert!(err.to_string().contains("shape mismatch"));
+
+        let c = Matrix::zeros(2, 4);
+        assert!(a.try_matmul_transpose_into(&c, &mut out).is_err());
+        let d = Matrix::zeros(3, 4);
+        assert!(a.try_transpose_matmul_into(&d, &mut out).is_err());
+        // Compatible operands succeed.
+        assert!(a.try_matmul_transpose_into(&b, &mut out).is_ok());
+    }
+
+    #[test]
+    fn resize_and_copy_semantics() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        // Same-shape resize keeps contents.
+        m.resize(2, 2);
+        assert_eq!(m, Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        // Shape change zeroes.
+        m.resize(1, 3);
+        assert_eq!(m, Matrix::zeros(1, 3));
+
+        let src = Matrix::from_rows(&[vec![5.0, 6.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        m.copy_row_from(0, &[7.0, 8.0]);
+        assert_eq!(m, Matrix::from_rows(&[vec![7.0, 8.0]]));
+    }
+
+    #[test]
+    fn add_assign_scaled_and_row_assign() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let g = Matrix::from_rows(&[vec![10.0, 10.0], vec![10.0, 10.0]]);
+        m.add_assign_scaled(&g, 0.5);
+        assert_eq!(m, Matrix::from_rows(&[vec![6.0, 7.0], vec![8.0, 9.0]]));
+        let bias = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        m.add_row_assign(&bias);
+        assert_eq!(m, Matrix::from_rows(&[vec![7.0, 6.0], vec![9.0, 8.0]]));
+    }
+
+    #[test]
+    fn softmax_in_place_matches_allocating() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let mut y = x.clone();
+        y.softmax_rows_in_place();
+        assert_eq!(y, x.softmax_rows());
+    }
+
+    /// The fused gradient-accumulate kernels must be *bitwise* identical to
+    /// the temp-then-`add_assign` sequences they replaced — that is the
+    /// whole determinism argument for using them in the backward passes.
+    #[test]
+    fn fused_accumulates_match_temp_then_add_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, k, n) in &[(1usize, 3usize, 4usize), (5, 3, 4), (2, 7, 1)] {
+            let a = Matrix::xavier(k, m, &mut rng);
+            let b = Matrix::xavier(k, n, &mut rng);
+            let acc0 = Matrix::xavier(m, n, &mut rng);
+
+            // self += aᵀ·b
+            let mut tmp = Matrix::default();
+            a.transpose_matmul_into(&b, &mut tmp);
+            let mut want = acc0.clone();
+            want.add_assign(&tmp);
+            let mut got = acc0.clone();
+            got.add_transpose_matmul(&a, &b);
+            assert_eq!(got, want, "add_transpose_matmul {m}x{k}x{n}");
+
+            // self += a·bᵀ  (operands reshaped: a is m×k, b is n×k)
+            let a2 = Matrix::xavier(m, k, &mut rng);
+            let b2 = Matrix::xavier(n, k, &mut rng);
+            a2.matmul_transpose_into(&b2, &mut tmp);
+            let mut want = acc0.clone();
+            want.add_assign(&tmp);
+            let mut got = acc0.clone();
+            got.add_matmul_transpose(&a2, &b2);
+            assert_eq!(got, want, "add_matmul_transpose {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn fused_sum_rows_and_product_match_temp_then_add_bitwise() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let src = Matrix::xavier(6, 4, &mut rng);
+        let acc0 = Matrix::xavier(1, 4, &mut rng);
+        let mut tmp = Matrix::default();
+        src.sum_rows_into(&mut tmp);
+        let mut want = acc0.clone();
+        want.add_assign(&tmp);
+        let mut got = acc0.clone();
+        got.add_sum_rows(&src);
+        assert_eq!(got, want);
+
+        let a = Matrix::xavier(3, 4, &mut rng);
+        let b = Matrix::xavier(3, 4, &mut rng);
+        let acc0 = Matrix::xavier(3, 4, &mut rng);
+        a.zip_with_into(&b, |x, y| x * y, &mut tmp);
+        let mut want = acc0.clone();
+        want.add_assign(&tmp);
+        let mut got = acc0.clone();
+        got.add_assign_product(&a, &b);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fused_accumulate_with_exact_zero_rows_matches() {
+        // a containing exact zeros exercises the skip path of
+        // add_transpose_matmul in both the outer-product and generic
+        // branches.
+        let mut rng = StdRng::seed_from_u64(44);
+        for rows in [1usize, 3] {
+            let mut a = Matrix::xavier(rows, 3, &mut rng);
+            a.data_mut()[0] = 0.0;
+            a.data_mut()[2] = 0.0;
+            let b = Matrix::xavier(rows, 2, &mut rng);
+            let acc0 = Matrix::xavier(3, 2, &mut rng);
+            let mut tmp = Matrix::default();
+            a.transpose_matmul_into(&b, &mut tmp);
+            let mut want = acc0.clone();
+            want.add_assign(&tmp);
+            let mut got = acc0.clone();
+            got.add_transpose_matmul(&a, &b);
+            assert_eq!(got, want, "rows={rows}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "add_transpose_matmul")]
+    fn fused_accumulate_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let mut out = Matrix::zeros(3, 5); // should be 3x4
+        out.add_transpose_matmul(&a, &b);
     }
 }

@@ -1,6 +1,6 @@
 //! Vanilla (Elman) RNN cell: `h' = tanh(x W + h U + b)`.
 
-use crate::matrix::Matrix;
+use crate::matrix::{grow_buffers, Matrix};
 use crate::param::{Param, Parameterized};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -13,12 +13,33 @@ pub struct RnnCell {
     b: Param,
 }
 
-/// Per-timestep cache for backpropagation through time.
-#[derive(Debug, Clone)]
-pub struct RnnCache {
-    x: Matrix,
-    h_prev: Matrix,
-    h_new: Matrix,
+/// Reusable sequence scratch for one [`RnnCell`]: per-timestep forward
+/// caches plus backward temporaries, recycled across minibatches so
+/// steady-state training never allocates.
+#[derive(Debug, Clone, Default)]
+pub struct RnnScratch {
+    /// Per-step inputs; write `xs[t]` before calling [`RnnCell::step`].
+    pub xs: Vec<Matrix>,
+    /// Hidden states: `hs[0]` is h₀ (zeroed by `begin_seq`), `hs[t+1]` is
+    /// the state produced by step `t`.
+    pub hs: Vec<Matrix>,
+    /// Incoming `dL/dh` for the step being back-propagated.
+    pub dh: Matrix,
+    /// Outgoing `dL/dh_{t-1}` written by [`RnnCell::step_backward`].
+    pub dh_prev: Matrix,
+    /// Outgoing `dL/dx_t` written by [`RnnCell::step_backward`].
+    pub dx: Matrix,
+    pre: Matrix,
+    tmp: Matrix,
+    dpre: Matrix,
+}
+
+impl RnnScratch {
+    /// Move to the previous timestep during backprop: the outgoing
+    /// `dh_prev` becomes the next iteration's incoming `dh`.
+    pub fn advance_back(&mut self) {
+        std::mem::swap(&mut self.dh, &mut self.dh_prev);
+    }
 }
 
 impl RnnCell {
@@ -33,45 +54,77 @@ impl RnnCell {
     }
 
     /// Hidden-state dimensionality.
+    #[must_use]
     pub fn hidden_dim(&self) -> usize {
         self.u.value.rows()
     }
 
     /// Input dimensionality.
+    #[must_use]
     pub fn input_dim(&self) -> usize {
         self.w.value.rows()
     }
 
-    /// One step: `(x_t, h_{t-1}) -> h_t`.
-    pub fn forward(&self, x: &Matrix, h_prev: &Matrix) -> (Matrix, RnnCache) {
-        let pre = x
-            .matmul(&self.w.value)
-            .add(&h_prev.matmul(&self.u.value))
-            .add_row_broadcast(&self.b.value);
-        let h_new = pre.map(f64::tanh);
-        (
-            h_new.clone(),
-            RnnCache {
-                x: x.clone(),
-                h_prev: h_prev.clone(),
-                h_new,
-            },
-        )
+    /// Prepare `s` for a `t_max`-step sequence over batches of `rows`
+    /// samples: size all per-step buffers and zero the initial state
+    /// `hs[0]`.
+    pub fn begin_seq(&self, s: &mut RnnScratch, rows: usize, t_max: usize) {
+        grow_buffers(&mut s.xs, t_max);
+        grow_buffers(&mut s.hs, t_max + 1);
+        for x in &mut s.xs[..t_max] {
+            x.resize(rows, self.input_dim());
+        }
+        s.hs[0].resize(rows, self.hidden_dim());
+        s.hs[0].zero_out();
     }
 
-    /// Backward through one step given `dL/dh_t`; accumulates parameter
-    /// gradients and returns `(dL/dx_t, dL/dh_{t-1})`.
-    pub fn backward(&mut self, cache: &RnnCache, dh: &Matrix) -> (Matrix, Matrix) {
+    /// One step: reads `s.xs[t]` and `s.hs[t]`, writes `s.hs[t+1]`.
+    pub fn step(&self, s: &mut RnnScratch, t: usize) {
+        let RnnScratch {
+            xs, hs, pre, tmp, ..
+        } = s;
+        let (prev, next) = hs.split_at_mut(t + 1);
+        let x = &xs[t];
+        let h_prev = &prev[t];
+        x.matmul_into(&self.w.value, pre);
+        h_prev.matmul_into(&self.u.value, tmp);
+        pre.add_assign(tmp);
+        pre.add_row_assign(&self.b.value);
+        pre.map_into(f64::tanh, &mut next[0]);
+    }
+
+    /// Prepare for backprop from the end of a sequence over batches of
+    /// `rows` samples: zero the incoming `dh`. Callers then add the loss
+    /// gradient into `s.dh`.
+    pub fn begin_backward(&self, s: &mut RnnScratch, rows: usize) {
+        s.dh.resize(rows, self.hidden_dim());
+        s.dh.zero_out();
+    }
+
+    /// Backward through step `t`: reads `s.dh` (`dL/dh_{t+1}`) and the
+    /// cached forward activations, accumulates parameter gradients, writes
+    /// `s.dx` and `s.dh_prev`. Call [`RnnScratch::advance_back`] before
+    /// stepping to `t-1`.
+    pub fn step_backward(&mut self, s: &mut RnnScratch, t: usize) {
+        let RnnScratch {
+            xs,
+            hs,
+            dh,
+            dh_prev,
+            dx,
+            dpre,
+            ..
+        } = s;
+        let x = &xs[t];
+        let h_prev = &hs[t];
+        let h_new = &hs[t + 1];
         // dpre = dh ⊙ (1 - h²)
-        let dpre = dh.zip_with(&cache.h_new, |d, y| d * (1.0 - y * y));
-        self.w.grad.add_assign(&cache.x.transpose_matmul(&dpre));
-        self.u
-            .grad
-            .add_assign(&cache.h_prev.transpose_matmul(&dpre));
-        self.b.grad.add_assign(&dpre.sum_rows());
-        let dx = dpre.matmul_transpose(&self.w.value);
-        let dh_prev = dpre.matmul_transpose(&self.u.value);
-        (dx, dh_prev)
+        dh.zip_with_into(h_new, |d, y| d * (1.0 - y * y), dpre);
+        self.w.grad.add_transpose_matmul(x, dpre);
+        self.u.grad.add_transpose_matmul(h_prev, dpre);
+        self.b.grad.add_sum_rows(dpre);
+        dpre.matmul_transpose_into(&self.w.value, dx);
+        dpre.matmul_transpose_into(&self.u.value, dh_prev);
     }
 }
 
@@ -93,10 +146,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let cell = RnnCell::new(3, 4, &mut rng);
         let x = Matrix::xavier(2, 3, &mut rng).scale(10.0);
-        let h = Matrix::zeros(2, 4);
-        let (h1, _) = cell.forward(&x, &h);
-        assert!(h1.data().iter().all(|&v| v.abs() <= 1.0));
-        assert_eq!(h1.shape(), (2, 4));
+        let mut s = RnnScratch::default();
+        cell.begin_seq(&mut s, 2, 1);
+        s.xs[0].copy_from(&x);
+        cell.step(&mut s, 0);
+        assert!(s.hs[1].data().iter().all(|&v| v.abs() <= 1.0));
+        assert_eq!(s.hs[1].shape(), (2, 4));
     }
 
     #[test]
@@ -107,19 +162,27 @@ mod tests {
         let x1 = Matrix::xavier(2, 2, &mut rng);
         let target = Matrix::xavier(2, 3, &mut rng);
 
+        let run = |c: &RnnCell, s: &mut RnnScratch| {
+            c.begin_seq(s, 2, 2);
+            s.xs[0].copy_from(&x0);
+            s.xs[1].copy_from(&x1);
+            c.step(s, 0);
+            c.step(s, 1);
+        };
         let loss = |c: &mut RnnCell| {
-            let h0 = Matrix::zeros(2, 3);
-            let (h1, _) = c.forward(&x0, &h0);
-            let (h2, _) = c.forward(&x1, &h1);
-            crate::loss::mse(&h2, &target).0
+            let mut s = RnnScratch::default();
+            run(c, &mut s);
+            crate::loss::mse(&s.hs[2], &target).0
         };
         let backward = |c: &mut RnnCell| {
-            let h0 = Matrix::zeros(2, 3);
-            let (h1, c1) = c.forward(&x0, &h0);
-            let (h2, c2) = c.forward(&x1, &h1);
-            let (_, dh2) = crate::loss::mse(&h2, &target);
-            let (_, dh1) = c.backward(&c2, &dh2);
-            let _ = c.backward(&c1, &dh1);
+            let mut s = RnnScratch::default();
+            run(c, &mut s);
+            let (_, dh2) = crate::loss::mse(&s.hs[2], &target);
+            c.begin_backward(&mut s, 2);
+            s.dh.add_assign(&dh2);
+            c.step_backward(&mut s, 1);
+            s.advance_back();
+            c.step_backward(&mut s, 0);
         };
         check_gradients(&mut cell, loss, backward, 2e-4);
     }
@@ -129,8 +192,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut cell = RnnCell::new(2, 2, &mut rng);
         cell.b.value = Matrix::from_rows(&[vec![0.5, -0.5]]);
-        let (h, _) = cell.forward(&Matrix::zeros(1, 2), &Matrix::zeros(1, 2));
-        assert!((h[(0, 0)] - 0.5f64.tanh()).abs() < 1e-12);
-        assert!((h[(0, 1)] + 0.5f64.tanh()).abs() < 1e-12);
+        let mut s = RnnScratch::default();
+        cell.begin_seq(&mut s, 1, 1);
+        cell.step(&mut s, 0);
+        assert!((s.hs[1][(0, 0)] - 0.5f64.tanh()).abs() < 1e-12);
+        assert!((s.hs[1][(0, 1)] + 0.5f64.tanh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = RnnCell::new(2, 3, &mut rng);
+        let x = Matrix::xavier(4, 2, &mut rng);
+        let mut s = RnnScratch::default();
+        cell.begin_seq(&mut s, 4, 1);
+        s.xs[0].copy_from(&x);
+        cell.step(&mut s, 0);
+        let first = s.hs[1].clone();
+        // Re-run through the same (now dirty) scratch.
+        cell.begin_seq(&mut s, 4, 1);
+        s.xs[0].copy_from(&x);
+        cell.step(&mut s, 0);
+        assert_eq!(s.hs[1], first);
     }
 }

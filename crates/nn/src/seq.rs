@@ -7,18 +7,20 @@
 //! encoder, and the Appendix-C default of self-attention followed by a GRU.
 //!
 //! All variants share the same scaffold: a scalar-to-embedding projection,
-//! a sequence body, and a linear regression head reading the final state.
+//! a [`SeqBody`] (the unified body trait), and a linear regression head
+//! reading the final state. Training routes every variant through one
+//! generic loop over `&mut dyn SeqBody`, with all intermediates held in a
+//! recycled [`Workspace`] so the epoch loop never allocates.
 
-use crate::attention::SelfAttention;
 use crate::dense::{Activation, Dense};
 use crate::gru::GruCell;
-use crate::loss::mse;
+use crate::loss::mse_into;
 use crate::lstm::LstmCell;
-use crate::matrix::Matrix;
 use crate::optim::{Optimizer, RmsProp};
 use crate::param::{Param, Parameterized};
 use crate::rnn_cell::RnnCell;
-use crate::transformer::{positional_encoding, TransformerBlock};
+use crate::transformer::TransformerBlock;
+use crate::workspace::{AttentionGruBody, SeqBody, Workspace};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -111,13 +113,36 @@ pub struct TrainStats {
     pub samples_used: usize,
 }
 
+/// The five body architectures, each a [`SeqBody`] implementor.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Body {
     Rnn(RnnCell),
     Gru(GruCell),
     Lstm(LstmCell),
     Transformer(TransformerBlock),
-    AttentionGru(SelfAttention, GruCell),
+    AttentionGru(AttentionGruBody),
+}
+
+/// View the active body as the unified trait (shared).
+fn seq_body(body: &Body) -> &dyn SeqBody {
+    match body {
+        Body::Rnn(c) => c,
+        Body::Gru(c) => c,
+        Body::Lstm(c) => c,
+        Body::Transformer(b) => b,
+        Body::AttentionGru(b) => b,
+    }
+}
+
+/// View the active body as the unified trait (exclusive).
+fn seq_body_mut(body: &mut Body) -> &mut dyn SeqBody {
+    match body {
+        Body::Rnn(c) => c,
+        Body::Gru(c) => c,
+        Body::Lstm(c) => c,
+        Body::Transformer(b) => b,
+        Body::AttentionGru(b) => b,
+    }
 }
 
 /// A next-value forecaster over fixed-length windows.
@@ -138,31 +163,26 @@ impl SequenceRegressor {
         assert!(config.window >= 2, "window must cover at least two points");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let embed = Dense::new(1, config.embed_dim, Activation::Tanh, &mut rng);
-        let (body, head_in) = match config.kind {
-            ModelKind::Rnn => (
-                Body::Rnn(RnnCell::new(config.embed_dim, config.hidden_dim, &mut rng)),
-                config.hidden_dim,
-            ),
-            ModelKind::Gru => (
-                Body::Gru(GruCell::new(config.embed_dim, config.hidden_dim, &mut rng)),
-                config.hidden_dim,
-            ),
-            ModelKind::Lstm => (
-                Body::Lstm(LstmCell::new(config.embed_dim, config.hidden_dim, &mut rng)),
-                config.hidden_dim,
-            ),
-            ModelKind::Transformer => (
-                Body::Transformer(TransformerBlock::new(config.embed_dim, &mut rng)),
+        let body = match config.kind {
+            ModelKind::Rnn => {
+                Body::Rnn(RnnCell::new(config.embed_dim, config.hidden_dim, &mut rng))
+            }
+            ModelKind::Gru => {
+                Body::Gru(GruCell::new(config.embed_dim, config.hidden_dim, &mut rng))
+            }
+            ModelKind::Lstm => {
+                Body::Lstm(LstmCell::new(config.embed_dim, config.hidden_dim, &mut rng))
+            }
+            ModelKind::Transformer => {
+                Body::Transformer(TransformerBlock::new(config.embed_dim, &mut rng))
+            }
+            ModelKind::AttentionGru => Body::AttentionGru(AttentionGruBody::new(
                 config.embed_dim,
-            ),
-            ModelKind::AttentionGru => (
-                Body::AttentionGru(
-                    SelfAttention::new(config.embed_dim, &mut rng),
-                    GruCell::new(config.embed_dim, config.hidden_dim, &mut rng),
-                ),
                 config.hidden_dim,
-            ),
+                &mut rng,
+            )),
         };
+        let head_in = seq_body(&body).state_dim();
         let head = Dense::new(head_in, 1, Activation::Identity, &mut rng);
         SequenceRegressor {
             config,
@@ -178,24 +198,39 @@ impl SequenceRegressor {
     }
 
     /// Predict the next value for a single window of length `config.window`.
+    ///
+    /// Allocates a fresh [`Workspace`] per call; batch callers should
+    /// prefer [`Self::predict_with`] with a reused workspace.
     pub fn predict(&self, window: &[f64]) -> f64 {
+        let mut ws = Workspace::new();
+        self.predict_with(&mut ws, window)
+    }
+
+    /// Predict the next value for a single window, reusing `ws` buffers.
+    pub fn predict_with(&self, ws: &mut Workspace, window: &[f64]) -> f64 {
         assert_eq!(window.len(), self.config.window, "window length mismatch");
-        self.forward_sample(window).0
+        self.forward_with(ws, window);
+        ws.head.out()[(0, 0)]
     }
 
     /// Predict the next value for each window.
     pub fn predict_batch(&self, windows: &[Vec<f64>]) -> Vec<f64> {
-        windows.iter().map(|w| self.predict(w)).collect()
+        let mut ws = Workspace::new();
+        windows
+            .iter()
+            .map(|w| self.predict_with(&mut ws, w))
+            .collect()
     }
 
     /// Roll the model forward `steps` times starting from `seed_window`,
     /// feeding each prediction back in (autoregressive generation).
     pub fn generate(&self, seed_window: &[f64], steps: usize) -> Vec<f64> {
         assert_eq!(seed_window.len(), self.config.window);
+        let mut ws = Workspace::new();
         let mut window = seed_window.to_vec();
         let mut out = Vec::with_capacity(steps);
         for _ in 0..steps {
-            let next = self.predict(&window);
+            let next = self.predict_with(&mut ws, &window);
             out.push(next);
             window.rotate_left(1);
             if let Some(last) = window.last_mut() {
@@ -218,6 +253,10 @@ impl SequenceRegressor {
         }
         let mut opt = RmsProp::new(self.config.lr, 0.99);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut ws = Workspace::new();
+        // Workspace buffers grow to their steady-state sizes during the
+        // first minibatch; after that the loop below is allocation-free.
+        // hot-path:begin
         for _epoch in 0..self.config.epochs {
             indices.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
@@ -226,7 +265,8 @@ impl SequenceRegressor {
                 self.zero_grad();
                 let mut batch_loss = 0.0;
                 for &i in chunk {
-                    batch_loss += self.accumulate_sample(&windows[i], targets[i], chunk.len());
+                    batch_loss +=
+                        self.accumulate_sample(&mut ws, &windows[i], targets[i], chunk.len());
                 }
                 self.clip_grads(self.config.grad_clip);
                 opt.step(self);
@@ -235,210 +275,56 @@ impl SequenceRegressor {
             }
             epoch_losses.push(epoch_loss / batches);
         }
+        // hot-path:end
         TrainStats {
             epoch_losses,
             samples_used: indices.len(),
         }
     }
 
-    /// Forward one window; returns the prediction and runs no backward.
-    fn forward_sample(&self, window: &[f64]) -> (f64, ()) {
-        let x = Matrix::from_vec(window.len(), 1, window.to_vec());
-        let (tokens, _) = self.embed.forward(&x); // T × embed
-        let final_state = match &self.body {
-            Body::Rnn(cell) => {
-                let mut h = Matrix::zeros(1, cell.hidden_dim());
-                for t in 0..tokens.rows() {
-                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
-                    h = cell.forward(&xt, &h).0;
-                }
-                h
-            }
-            Body::Gru(cell) => {
-                let mut h = Matrix::zeros(1, cell.hidden_dim());
-                for t in 0..tokens.rows() {
-                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
-                    h = cell.forward(&xt, &h).0;
-                }
-                h
-            }
-            Body::Lstm(cell) => {
-                let mut h = Matrix::zeros(1, cell.hidden_dim());
-                let mut c = Matrix::zeros(1, cell.hidden_dim());
-                for t in 0..tokens.rows() {
-                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
-                    let (hn, cn, _) = cell.forward(&xt, &h, &c);
-                    h = hn;
-                    c = cn;
-                }
-                h
-            }
-            Body::Transformer(block) => {
-                let pe = positional_encoding(tokens.rows(), tokens.cols());
-                let (y, _) = block.forward(&tokens.add(&pe));
-                Matrix::from_vec(1, y.cols(), y.row(y.rows() - 1).to_vec())
-            }
-            Body::AttentionGru(attn, cell) => {
-                let (attended, _) = attn.forward(&tokens);
-                let mut h = Matrix::zeros(1, cell.hidden_dim());
-                for t in 0..attended.rows() {
-                    let xt = Matrix::from_vec(1, attended.cols(), attended.row(t).to_vec());
-                    h = cell.forward(&xt, &h).0;
-                }
-                h
-            }
-        };
-        let (pred, _) = self.head.forward(&final_state);
-        (pred[(0, 0)], ())
+    /// Forward one window through embed → body → head into `ws`; the
+    /// prediction lands in `ws.head.out()`.
+    // hot-path:begin
+    fn forward_with(&self, ws: &mut Workspace, window: &[f64]) {
+        ws.x.resize(window.len(), 1);
+        ws.x.data_mut().copy_from_slice(window);
+        self.embed.forward_into(&ws.x, &mut ws.embed);
+        ws.tokens.copy_from(ws.embed.out());
+        seq_body(&self.body).forward_into(ws);
+        self.head.forward_into(&ws.final_state, &mut ws.head);
     }
 
     /// Forward + backward for one sample, accumulating gradients scaled for
     /// a batch of `batch_len`; returns the sample loss.
-    fn accumulate_sample(&mut self, window: &[f64], target: f64, batch_len: usize) -> f64 {
+    fn accumulate_sample(
+        &mut self,
+        ws: &mut Workspace,
+        window: &[f64],
+        target: f64,
+        batch_len: usize,
+    ) -> f64 {
         let scale = 1.0 / batch_len as f64;
-        let x = Matrix::from_vec(window.len(), 1, window.to_vec());
-        let (tokens, embed_cache) = self.embed.forward(&x);
-        let t_steps = tokens.rows();
+        self.forward_with(ws, window);
 
-        // Forward through the body, caching per step.
-        enum BodyCtx {
-            Rnn(Vec<crate::rnn_cell::RnnCache>),
-            Gru(Vec<crate::gru::GruCache>),
-            Lstm(Vec<crate::lstm::LstmCache>),
-            Transformer(Box<crate::transformer::TransformerCache>),
-            AttentionGru(crate::attention::AttentionCache, Vec<crate::gru::GruCache>),
-        }
-        let (final_state, ctx) = match &self.body {
-            Body::Rnn(cell) => {
-                let mut h = Matrix::zeros(1, cell.hidden_dim());
-                let mut caches = Vec::with_capacity(t_steps);
-                for t in 0..t_steps {
-                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
-                    let (hn, cache) = cell.forward(&xt, &h);
-                    h = hn;
-                    caches.push(cache);
-                }
-                (h, BodyCtx::Rnn(caches))
-            }
-            Body::Gru(cell) => {
-                let mut h = Matrix::zeros(1, cell.hidden_dim());
-                let mut caches = Vec::with_capacity(t_steps);
-                for t in 0..t_steps {
-                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
-                    let (hn, cache) = cell.forward(&xt, &h);
-                    h = hn;
-                    caches.push(cache);
-                }
-                (h, BodyCtx::Gru(caches))
-            }
-            Body::Lstm(cell) => {
-                let mut h = Matrix::zeros(1, cell.hidden_dim());
-                let mut c = Matrix::zeros(1, cell.hidden_dim());
-                let mut caches = Vec::with_capacity(t_steps);
-                for t in 0..t_steps {
-                    let xt = Matrix::from_vec(1, tokens.cols(), tokens.row(t).to_vec());
-                    let (hn, cn, cache) = cell.forward(&xt, &h, &c);
-                    h = hn;
-                    c = cn;
-                    caches.push(cache);
-                }
-                (h, BodyCtx::Lstm(caches))
-            }
-            Body::Transformer(block) => {
-                let pe = positional_encoding(t_steps, tokens.cols());
-                let (y, cache) = block.forward(&tokens.add(&pe));
-                (
-                    Matrix::from_vec(1, y.cols(), y.row(y.rows() - 1).to_vec()),
-                    BodyCtx::Transformer(Box::new(cache)),
-                )
-            }
-            Body::AttentionGru(attn, cell) => {
-                let (attended, attn_cache) = attn.forward(&tokens);
-                let mut h = Matrix::zeros(1, cell.hidden_dim());
-                let mut caches = Vec::with_capacity(t_steps);
-                for t in 0..t_steps {
-                    let xt = Matrix::from_vec(1, attended.cols(), attended.row(t).to_vec());
-                    let (hn, cache) = cell.forward(&xt, &h);
-                    h = hn;
-                    caches.push(cache);
-                }
-                (h, BodyCtx::AttentionGru(attn_cache, caches))
-            }
-        };
+        ws.target.resize(1, 1);
+        ws.target.data_mut()[0] = target;
+        let loss = mse_into(ws.head.out(), &ws.target, &mut ws.dpred);
+        ws.dpred.map_in_place(|v| v * scale);
 
-        let (pred, head_cache) = self.head.forward(&final_state);
-        let target_m = Matrix::from_vec(1, 1, vec![target]);
-        let (loss, dpred) = mse(&pred, &target_m);
-        let dpred = dpred.scale(scale);
-
-        let dfinal = self.head.backward(&head_cache, &dpred);
-
-        // Backward through the body, collecting dL/dtokens.
-        let mut dtokens = Matrix::zeros(t_steps, tokens.cols());
-        match (&mut self.body, ctx) {
-            (Body::Rnn(cell), BodyCtx::Rnn(caches)) => {
-                let mut dh = dfinal;
-                for t in (0..t_steps).rev() {
-                    let (dx, dh_prev) = cell.backward(&caches[t], &dh);
-                    dtokens.row_mut(t).copy_from_slice(dx.row(0));
-                    dh = dh_prev;
-                }
-            }
-            (Body::Gru(cell), BodyCtx::Gru(caches)) => {
-                let mut dh = dfinal;
-                for t in (0..t_steps).rev() {
-                    let (dx, dh_prev) = cell.backward(&caches[t], &dh);
-                    dtokens.row_mut(t).copy_from_slice(dx.row(0));
-                    dh = dh_prev;
-                }
-            }
-            (Body::Lstm(cell), BodyCtx::Lstm(caches)) => {
-                let mut dh = dfinal;
-                let mut dc = Matrix::zeros(1, cell.hidden_dim());
-                for t in (0..t_steps).rev() {
-                    let (dx, dh_prev, dc_prev) = cell.backward(&caches[t], &dh, &dc);
-                    dtokens.row_mut(t).copy_from_slice(dx.row(0));
-                    dh = dh_prev;
-                    dc = dc_prev;
-                }
-            }
-            (Body::Transformer(block), BodyCtx::Transformer(cache)) => {
-                let mut dy = Matrix::zeros(t_steps, dfinal.cols());
-                dy.row_mut(t_steps - 1).copy_from_slice(dfinal.row(0));
-                dtokens = block.backward(&cache, &dy);
-            }
-            (Body::AttentionGru(attn, cell), BodyCtx::AttentionGru(attn_cache, caches)) => {
-                let mut dattended = Matrix::zeros(t_steps, tokens.cols());
-                let mut dh = dfinal;
-                for t in (0..t_steps).rev() {
-                    let (dx, dh_prev) = cell.backward(&caches[t], &dh);
-                    dattended.row_mut(t).copy_from_slice(dx.row(0));
-                    dh = dh_prev;
-                }
-                dtokens = attn.backward(&attn_cache, &dattended);
-            }
-            // xtask-allow(XT04): forward() builds the cache from self.body, so the variants match by construction
-            _ => unreachable!("body/context kinds always match"),
-        }
-
-        self.embed.backward(&embed_cache, &dtokens);
+        self.head
+            .backward_into(&mut ws.head, &ws.dpred, &mut ws.dfinal);
+        seq_body_mut(&mut self.body).backward_into(ws);
+        self.embed
+            .backward_into(&mut ws.embed, &ws.dtokens, &mut ws.dembed_x);
         loss
     }
+    // hot-path:end
 }
 
 impl Parameterized for SequenceRegressor {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut out = self.embed.params_mut();
-        match &mut self.body {
-            Body::Rnn(c) => out.extend(c.params_mut()),
-            Body::Gru(c) => out.extend(c.params_mut()),
-            Body::Lstm(c) => out.extend(c.params_mut()),
-            Body::Transformer(b) => out.extend(b.params_mut()),
-            Body::AttentionGru(a, c) => {
-                out.extend(a.params_mut());
-                out.extend(c.params_mut());
-            }
-        }
+        out.extend(seq_body_mut(&mut self.body).params_mut());
         out.extend(self.head.params_mut());
         out
     }
@@ -589,6 +475,32 @@ mod tests {
     }
 
     #[test]
+    fn predict_with_shared_workspace_matches_fresh_workspace() {
+        let series = vec![sine_series(60)];
+        let (windows, targets) = make_windows(&series, 6);
+        for kind in [
+            ModelKind::Rnn,
+            ModelKind::Gru,
+            ModelKind::Lstm,
+            ModelKind::Transformer,
+            ModelKind::AttentionGru,
+        ] {
+            let mut cfg = tiny_config(kind);
+            cfg.epochs = 2;
+            let mut model = SequenceRegressor::new(cfg);
+            model.train(&windows, &targets);
+            let mut ws = Workspace::new();
+            for w in windows.iter().take(8) {
+                assert_eq!(
+                    model.predict_with(&mut ws, w),
+                    model.predict(w),
+                    "{kind:?}: dirty-workspace prediction diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn max_samples_caps_training_set() {
         let series = vec![sine_series(200)];
         let (windows, targets) = make_windows(&series, 6);
@@ -605,5 +517,49 @@ mod tests {
     fn predict_rejects_wrong_window_length() {
         let model = SequenceRegressor::new(tiny_config(ModelKind::Gru));
         let _ = model.predict(&[0.0; 3]);
+    }
+
+    /// The marked hot-path regions are the steady-state training loop; they
+    /// must not construct matrices or otherwise allocate per sample
+    /// (buffers come from the [`Workspace`]). Marker and banned tokens are
+    /// assembled from pieces so this test's own source never matches.
+    #[test]
+    fn hot_paths_do_not_allocate() {
+        let src = include_str!("seq.rs");
+        let begin = format!("hot-path:{}", "begin");
+        let end = format!("hot-path:{}", "end");
+        let banned: Vec<String> = ["Matrix", "clone", "to_vec", "with_capacity", "collect"]
+            .iter()
+            .map(|t| format!("{t}("))
+            .chain([
+                format!("Matrix{}", "::"),
+                format!("Box{}", "::"),
+                format!("vec{}", "!"),
+            ])
+            .collect();
+        let mut in_hot = false;
+        let mut regions = 0;
+        for (idx, line) in src.lines().enumerate() {
+            if line.contains(&begin) {
+                in_hot = true;
+                regions += 1;
+                continue;
+            }
+            if line.contains(&end) {
+                in_hot = false;
+                continue;
+            }
+            if in_hot {
+                for tok in &banned {
+                    assert!(
+                        !line.contains(tok),
+                        "allocation `{tok}` inside hot path at seq.rs:{}: {line}",
+                        idx + 1
+                    );
+                }
+            }
+        }
+        assert!(!in_hot, "unterminated hot-path region");
+        assert_eq!(regions, 2, "expected the train loop and sample paths");
     }
 }

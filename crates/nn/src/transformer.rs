@@ -7,9 +7,9 @@
 //!
 //! Operates on one `T × d` sequence at a time (windows are length 6).
 
-use crate::attention::{AttentionCache, SelfAttention};
-use crate::dense::{Activation, Dense, DenseCache};
-use crate::layer_norm::{LayerNorm, LayerNormCache};
+use crate::attention::{AttnScratch, SelfAttention};
+use crate::dense::{Activation, Dense, DenseScratch};
+use crate::layer_norm::{LayerNorm, LayerNormScratch};
 use crate::matrix::Matrix;
 use crate::param::{Param, Parameterized};
 use rand::Rng;
@@ -25,14 +25,30 @@ pub struct TransformerBlock {
     norm2: LayerNorm,
 }
 
-/// Forward-pass cache for [`TransformerBlock::backward`].
-#[derive(Debug, Clone)]
-pub struct TransformerCache {
-    attn: AttentionCache,
-    norm1: LayerNormCache,
-    ffn1: DenseCache,
-    ffn2: DenseCache,
-    norm2: LayerNormCache,
+/// Reusable forward/backward scratch for one [`TransformerBlock`],
+/// embedding the scratch of every sub-layer.
+#[derive(Debug, Clone, Default)]
+pub struct TransformerScratch {
+    attn: AttnScratch,
+    norm1: LayerNormScratch,
+    ffn1: DenseScratch,
+    ffn2: DenseScratch,
+    norm2: LayerNormScratch,
+    sum1: Matrix,
+    sum2: Matrix,
+    dsum1: Matrix,
+    dsum2: Matrix,
+    df1: Matrix,
+    da: Matrix,
+}
+
+impl TransformerScratch {
+    /// Block output of the last forward pass.
+    #[inline]
+    #[must_use]
+    pub fn out(&self) -> &Matrix {
+        self.norm2.out()
+    }
 }
 
 impl TransformerBlock {
@@ -48,41 +64,53 @@ impl TransformerBlock {
     }
 
     /// Token dimensionality.
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.norm1.dim()
     }
 
-    /// Forward over one `T × dim` sequence.
-    pub fn forward(&self, x: &Matrix) -> (Matrix, TransformerCache) {
-        let (attn_out, attn_cache) = self.attention.forward(x);
-        let (a, norm1_cache) = self.norm1.forward(&x.add(&attn_out));
-        let (f1, ffn1_cache) = self.ffn1.forward(&a);
-        let (f2, ffn2_cache) = self.ffn2.forward(&f1);
-        let (y, norm2_cache) = self.norm2.forward(&a.add(&f2));
-        (
-            y,
-            TransformerCache {
-                attn: attn_cache,
-                norm1: norm1_cache,
-                ffn1: ffn1_cache,
-                ffn2: ffn2_cache,
-                norm2: norm2_cache,
-            },
-        )
+    /// Forward over one `T × dim` sequence, writing into `s` (result is
+    /// `s.out()`).
+    pub fn forward_into(&self, x: &Matrix, s: &mut TransformerScratch) {
+        self.attention.forward_into(x, &mut s.attn);
+        x.zip_with_into(s.attn.out(), |a, b| a + b, &mut s.sum1);
+        self.norm1.forward_into(&s.sum1, &mut s.norm1);
+        self.ffn1.forward_into(s.norm1.out(), &mut s.ffn1);
+        self.ffn2.forward_into(s.ffn1.out(), &mut s.ffn2);
+        s.norm1
+            .out()
+            .zip_with_into(s.ffn2.out(), |a, b| a + b, &mut s.sum2);
+        self.norm2.forward_into(&s.sum2, &mut s.norm2);
     }
 
-    /// Backward; accumulates all sub-layer gradients and returns `dL/dx`.
-    pub fn backward(&mut self, cache: &TransformerCache, dy: &Matrix) -> Matrix {
+    /// Backward; accumulates all sub-layer gradients and writes `dL/dx`
+    /// into `dx`. `s` must hold the matching forward pass.
+    pub fn backward_into(&mut self, s: &mut TransformerScratch, dy: &Matrix, dx: &mut Matrix) {
         // y = norm2(a + ffn(a))
-        let dsum2 = self.norm2.backward(&cache.norm2, dy);
-        let df1 = self.ffn2.backward(&cache.ffn2, &dsum2);
-        let mut da = self.ffn1.backward(&cache.ffn1, &df1);
-        da.add_assign(&dsum2); // residual branch
+        self.norm2.backward_into(&mut s.norm2, dy, &mut s.dsum2);
+        self.ffn2.backward_into(&mut s.ffn2, &s.dsum2, &mut s.df1);
+        self.ffn1.backward_into(&mut s.ffn1, &s.df1, &mut s.da);
+        s.da.add_assign(&s.dsum2); // residual branch
 
         // a = norm1(x + attention(x))
-        let dsum1 = self.norm1.backward(&cache.norm1, &da);
-        let mut dx = self.attention.backward(&cache.attn, &dsum1);
-        dx.add_assign(&dsum1); // residual branch
+        self.norm1.backward_into(&mut s.norm1, &s.da, &mut s.dsum1);
+        self.attention.backward_into(&mut s.attn, &s.dsum1, dx);
+        dx.add_assign(&s.dsum1); // residual branch
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward_into`].
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> (Matrix, TransformerScratch) {
+        let mut s = TransformerScratch::default();
+        self.forward_into(x, &mut s);
+        (s.out().clone(), s)
+    }
+
+    /// Allocating convenience wrapper around [`Self::backward_into`].
+    #[must_use]
+    pub fn backward(&mut self, s: &mut TransformerScratch, dy: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(s, dy, &mut dx);
         dx
     }
 }
@@ -100,6 +128,7 @@ impl Parameterized for TransformerBlock {
 
 /// Sinusoidal positional encoding added to a `T × dim` window before the
 /// encoder (Vaswani et al. convention).
+#[must_use]
 pub fn positional_encoding(t: usize, dim: usize) -> Matrix {
     let mut pe = Matrix::zeros(t, dim);
     for pos in 0..t {
@@ -144,9 +173,9 @@ mod tests {
                 crate::loss::mse(&y, &target).0
             },
             |b| {
-                let (y, cache) = b.forward(&x);
+                let (y, mut cache) = b.forward(&x);
                 let (_, dy) = crate::loss::mse(&y, &target);
-                b.backward(&cache, &dy);
+                let _ = b.backward(&mut cache, &dy);
             },
             5e-4,
         );
@@ -158,9 +187,9 @@ mod tests {
         let mut block = TransformerBlock::new(2, &mut rng);
         let x = Matrix::xavier(3, 2, &mut rng);
         let target = Matrix::zeros(3, 2);
-        let (y, cache) = block.forward(&x);
+        let (y, mut cache) = block.forward(&x);
         let (_, dy) = crate::loss::mse(&y, &target);
-        let dx = block.backward(&cache, &dy);
+        let dx = block.backward(&mut cache, &dy);
         let h = 1e-6;
         for i in 0..x.data().len() {
             let mut xp = x.clone();

@@ -1,0 +1,364 @@
+//! The [`Workspace`] scratch arena and the unified [`SeqBody`] layer trait.
+//!
+//! Training a [`crate::seq::SequenceRegressor`] processes one window at a
+//! time: embed → body → head → loss → backward. Before this module each body
+//! variant allocated fresh matrices for every sample; now all intermediate
+//! buffers live in a single `Workspace` that is created once per training
+//! run and recycled across samples, so the steady-state epoch loop performs
+//! zero heap allocation (buffers are grown on the first sample and reused
+//! afterwards — see `DESIGN.md` §9).
+//!
+//! `SeqBody` is the contract between `seq.rs` and the five body
+//! architectures (RNN, GRU, LSTM, transformer encoder, attention+GRU): a
+//! body reads the embedded window `ws.tokens` (`T × E`), produces
+//! `ws.final_state` (`1 × state_dim`), and on the backward pass turns
+//! `ws.dfinal` into `ws.dtokens` while accumulating its parameter
+//! gradients. The training loop is generic over `&mut dyn SeqBody`.
+
+use crate::attention::{AttnScratch, SelfAttention};
+use crate::dense::DenseScratch;
+use crate::gru::{GruCell, GruScratch};
+use crate::lstm::{LstmCell, LstmScratch};
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use crate::rnn_cell::{RnnCell, RnnScratch};
+use crate::transformer::{positional_encoding, TransformerBlock, TransformerScratch};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Reusable scratch arena for one forecaster's forward/backward passes.
+///
+/// Holds every intermediate of the embed → body → head pipeline plus the
+/// per-layer scratch of all body variants (only the active body's scratch
+/// grows beyond its `Default` emptiness). All buffers auto-size on first
+/// use and are recycled afterwards; reuse is bitwise-deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Input window as a `T × 1` column.
+    pub x: Matrix,
+    /// Embedded window, `T × E`.
+    pub tokens: Matrix,
+    /// Gradient w.r.t. `tokens`, written by [`SeqBody::backward_into`].
+    pub dtokens: Matrix,
+    /// Body output, `1 × state_dim`.
+    pub final_state: Matrix,
+    /// Gradient w.r.t. `final_state`, read by [`SeqBody::backward_into`].
+    pub dfinal: Matrix,
+    /// Regression target as a `1 × 1` matrix.
+    pub target: Matrix,
+    /// Gradient w.r.t. the head prediction.
+    pub dpred: Matrix,
+    /// Body-internal sequence gradient (transformer `dL/dy`, attention+GRU
+    /// `dL/d(attended)`).
+    pub dmid: Matrix,
+    /// Discarded `dL/dx` of the embedding layer (computed but unused).
+    pub dembed_x: Matrix,
+    /// Cached sinusoidal positional encoding (recomputed only on shape
+    /// change).
+    pub pe: Matrix,
+    /// `tokens + pe` for the transformer body.
+    pub xpe: Matrix,
+    /// Scalar-to-embedding layer scratch.
+    pub embed: DenseScratch,
+    /// Regression-head scratch.
+    pub head: DenseScratch,
+    /// Vanilla-RNN body scratch.
+    pub rnn: RnnScratch,
+    /// GRU body scratch (also used by the attention+GRU composite).
+    pub gru: GruScratch,
+    /// LSTM body scratch.
+    pub lstm: LstmScratch,
+    /// Self-attention scratch (transformer blocks embed their own).
+    pub attn: AttnScratch,
+    /// Transformer-block scratch.
+    pub tfm: TransformerScratch,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace. Buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Ensure `self.pe` holds the `t × dim` positional encoding. Allocates
+    /// only when the shape changes, which never happens in a steady-state
+    /// training loop (window length and embedding width are fixed).
+    fn ensure_pe(&mut self, t: usize, dim: usize) {
+        if self.pe.shape() != (t, dim) {
+            self.pe = positional_encoding(t, dim);
+        }
+    }
+}
+
+/// A sequence body: maps an embedded window to a single summary state.
+///
+/// Implementors read `ws.tokens` (`T × E`) in [`SeqBody::forward_into`] and
+/// write `ws.final_state` (`1 × state_dim`); on the backward pass they read
+/// `ws.dfinal`, accumulate their parameter gradients, and write
+/// `ws.dtokens` (`T × E`). All five paper variants implement this trait, so
+/// `seq.rs` trains every [`crate::seq::ModelKind`] through one generic
+/// loop.
+pub trait SeqBody: Parameterized {
+    /// Width of `ws.final_state`.
+    fn state_dim(&self) -> usize;
+
+    /// Forward pass: `ws.tokens` → `ws.final_state`.
+    fn forward_into(&self, ws: &mut Workspace);
+
+    /// Backward pass: `ws.dfinal` → `ws.dtokens`, accumulating parameter
+    /// gradients. `ws` must hold the matching forward pass.
+    fn backward_into(&mut self, ws: &mut Workspace);
+}
+
+impl SeqBody for RnnCell {
+    fn state_dim(&self) -> usize {
+        self.hidden_dim()
+    }
+
+    fn forward_into(&self, ws: &mut Workspace) {
+        let t_steps = ws.tokens.rows();
+        self.begin_seq(&mut ws.rnn, 1, t_steps);
+        for t in 0..t_steps {
+            ws.rnn.xs[t].copy_row_from(0, ws.tokens.row(t));
+            self.step(&mut ws.rnn, t);
+        }
+        ws.final_state.copy_from(&ws.rnn.hs[t_steps]);
+    }
+
+    fn backward_into(&mut self, ws: &mut Workspace) {
+        let t_steps = ws.tokens.rows();
+        ws.dtokens.resize(t_steps, self.input_dim());
+        ws.rnn.dh.copy_from(&ws.dfinal);
+        for t in (0..t_steps).rev() {
+            self.step_backward(&mut ws.rnn, t);
+            ws.dtokens.copy_row_from(t, ws.rnn.dx.row(0));
+            ws.rnn.advance_back();
+        }
+    }
+}
+
+impl SeqBody for GruCell {
+    fn state_dim(&self) -> usize {
+        self.hidden_dim()
+    }
+
+    fn forward_into(&self, ws: &mut Workspace) {
+        let t_steps = ws.tokens.rows();
+        self.begin_seq(&mut ws.gru, 1, t_steps);
+        for t in 0..t_steps {
+            ws.gru.xs[t].copy_row_from(0, ws.tokens.row(t));
+            self.step(&mut ws.gru, t);
+        }
+        ws.final_state.copy_from(&ws.gru.hs[t_steps]);
+    }
+
+    fn backward_into(&mut self, ws: &mut Workspace) {
+        let t_steps = ws.tokens.rows();
+        ws.dtokens.resize(t_steps, self.input_dim());
+        ws.gru.dh.copy_from(&ws.dfinal);
+        for t in (0..t_steps).rev() {
+            self.step_backward(&mut ws.gru, t);
+            ws.dtokens.copy_row_from(t, ws.gru.dx.row(0));
+            ws.gru.advance_back();
+        }
+    }
+}
+
+impl SeqBody for LstmCell {
+    fn state_dim(&self) -> usize {
+        self.hidden_dim()
+    }
+
+    fn forward_into(&self, ws: &mut Workspace) {
+        let t_steps = ws.tokens.rows();
+        self.begin_seq(&mut ws.lstm, 1, t_steps);
+        for t in 0..t_steps {
+            ws.lstm.xs[t].copy_row_from(0, ws.tokens.row(t));
+            self.step(&mut ws.lstm, t);
+        }
+        ws.final_state.copy_from(&ws.lstm.hs[t_steps]);
+    }
+
+    fn backward_into(&mut self, ws: &mut Workspace) {
+        let t_steps = ws.tokens.rows();
+        ws.dtokens.resize(t_steps, self.input_dim());
+        // dL/dc beyond the last step is zero; dL/dh is the head gradient.
+        self.begin_backward(&mut ws.lstm, 1);
+        ws.lstm.dh.copy_from(&ws.dfinal);
+        for t in (0..t_steps).rev() {
+            self.step_backward(&mut ws.lstm, t);
+            ws.dtokens.copy_row_from(t, ws.lstm.dx.row(0));
+            ws.lstm.advance_back();
+        }
+    }
+}
+
+impl SeqBody for TransformerBlock {
+    fn state_dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn forward_into(&self, ws: &mut Workspace) {
+        let (t_steps, dim) = ws.tokens.shape();
+        ws.ensure_pe(t_steps, dim);
+        ws.tokens.zip_with_into(&ws.pe, |a, b| a + b, &mut ws.xpe);
+        TransformerBlock::forward_into(self, &ws.xpe, &mut ws.tfm);
+        // The summary state is the encoding of the last (most recent) token.
+        ws.final_state.resize(1, dim);
+        ws.final_state
+            .copy_row_from(0, ws.tfm.out().row(t_steps - 1));
+    }
+
+    fn backward_into(&mut self, ws: &mut Workspace) {
+        let (t_steps, dim) = ws.tokens.shape();
+        // Only the last token's encoding feeds the head.
+        ws.dmid.resize(t_steps, dim);
+        ws.dmid.zero_out();
+        ws.dmid.copy_row_from(t_steps - 1, ws.dfinal.row(0));
+        TransformerBlock::backward_into(self, &mut ws.tfm, &ws.dmid, &mut ws.dtokens);
+    }
+}
+
+/// Self-attention over the window followed by a GRU over the attended
+/// tokens — the paper's default body (Appendix C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttentionGruBody {
+    attn: SelfAttention,
+    gru: GruCell,
+}
+
+impl AttentionGruBody {
+    /// New composite over `embed_dim`-dimensional tokens with a
+    /// `hidden_dim`-dimensional GRU state. Draws attention weights before
+    /// GRU weights from `rng`.
+    pub fn new(embed_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        AttentionGruBody {
+            attn: SelfAttention::new(embed_dim, rng),
+            gru: GruCell::new(embed_dim, hidden_dim, rng),
+        }
+    }
+}
+
+impl SeqBody for AttentionGruBody {
+    fn state_dim(&self) -> usize {
+        self.gru.hidden_dim()
+    }
+
+    fn forward_into(&self, ws: &mut Workspace) {
+        self.attn.forward_into(&ws.tokens, &mut ws.attn);
+        let t_steps = ws.tokens.rows();
+        self.gru.begin_seq(&mut ws.gru, 1, t_steps);
+        for t in 0..t_steps {
+            ws.gru.xs[t].copy_row_from(0, ws.attn.out().row(t));
+            self.gru.step(&mut ws.gru, t);
+        }
+        ws.final_state.copy_from(&ws.gru.hs[t_steps]);
+    }
+
+    fn backward_into(&mut self, ws: &mut Workspace) {
+        let t_steps = ws.tokens.rows();
+        ws.dmid.resize(t_steps, self.attn.dim());
+        ws.gru.dh.copy_from(&ws.dfinal);
+        for t in (0..t_steps).rev() {
+            self.gru.step_backward(&mut ws.gru, t);
+            ws.dmid.copy_row_from(t, ws.gru.dx.row(0));
+            ws.gru.advance_back();
+        }
+        self.attn
+            .backward_into(&mut ws.attn, &ws.dmid, &mut ws.dtokens);
+    }
+}
+
+impl Parameterized for AttentionGruBody {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = self.attn.params_mut();
+        out.extend(self.gru.params_mut());
+        out
+    }
+}
+
+#[cfg(test)]
+// Exact float assertions in these tests are deliberate (bitwise-reproducible
+// quantities); float_cmp stays deny in library code.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fill_tokens(ws: &mut Workspace, t: usize, dim: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ws.tokens = Matrix::xavier(t, dim, &mut rng);
+    }
+
+    fn bodies(dim: usize, hidden: usize) -> Vec<Box<dyn SeqBody>> {
+        let mut rng = StdRng::seed_from_u64(7);
+        vec![
+            Box::new(RnnCell::new(dim, hidden, &mut rng)),
+            Box::new(GruCell::new(dim, hidden, &mut rng)),
+            Box::new(LstmCell::new(dim, hidden, &mut rng)),
+            Box::new(TransformerBlock::new(dim, &mut rng)),
+            Box::new(AttentionGruBody::new(dim, hidden, &mut rng)),
+        ]
+    }
+
+    #[test]
+    fn every_body_produces_state_of_declared_dim() {
+        for body in bodies(4, 3) {
+            let mut ws = Workspace::new();
+            fill_tokens(&mut ws, 5, 4, 11);
+            body.forward_into(&mut ws);
+            assert_eq!(ws.final_state.shape(), (1, body.state_dim()));
+            assert!(ws.final_state.data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn every_body_backward_fills_dtokens() {
+        for mut body in bodies(4, 3) {
+            let mut ws = Workspace::new();
+            fill_tokens(&mut ws, 5, 4, 13);
+            body.forward_into(&mut ws);
+            ws.dfinal.resize(1, body.state_dim());
+            ws.dfinal.data_mut().fill(1.0);
+            body.backward_into(&mut ws);
+            assert_eq!(ws.dtokens.shape(), (5, 4));
+            assert!(ws.dtokens.data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        for mut body in bodies(3, 2) {
+            let mut ws = Workspace::new();
+            fill_tokens(&mut ws, 4, 3, 17);
+            let tokens = ws.tokens.clone();
+            body.forward_into(&mut ws);
+            let first_state = ws.final_state.clone();
+            ws.dfinal.resize(1, body.state_dim());
+            ws.dfinal.data_mut().fill(0.5);
+            body.backward_into(&mut ws);
+            let first_dtokens = ws.dtokens.clone();
+
+            // Second pass through the same (now dirty) workspace.
+            body.zero_grad();
+            ws.tokens.copy_from(&tokens);
+            body.forward_into(&mut ws);
+            assert_eq!(ws.final_state, first_state);
+            body.backward_into(&mut ws);
+            assert_eq!(ws.dtokens, first_dtokens);
+        }
+    }
+
+    #[test]
+    fn positional_encoding_is_cached_by_shape() {
+        let mut ws = Workspace::new();
+        ws.ensure_pe(6, 8);
+        let pe = ws.pe.clone();
+        ws.ensure_pe(6, 8);
+        assert_eq!(ws.pe, pe);
+        ws.ensure_pe(4, 8);
+        assert_eq!(ws.pe.shape(), (4, 8));
+    }
+}
