@@ -47,6 +47,7 @@ impl Mechanism for Fast {
         eps_total: f64,
         rng: &mut DpRng,
     ) -> ConsumptionMatrix {
+        let _span = stpt_obs::span!("baseline.fast");
         let mut out = c.clone();
         for (x, y) in c.pillar_coords().collect::<Vec<_>>() {
             let filtered = self.filter_series(c.pillar(x, y), clip, eps_total, rng);

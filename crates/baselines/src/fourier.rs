@@ -43,6 +43,7 @@ impl Mechanism for Fourier {
         eps_total: f64,
         rng: &mut DpRng,
     ) -> ConsumptionMatrix {
+        let _span = stpt_obs::span!("baseline.fourier");
         let t = c.ct();
         let k = self.k.min(t);
         // The √(2kT) bound applies to the *orthonormal* (1/√T-scaled) DFT

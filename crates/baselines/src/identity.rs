@@ -25,6 +25,7 @@ impl Mechanism for Identity {
         eps_total: f64,
         rng: &mut DpRng,
     ) -> ConsumptionMatrix {
+        let _span = stpt_obs::span!("baseline.identity");
         let eps_slice = Epsilon::new(eps_total / c.ct() as f64);
         let mech = LaplaceMechanism::new(Sensitivity::new(clip), eps_slice);
         let mut out = c.clone();

@@ -185,6 +185,7 @@ impl Mechanism for LganDp {
         eps_total: f64,
         rng: &mut DpRng,
     ) -> ConsumptionMatrix {
+        let _span = stpt_obs::span!("baseline.lgan_dp");
         // Public scaling bound: 8x the average households-per-cell mass
         // (N and the grid size are public metadata).
         let cells = (c.cx() * c.cy()) as f64;

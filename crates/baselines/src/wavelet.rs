@@ -39,6 +39,7 @@ impl Mechanism for Wavelet {
         eps_total: f64,
         rng: &mut DpRng,
     ) -> ConsumptionMatrix {
+        let _span = stpt_obs::span!("baseline.wavelet");
         let t = c.ct();
         let k = self.k.min(t);
         // Orthonormal Haar preserves the L2 bound on the padded series.

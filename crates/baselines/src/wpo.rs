@@ -53,6 +53,7 @@ impl Mechanism for Wpo {
         eps_total: f64,
         rng: &mut DpRng,
     ) -> ConsumptionMatrix {
+        let _span = stpt_obs::span!("baseline.wpo");
         let eps_release = eps_total * (1.0 - self.fit_fraction);
         let eps_slice = Epsilon::new(eps_release / c.ct() as f64);
         let mech = LaplaceMechanism::new(Sensitivity::new(clip), eps_slice);

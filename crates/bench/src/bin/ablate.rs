@@ -25,9 +25,9 @@ struct Point {
 fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
-    println!("# Ablation — MRE by depth / k / allocation (CER)");
-    println!("# {} reps\n", env.reps);
-    println!(
+    stpt_obs::report!("# Ablation — MRE by depth / k / allocation (CER)");
+    stpt_obs::report!("# {} reps\n", env.reps);
+    stpt_obs::report!(
         "{}",
         row(&[
             "Dist".into(),
@@ -41,7 +41,7 @@ fn main() {
             "Large".into()
         ])
     );
-    println!("|---|---|---|---|---|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|---|---|---|---|---|");
 
     let mut points = Vec::new();
     for dist in [
@@ -92,7 +92,7 @@ fn main() {
                 small: sums[1] / n,
                 large: sums[2] / n,
             };
-            println!(
+            stpt_obs::report!(
                 "{}",
                 row(&[
                     p.distribution.clone(),
@@ -109,6 +109,6 @@ fn main() {
             points.push(p);
         }
     }
-    dump_json("ablate", &points);
-    println!("(wrote results/ablate.json)");
+    emit_result("ablate", &env, &points);
+    stpt_obs::report!("(wrote results/ablate.json)");
 }

@@ -21,8 +21,8 @@ struct PanelResult {
 
 fn main() {
     let env = ExperimentEnv::from_env();
-    println!("# Figure 6 — STPT accuracy vs benchmarks (MRE %, lower is better)");
-    println!(
+    stpt_obs::report!("# Figure 6 — STPT accuracy vs benchmarks (MRE %, lower is better)");
+    stpt_obs::report!(
         "# grid {g}x{g}, T={h} (train {t}), eps_tot=30, {q} queries/class, {r} reps\n",
         g = env.grid,
         h = env.hours,
@@ -100,12 +100,12 @@ fn main() {
     let mut panels = Vec::new();
     for spec in &specs {
         for class in QueryClass::ALL {
-            println!("## {} — {} queries", spec.name, class.label());
-            println!(
+            stpt_obs::report!("## {} — {} queries", spec.name, class.label());
+            stpt_obs::report!(
                 "{}",
                 row(&["Algorithm".into(), "Uniform".into(), "Normal".into()])
             );
-            println!("|---|---|---|");
+            stpt_obs::report!("|---|---|---|");
             let mut panel = PanelResult {
                 dataset: spec.name.to_string(),
                 class: class.label().to_string(),
@@ -127,7 +127,7 @@ fn main() {
                     cells.push(format!("{mean:.1}"));
                 }
                 panel.mre.insert(alg.to_string(), per_dist);
-                println!("{}", row(&cells));
+                stpt_obs::report!("{}", row(&cells));
             }
             // Improvement of STPT over the best baseline (Uniform).
             let stpt = panel.mre["STPT"]["Uniform"];
@@ -136,7 +136,7 @@ fn main() {
                 .map(|a| panel.mre[*a]["Uniform"])
                 .fold(f64::INFINITY, f64::min);
             if best_base.is_finite() && best_base > 0.0 {
-                println!(
+                stpt_obs::report!(
                     "STPT improvement over best baseline (Uniform): {:.0}%\n",
                     (1.0 - stpt / best_base) * 100.0
                 );
@@ -144,6 +144,6 @@ fn main() {
             panels.push(panel);
         }
     }
-    dump_json("fig6", &panels);
-    println!("(wrote results/fig6.json)");
+    emit_result("fig6", &env, &panels);
+    stpt_obs::report!("(wrote results/fig6.json)");
 }

@@ -20,8 +20,8 @@ struct Fig7 {
 fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
-    println!("# Figure 7 — WPO vs STPT, LA household distribution (MRE %)");
-    println!("# {} reps, eps_tot = 30\n", env.reps);
+    stpt_obs::report!("# Figure 7 — WPO vs STPT, LA household distribution (MRE %)");
+    stpt_obs::report!("# {} reps, eps_tot = 30\n", env.reps);
 
     let mut sums: BTreeMap<(String, String), (f64, u32)> = BTreeMap::new();
     for rep in 0..env.reps {
@@ -50,7 +50,7 @@ fn main() {
         mre: BTreeMap::new(),
         stpt_vs_wpo_factor: BTreeMap::new(),
     };
-    println!(
+    stpt_obs::report!(
         "{}",
         row(&[
             "Algorithm".into(),
@@ -59,7 +59,7 @@ fn main() {
             "Large".into()
         ])
     );
-    println!("|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|");
     for name in ["STPT", "Identity", "WPO"] {
         let mut cells = vec![name.to_string()];
         for class in QueryClass::ALL {
@@ -71,13 +71,13 @@ fn main() {
                 .insert(class.label().to_string(), mean);
             cells.push(format!("{mean:.1}"));
         }
-        println!("{}", row(&cells));
+        stpt_obs::report!("{}", row(&cells));
     }
     for class in QueryClass::ALL {
         let f = out.mre["WPO"][class.label()] / out.mre["STPT"][class.label()];
         out.stpt_vs_wpo_factor.insert(class.label().to_string(), f);
-        println!("WPO / STPT error ratio ({}): {:.1}x", class.label(), f);
+        stpt_obs::report!("WPO / STPT error ratio ({}): {:.1}x", class.label(), f);
     }
-    dump_json("fig7", &out);
-    println!("(wrote results/fig7.json)");
+    emit_result("fig7", &env, &out);
+    stpt_obs::report!("(wrote results/fig7.json)");
 }

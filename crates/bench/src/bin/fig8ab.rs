@@ -16,13 +16,13 @@ struct Point {
 fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
-    println!("# Figures 8a/8b — pattern-recognition error vs per-datapoint budget");
-    println!("# CER, Uniform distribution, {} reps\n", env.reps);
-    println!(
+    stpt_obs::report!("# Figures 8a/8b — pattern-recognition error vs per-datapoint budget");
+    stpt_obs::report!("# CER, Uniform distribution, {} reps\n", env.reps);
+    stpt_obs::report!(
         "{}",
         row(&["eps / datapoint".into(), "MAE".into(), "RMSE".into()])
     );
-    println!("|---|---|---|");
+    stpt_obs::report!("|---|---|---|");
 
     let budgets = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5];
     let mut points = Vec::new();
@@ -42,7 +42,7 @@ fn main() {
             mae: mae_sum / env.reps as f64,
             rmse: rmse_sum / env.reps as f64,
         };
-        println!(
+        stpt_obs::report!(
             "{}",
             row(&[
                 format!("{per_point}"),
@@ -54,10 +54,10 @@ fn main() {
     }
     // Shape check the paper highlights: the big win is between 0.01 and 0.05.
     let drop = (points[0].mae - points[2].mae) / points[0].mae.max(1e-12);
-    println!(
+    stpt_obs::report!(
         "\nMAE drop from 0.01 to 0.05 per-point budget: {:.0}%",
         drop * 100.0
     );
-    dump_json("fig8ab", &points);
-    println!("(wrote results/fig8ab.json)");
+    emit_result("fig8ab", &env, &points);
+    stpt_obs::report!("(wrote results/fig8ab.json)");
 }

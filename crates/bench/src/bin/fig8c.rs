@@ -16,13 +16,13 @@ struct Point {
 fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
-    println!("# Figure 8c — MRE vs quantisation levels k (CER, Uniform)");
-    println!("# {} reps\n", env.reps);
-    println!(
+    stpt_obs::report!("# Figure 8c — MRE vs quantisation levels k (CER, Uniform)");
+    stpt_obs::report!("# {} reps\n", env.reps);
+    stpt_obs::report!(
         "{}",
         row(&["k".into(), "Random".into(), "Small".into(), "Large".into()])
     );
-    println!("|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|");
 
     let ks = [2usize, 4, 8, 12, 16, 24, 32, 40];
     let mut points = Vec::new();
@@ -42,7 +42,7 @@ fn main() {
             .into_iter()
             .map(|(c, s)| (c, s / env.reps as f64))
             .collect();
-        println!(
+        stpt_obs::report!(
             "{}",
             row(&[
                 k.to_string(),
@@ -53,6 +53,6 @@ fn main() {
         );
         points.push(Point { k, mre });
     }
-    dump_json("fig8c", &points);
-    println!("(wrote results/fig8c.json)");
+    emit_result("fig8c", &env, &points);
+    stpt_obs::report!("(wrote results/fig8c.json)");
 }

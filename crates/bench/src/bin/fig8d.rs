@@ -14,17 +14,17 @@ struct Timing {
 fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
-    println!("# Figure 8d — runtime per algorithm (seconds, CER, Uniform)");
-    println!("# grid {g}x{g}, T={h}\n", g = env.grid, h = env.hours);
-    println!("{}", row(&["Algorithm".into(), "Seconds".into()]));
-    println!("|---|---|");
+    stpt_obs::report!("# Figure 8d — runtime per algorithm (seconds, CER, Uniform)");
+    stpt_obs::report!("# grid {g}x{g}, T={h}\n", g = env.grid, h = env.hours);
+    stpt_obs::report!("{}", row(&["Algorithm".into(), "Seconds".into()]));
+    stpt_obs::report!("|---|---|");
 
     let inst = make_instance(&env, spec, SpatialDistribution::Uniform, 0);
     let cfg = stpt_config(&env, &spec, 0);
     let mut timings = Vec::new();
 
     let (_, secs) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-    println!("{}", row(&["STPT".into(), format!("{secs:.2}")]));
+    stpt_obs::report!("{}", row(&["STPT".into(), format!("{secs:.2}")]));
     timings.push(Timing {
         algorithm: "STPT".into(),
         seconds: secs,
@@ -34,12 +34,12 @@ fn main() {
     roster.push(wpo());
     for mech in roster {
         let (_, secs) = run_baseline(mech.as_ref(), &inst, cfg.eps_total(), 0);
-        println!("{}", row(&[mech.name(), format!("{secs:.2}")]));
+        stpt_obs::report!("{}", row(&[mech.name(), format!("{secs:.2}")]));
         timings.push(Timing {
             algorithm: mech.name(),
             seconds: secs,
         });
     }
-    dump_json("fig8d", &timings);
-    println!("(wrote results/fig8d.json)");
+    emit_result("fig8d", &env, &timings);
+    stpt_obs::report!("(wrote results/fig8d.json)");
 }

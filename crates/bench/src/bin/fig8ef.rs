@@ -17,10 +17,10 @@ fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
     let max_depth = env.grid.trailing_zeros() as usize;
-    println!("# Figures 8e/8f — pattern error vs quadtree depth (CER, Uniform)");
-    println!("# {} reps\n", env.reps);
-    println!("{}", row(&["Depth".into(), "MAE".into(), "RMSE".into()]));
-    println!("|---|---|---|");
+    stpt_obs::report!("# Figures 8e/8f — pattern error vs quadtree depth (CER, Uniform)");
+    stpt_obs::report!("# {} reps\n", env.reps);
+    stpt_obs::report!("{}", row(&["Depth".into(), "MAE".into(), "RMSE".into()]));
+    stpt_obs::report!("|---|---|---|");
 
     let mut points = Vec::new();
     for depth in 1..=max_depth {
@@ -43,7 +43,7 @@ fn main() {
             mae: mae_sum / env.reps as f64,
             rmse: rmse_sum / env.reps as f64,
         };
-        println!(
+        stpt_obs::report!(
             "{}",
             row(&[
                 depth.to_string(),
@@ -53,6 +53,6 @@ fn main() {
         );
         points.push(p);
     }
-    dump_json("fig8ef", &points);
-    println!("(wrote results/fig8ef.json)");
+    emit_result("fig8ef", &env, &points);
+    stpt_obs::report!("(wrote results/fig8ef.json)");
 }

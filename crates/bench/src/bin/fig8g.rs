@@ -18,9 +18,9 @@ fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
     let eps_tot = 30.0;
-    println!("# Figure 8g — MRE vs % of budget for pattern recognition (CER, Uniform)");
-    println!("# eps_tot = {eps_tot}, {} reps\n", env.reps);
-    println!(
+    stpt_obs::report!("# Figure 8g — MRE vs % of budget for pattern recognition (CER, Uniform)");
+    stpt_obs::report!("# eps_tot = {eps_tot}, {} reps\n", env.reps);
+    stpt_obs::report!(
         "{}",
         row(&[
             "Pattern %".into(),
@@ -29,7 +29,7 @@ fn main() {
             "Large".into()
         ])
     );
-    println!("|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|");
 
     let shares = [0.1, 0.2, 0.33, 0.5, 0.7, 0.9];
     let mut points = Vec::new();
@@ -50,7 +50,7 @@ fn main() {
             .into_iter()
             .map(|(c, s)| (c, s / env.reps as f64))
             .collect();
-        println!(
+        stpt_obs::report!(
             "{}",
             row(&[
                 format!("{:.0}%", share * 100.0),
@@ -64,6 +64,6 @@ fn main() {
             mre,
         });
     }
-    dump_json("fig8g", &points);
-    println!("(wrote results/fig8g.json)");
+    emit_result("fig8g", &env, &points);
+    stpt_obs::report!("(wrote results/fig8g.json)");
 }

@@ -18,9 +18,9 @@ struct Point {
 fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
-    println!("# Figure 8h — MRE vs total budget eps_tot (CER, Uniform)");
-    println!("# split 1/3 pattern, 2/3 sanitize; {} reps\n", env.reps);
-    println!(
+    stpt_obs::report!("# Figure 8h — MRE vs total budget eps_tot (CER, Uniform)");
+    stpt_obs::report!("# split 1/3 pattern, 2/3 sanitize; {} reps\n", env.reps);
+    stpt_obs::report!(
         "{}",
         row(&[
             "eps_tot".into(),
@@ -29,7 +29,7 @@ fn main() {
             "Large".into()
         ])
     );
-    println!("|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|");
 
     let budgets = [5.0, 10.0, 20.0, 30.0, 40.0];
     let mut points = Vec::new();
@@ -50,7 +50,7 @@ fn main() {
             .into_iter()
             .map(|(c, s)| (c, s / env.reps as f64))
             .collect();
-        println!(
+        stpt_obs::report!(
             "{}",
             row(&[
                 format!("{eps_tot}"),
@@ -64,6 +64,6 @@ fn main() {
             mre,
         });
     }
-    dump_json("fig8h", &points);
-    println!("(wrote results/fig8h.json)");
+    emit_result("fig8h", &env, &points);
+    stpt_obs::report!("(wrote results/fig8h.json)");
 }

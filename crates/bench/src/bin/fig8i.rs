@@ -19,9 +19,9 @@ struct Point {
 fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
-    println!("# Figure 8i — MRE by sequence model (CER, Uniform)");
-    println!("# {} reps\n", env.reps);
-    println!(
+    stpt_obs::report!("# Figure 8i — MRE by sequence model (CER, Uniform)");
+    stpt_obs::report!("# {} reps\n", env.reps);
+    stpt_obs::report!(
         "{}",
         row(&[
             "Model".into(),
@@ -31,7 +31,7 @@ fn main() {
             "Large".into()
         ])
     );
-    println!("|---|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|---|");
 
     let kinds = [
         (ModelKind::Rnn, "RNN"),
@@ -60,7 +60,7 @@ fn main() {
             .map(|(c, s)| (c, s / env.reps as f64))
             .collect();
         let mae = mae_sum / env.reps as f64;
-        println!(
+        stpt_obs::report!(
             "{}",
             row(&[
                 label.to_string(),
@@ -76,6 +76,6 @@ fn main() {
             mre,
         });
     }
-    dump_json("fig8i", &points);
-    println!("(wrote results/fig8i.json)");
+    emit_result("fig8i", &env, &points);
+    stpt_obs::report!("(wrote results/fig8i.json)");
 }

@@ -4,7 +4,7 @@
 use rand::SeedableRng;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use stpt_bench::{dump_json, row, ExperimentEnv};
+use stpt_bench::{emit_result, row, ExperimentEnv};
 use stpt_data::{Dataset, DatasetSpec, SpatialDistribution};
 
 #[derive(Serialize)]
@@ -17,9 +17,9 @@ fn main() {
     let env = ExperimentEnv::from_env();
     // Need at least two full weeks of hourly data for a stable profile.
     let hours = env.hours.max(24 * 14);
-    println!("# Figure 9 — total weekly consumption per weekday (kWh)");
-    println!("# {hours} hours of generated data per dataset\n");
-    println!(
+    stpt_obs::report!("# Figure 9 — total weekly consumption per weekday (kWh)");
+    stpt_obs::report!("# {hours} hours of generated data per dataset\n");
+    stpt_obs::report!(
         "{}",
         row(&[
             "Dataset".into(),
@@ -32,7 +32,7 @@ fn main() {
             "Sun".into()
         ])
     );
-    println!("|---|---|---|---|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|---|---|---|---|");
 
     let mut out = Fig9 {
         weekday_totals: BTreeMap::new(),
@@ -43,10 +43,10 @@ fn main() {
         let totals = ds.weekday_totals();
         let mut cells = vec![spec.name.to_string()];
         cells.extend(totals.iter().map(|t| format!("{t:.0}")));
-        println!("{}", row(&cells));
+        stpt_obs::report!("{}", row(&cells));
         out.weekday_totals.insert(spec.name.to_string(), totals);
     }
-    println!("\n(weekends sit above weekdays — the Figure 9 shape)");
-    dump_json("fig9", &out);
-    println!("(wrote results/fig9.json)");
+    stpt_obs::report!("\n(weekends sit above weekdays — the Figure 9 shape)");
+    emit_result("fig9", &env, &out);
+    stpt_obs::report!("(wrote results/fig9.json)");
 }

@@ -22,9 +22,9 @@ struct Point {
 fn main() {
     let env = ExperimentEnv::from_env();
     let spec = DatasetSpec::CER;
-    println!("# Extension — central STPT vs local DP (CER, Uniform, random queries)");
-    println!("# {} reps\n", env.reps);
-    println!(
+    stpt_obs::report!("# Extension — central STPT vs local DP (CER, Uniform, random queries)");
+    stpt_obs::report!("# {} reps\n", env.reps);
+    stpt_obs::report!(
         "{}",
         row(&[
             "eps".into(),
@@ -33,7 +33,7 @@ fn main() {
             "gap".into()
         ])
     );
-    println!("|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|");
 
     let mut points = Vec::new();
     for eps in [10.0, 30.0, 100.0] {
@@ -79,7 +79,7 @@ fn main() {
             ldp_mre: ldp_sum / env.reps as f64,
             gap: ldp_sum / stpt_sum.max(1e-12),
         };
-        println!(
+        stpt_obs::report!(
             "{}",
             row(&[
                 format!("{eps}"),
@@ -90,8 +90,10 @@ fn main() {
         );
         points.push(p);
     }
-    dump_json("ldp_gap", &points);
-    println!("\n(LDP removes the trusted aggregator at a 2-15x utility cost at these budgets,");
-    println!(" growing as eps shrinks — why the paper defers it to future work;");
-    println!(" wrote results/ldp_gap.json)");
+    emit_result("ldp_gap", &env, &points);
+    stpt_obs::report!(
+        "\n(LDP removes the trusted aggregator at a 2-15x utility cost at these budgets,"
+    );
+    stpt_obs::report!(" growing as eps shrinks — why the paper defers it to future work;");
+    stpt_obs::report!(" wrote results/ldp_gap.json)");
 }

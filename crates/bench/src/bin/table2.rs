@@ -3,7 +3,7 @@
 
 use rand::SeedableRng;
 use serde::Serialize;
-use stpt_bench::{dump_json, row, ExperimentEnv};
+use stpt_bench::{emit_result, row, ExperimentEnv};
 use stpt_data::{Dataset, DatasetSpec, SpatialDistribution};
 
 #[derive(Serialize)]
@@ -22,9 +22,9 @@ struct Row {
 fn main() {
     let env = ExperimentEnv::from_env();
     let hours = env.hours.max(24 * 14);
-    println!("# Table 2 — generated dataset statistics vs paper targets");
-    println!("# (hourly kWh, {hours} hours per household)\n");
-    println!(
+    stpt_obs::report!("# Table 2 — generated dataset statistics vs paper targets");
+    stpt_obs::report!("# (hourly kWh, {hours} hours per household)\n");
+    stpt_obs::report!(
         "{}",
         row(&[
             "Dataset".into(),
@@ -35,14 +35,14 @@ fn main() {
             "Clip".into()
         ])
     );
-    println!("|---|---|---|---|---|---|");
+    stpt_obs::report!("|---|---|---|---|---|---|");
 
     let mut rows = Vec::new();
     for spec in DatasetSpec::ALL {
         let mut rng = rand::rngs::StdRng::seed_from_u64(123);
         let ds = Dataset::generate(spec, SpatialDistribution::Uniform, hours, &mut rng);
         let s = ds.stats();
-        println!(
+        stpt_obs::report!(
             "{}",
             row(&[
                 spec.name.to_string(),
@@ -65,6 +65,6 @@ fn main() {
             clip: spec.clip,
         });
     }
-    dump_json("table2", &rows);
-    println!("\n(wrote results/table2.json)");
+    emit_result("table2", &env, &rows);
+    stpt_obs::report!("\n(wrote results/table2.json)");
 }

@@ -172,20 +172,43 @@ pub fn run_stpt_timed(inst: &Instance, cfg: &StptConfig) -> Result<(StptOutput, 
     Ok((out, start.elapsed().as_secs_f64()))
 }
 
-/// Write a JSON result blob under `results/<name>.json`.
-pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+/// Write a run's result blob under `results/<name>.json`.
+///
+/// Every bench binary routes its machine-readable output through this one
+/// helper: the payload is wrapped in an envelope carrying the experiment
+/// scale ([`ExperimentEnv`]) and — when `STPT_TRACE` is on — the run's full
+/// telemetry snapshot (spans, metrics, budget ledger). The same snapshot is
+/// also written standalone under `results/telemetry/<name>.json`.
+pub fn emit_result<T: Serialize>(name: &str, env: &ExperimentEnv, value: &T) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
+        stpt_obs::diag!("warning: could not create results/");
         return;
     }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
+    let data = match serde_json::to_string_pretty(value) {
+        Ok(s) => s,
+        Err(e) => {
+            stpt_obs::diag!("warning: could not serialise {name}: {e}");
+            return;
         }
-        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    };
+    let env_json = serde_json::to_string(env).unwrap_or_else(|_| "null".to_string());
+    // The telemetry document is produced by stpt-obs's dependency-free
+    // writer, so it is spliced in as a pre-rendered JSON fragment.
+    let telemetry = if stpt_obs::enabled() {
+        stpt_obs::export::telemetry_json(name)
+    } else {
+        "null".to_string()
+    };
+    let doc = format!(
+        "{{\n\"name\": \"{name}\",\n\"env\": {env_json},\n\"data\": {data},\n\"telemetry\": {telemetry}\n}}\n"
+    );
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = std::fs::write(&path, doc) {
+        stpt_obs::diag!("warning: could not write {}: {e}", path.display());
+    }
+    if let Some(tpath) = stpt_obs::export::write_telemetry(name) {
+        stpt_obs::diag!("telemetry: wrote {}", tpath.display());
     }
 }
 

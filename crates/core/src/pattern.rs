@@ -70,6 +70,7 @@ pub fn recognize_patterns(
     let eps_per_point = Epsilon::new(config.epsilon / config.t_train as f64);
 
     // 1–2: hierarchical representative series, sanitised level by level.
+    let hierarchy_span = stpt_obs::span!("hierarchy");
     let mut sanitized_levels: Vec<Vec<Vec<f64>>> = Vec::with_capacity(levels);
     for (d, &(t0, t1)) in segments.iter().enumerate() {
         let regions = neighborhoods(cx, cy, d);
@@ -80,10 +81,11 @@ pub fn recognize_patterns(
             // Sequential composition over the segment's time points; parallel
             // across the disjoint neighbourhoods of the level.
             for (ti, v) in rep.iter_mut().enumerate() {
-                accountant.spend_parallel(
+                accountant.spend_parallel_with(
                     &format!("pattern-t{}", t0 + ti),
                     &format!("n{ri}"),
                     eps_per_point,
+                    SpendInfo::laplace(sensitivity.value()),
                 )?;
                 let mech = LaplaceMechanism::new(sensitivity, eps_per_point);
                 *v = mech.release(*v, rng);
@@ -92,8 +94,10 @@ pub fn recognize_patterns(
         }
         sanitized_levels.push(level_series);
     }
+    drop(hierarchy_span);
 
     // 3: train the sequence model on windows swept over each series.
+    let train_span = stpt_obs::span!("train");
     let all_series: Vec<Vec<f64>> = sanitized_levels.iter().flatten().cloned().collect();
     let (windows, targets) = make_windows(&all_series, config.net.window);
     assert!(
@@ -104,8 +108,10 @@ pub fn recognize_patterns(
     );
     let mut model = SequenceRegressor::new(config.net.clone());
     let train_stats = model.train(&windows, &targets);
+    drop(train_span);
 
     // 4: assemble C_pattern.
+    let _assemble_span = stpt_obs::span!("assemble");
     let mut pattern = ConsumptionMatrix::zeros(cx, cy, ct_total);
 
     // Spatial weights estimated from *all* levels: households are static,

@@ -77,7 +77,12 @@ pub fn sanitize_partitions(
     let mut releases = Vec::with_capacity(partitions.len());
     for ((part, &s), &eps) in partitions.iter().zip(&sens).zip(&budgets) {
         let eps = Epsilon::new(eps);
-        accountant.spend_parallel("sanitize", &format!("tile-{}", part.group), eps)?;
+        accountant.spend_parallel_with(
+            "sanitize",
+            &format!("tile-{}", part.group),
+            eps,
+            SpendInfo::laplace(s),
+        )?;
         let mech = LaplaceMechanism::new(Sensitivity::new(s), eps);
         let true_sum: f64 = part.cells.iter().map(|&c| c_cons.data()[c]).sum();
         let noisy_sum = mech.release(true_sum, rng);

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use stpt_data::{ConsumptionMatrix, Dataset};
 use stpt_dp::prelude::*;
 use stpt_nn::seq::{ModelKind, NetConfig};
+use stpt_obs::LedgerCheck;
 
 /// Full STPT configuration (the inputs of Algorithm 1).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -101,6 +102,11 @@ pub struct StptOutput {
     pub releases: Vec<PartitionRelease>,
     /// Budget actually spent (should equal ε_tot).
     pub epsilon_spent: f64,
+    /// Result of the budget-ledger audit: the accountant's spend ledger
+    /// replayed through the composition rules and verified to telescope to
+    /// ε_tot. `run_stpt` fails closed if the audit does, so a returned
+    /// output always carries `audit.consistent == true`.
+    pub audit: LedgerCheck,
     /// MAE/RMSE of the pattern predictions on the forecast horizon,
     /// measured against the true normalised matrix (Figures 8a/8b).
     pub pattern_mae: f64,
@@ -118,6 +124,7 @@ pub fn run_stpt(
     c_cons_clipped: &ConsumptionMatrix,
     config: &StptConfig,
 ) -> Result<StptOutput, DpError> {
+    let _stpt_span = stpt_obs::span!("stpt");
     let mut accountant = BudgetAccountant::new(Epsilon::new(config.eps_total()));
     let mut rng = DpRng::seed_from_u64(config.seed);
 
@@ -133,9 +140,12 @@ pub fn run_stpt(
         depth: config.depth,
         net: config.net.clone(),
     };
+    let pattern_span = stpt_obs::span!("pattern");
     let pattern = recognize_patterns(&c_norm, &pattern_cfg, &mut accountant, &mut rng)?;
     let (pattern_mae, pattern_rmse) = prediction_error(&c_norm, &pattern.pattern, config.t_train);
+    drop(pattern_span);
 
+    let partition_span = stpt_obs::span!("partition");
     let scheme = match (config.partition_block, config.partition_t_block) {
         (Some(block), Some(t_block)) => PartitionScheme::Local {
             block,
@@ -149,11 +159,14 @@ pub fn run_stpt(
         (None, _) => PartitionScheme::Global,
     };
     let partitions = k_quantize_with(&pattern.pattern, config.quantization, scheme);
+    drop(partition_span);
+
     let sanitize_cfg = SanitizeConfig {
         epsilon: config.eps_sanitize,
         clip: config.clip,
         allocation: config.allocation,
     };
+    let sanitize_span = stpt_obs::span!("sanitize");
     let (sanitized, releases) = sanitize_partitions(
         c_cons_clipped,
         &partitions,
@@ -161,6 +174,12 @@ pub fn run_stpt(
         &mut accountant,
         &mut rng,
     )?;
+    drop(sanitize_span);
+
+    // Finalise: replay the spend ledger and verify it telescopes to ε_tot.
+    // Failing closed here means no caller can observe an output whose
+    // composition accounting does not check out.
+    let audit = accountant.audit(config.eps_total())?;
 
     Ok(StptOutput {
         sanitized,
@@ -168,6 +187,7 @@ pub fn run_stpt(
         partitions,
         releases,
         epsilon_spent: accountant.spent(),
+        audit,
         pattern_mae,
         pattern_rmse,
     })
@@ -220,6 +240,11 @@ mod tests {
             "spent {}",
             out.epsilon_spent
         );
+        // The ledger audit ran (run_stpt fails closed otherwise) and the
+        // replay reproduced the live accountant bit-exactly.
+        assert!(out.audit.consistent);
+        assert_eq!(out.audit.replayed.to_bits(), out.audit.spent.to_bits());
+        assert!((out.audit.total - cfg.eps_total()).abs() < 1e-12);
     }
 
     #[test]

@@ -228,6 +228,7 @@ impl Dataset {
         n_granules: usize,
         rng: &mut impl Rng,
     ) -> Dataset {
+        let _span = stpt_obs::span!("data.generate");
         let positions = distribution.sample_positions(spec.households, rng);
         let (mu_base, sigma_base, sigma_noise) = spec.lognormal_params();
         // xtask-allow(XT04): lognormal_params derives finite mu/sigma from the positive Table 2 statistics

@@ -1,4 +1,5 @@
-//! Privacy-budget accounting with enforced composition laws.
+//! Privacy-budget accounting with enforced composition laws and an audit
+//! ledger.
 //!
 //! * **Sequential composition** (Theorem 1): mechanisms applied to the *same*
 //!   data add their budgets.
@@ -8,10 +9,21 @@
 //! The consumption matrix composes *sequentially in time* and *in parallel
 //! across space* (Theorem 5): each time slice has its own sub-budget, and
 //! within a slice all disjoint spatial cells share one spend.
+//!
+//! Beyond enforcement, the accountant keeps an **audit ledger**: every
+//! accepted spend appends one [`LedgerEntry`] (phase, sibling, mechanism,
+//! ε, sensitivity, composition kind). [`BudgetAccountant::audit`] replays
+//! the ledger through the composition rules from scratch and verifies that
+//! the replay reproduces the live accountant *bit-exactly* and telescopes
+//! to the configured total ε — turning Theorems 1–3 from a code-review
+//! claim into a runtime-checked invariant. Phase maps are `BTreeMap`s so
+//! summation order is deterministic and the bit-exact comparison is
+//! meaningful.
 
 use crate::error::DpError;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use stpt_obs::{Composition, LedgerCheck, LedgerEntry};
 
 /// A strictly positive privacy budget ε.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
@@ -61,6 +73,43 @@ impl Epsilon {
     }
 }
 
+/// Attribution attached to a spend for the audit ledger: which mechanism
+/// consumed the budget and at what L1 sensitivity.
+#[derive(Debug, Clone, Copy)]
+pub struct SpendInfo {
+    /// Mechanism label (stable, lowercase).
+    pub mechanism: &'static str,
+    /// L1 sensitivity the mechanism was calibrated against. `NaN` when the
+    /// caller did not attribute the spend (exports as `null`).
+    pub sensitivity: f64,
+}
+
+impl SpendInfo {
+    /// A spend feeding the Laplace mechanism at the given L1 sensitivity.
+    pub fn laplace(sensitivity: f64) -> Self {
+        SpendInfo {
+            mechanism: "laplace",
+            sensitivity,
+        }
+    }
+
+    /// A spend feeding the geometric mechanism at the given L1 sensitivity.
+    pub fn geometric(sensitivity: f64) -> Self {
+        SpendInfo {
+            mechanism: "geometric",
+            sensitivity,
+        }
+    }
+
+    /// A spend with no mechanism attribution (legacy call sites and tests).
+    pub fn unattributed() -> Self {
+        SpendInfo {
+            mechanism: "unattributed",
+            sensitivity: f64::NAN,
+        }
+    }
+}
+
 /// Tracks budget consumption for one release pipeline and *enforces* the
 /// total: a spend that would exceed `total` fails with
 /// [`DpError::BudgetExhausted`].
@@ -69,6 +118,11 @@ impl Epsilon {
 /// assumed to touch the same records and compose sequentially (they add);
 /// groups named differently but registered as *parallel siblings* compose in
 /// parallel (the accountant charges only the per-group maximum).
+///
+/// Every accepted spend is also appended to the audit [ledger]; see
+/// [`BudgetAccountant::audit`].
+///
+/// [ledger]: BudgetAccountant::ledger
 ///
 /// The common usage in this repository:
 ///
@@ -86,15 +140,36 @@ impl Epsilon {
 /// acc.spend_parallel("sanitize", "p1", Epsilon::new(20.0)).unwrap();
 /// assert!((acc.spent() - 30.0).abs() < 1e-9);
 /// assert!(acc.spend_sequential("extra", Epsilon::new(0.5)).is_err());
+/// let check = acc.audit(30.0).unwrap();
+/// assert!(check.consistent);
 /// ```
 #[derive(Debug, Clone)]
 pub struct BudgetAccountant {
     total: Epsilon,
-    /// Sequential phases: phase name -> accumulated ε.
-    sequential: HashMap<String, f64>,
+    /// Sequential phases: phase name -> accumulated ε. `BTreeMap` so the
+    /// summation order in [`spent_of`] is deterministic.
+    sequential: BTreeMap<String, f64>,
     /// Parallel phases: phase name -> (sibling name -> accumulated ε).
     /// The phase is charged max over siblings.
-    parallel: HashMap<String, HashMap<String, f64>>,
+    parallel: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Append-only record of every accepted spend, in acceptance order.
+    ledger: Vec<LedgerEntry>,
+}
+
+/// Total spend of a (sequential, parallel) phase-map pair: sum over phases,
+/// where a parallel phase contributes the max over its disjoint siblings.
+/// Shared by the live accountant and the audit replay so both sum in the
+/// identical (sorted) order and bit-exact comparison is well-defined.
+fn spent_of(
+    sequential: &BTreeMap<String, f64>,
+    parallel: &BTreeMap<String, BTreeMap<String, f64>>,
+) -> f64 {
+    let seq: f64 = sequential.values().sum();
+    let par: f64 = parallel
+        .values()
+        .map(|sibs| sibs.values().copied().fold(0.0, f64::max))
+        .sum();
+    seq + par
 }
 
 impl BudgetAccountant {
@@ -102,8 +177,9 @@ impl BudgetAccountant {
     pub fn new(total: Epsilon) -> Self {
         BudgetAccountant {
             total,
-            sequential: HashMap::new(),
-            parallel: HashMap::new(),
+            sequential: BTreeMap::new(),
+            parallel: BTreeMap::new(),
+            ledger: Vec::new(),
         }
     }
 
@@ -115,13 +191,7 @@ impl BudgetAccountant {
     /// Budget consumed so far: the sum over phases, where a parallel phase
     /// contributes the maximum over its disjoint siblings.
     pub fn spent(&self) -> f64 {
-        let seq: f64 = self.sequential.values().sum();
-        let par: f64 = self
-            .parallel
-            .values()
-            .map(|sibs| sibs.values().cloned().fold(0.0, f64::max))
-            .sum();
-        seq + par
+        spent_of(&self.sequential, &self.parallel)
     }
 
     /// Budget still available.
@@ -129,12 +199,37 @@ impl BudgetAccountant {
         (self.total.value() - self.spent()).max(0.0)
     }
 
+    /// The audit ledger: one entry per accepted spend, in acceptance order.
+    pub fn ledger(&self) -> &[LedgerEntry] {
+        &self.ledger
+    }
+
     /// Spend `eps` sequentially in `phase` (touches the same records as all
     /// other spends in `phase`). Fails if the total would be exceeded.
     #[must_use = "an ignored Err(BudgetExhausted) silently overspends the privacy budget"]
     pub fn spend_sequential(&mut self, phase: &str, eps: Epsilon) -> Result<(), DpError> {
+        self.spend_sequential_with(phase, eps, SpendInfo::unattributed())
+    }
+
+    /// [`spend_sequential`](Self::spend_sequential) with mechanism
+    /// attribution for the audit ledger.
+    #[must_use = "an ignored Err(BudgetExhausted) silently overspends the privacy budget"]
+    pub fn spend_sequential_with(
+        &mut self,
+        phase: &str,
+        eps: Epsilon,
+        info: SpendInfo,
+    ) -> Result<(), DpError> {
         self.check(eps.value())?;
         *self.sequential.entry(phase.to_string()).or_insert(0.0) += eps.value();
+        self.ledger.push(LedgerEntry {
+            phase: phase.to_string(),
+            sibling: None,
+            mechanism: info.mechanism,
+            epsilon: eps.value(),
+            sensitivity: info.sensitivity,
+            kind: Composition::Sequential,
+        });
         Ok(())
     }
 
@@ -148,11 +243,24 @@ impl BudgetAccountant {
         sibling: &str,
         eps: Epsilon,
     ) -> Result<(), DpError> {
+        self.spend_parallel_with(phase, sibling, eps, SpendInfo::unattributed())
+    }
+
+    /// [`spend_parallel`](Self::spend_parallel) with mechanism attribution
+    /// for the audit ledger.
+    #[must_use = "an ignored Err(BudgetExhausted) silently overspends the privacy budget"]
+    pub fn spend_parallel_with(
+        &mut self,
+        phase: &str,
+        sibling: &str,
+        eps: Epsilon,
+        info: SpendInfo,
+    ) -> Result<(), DpError> {
         // Check against the total before touching any state, so a rejected
-        // spend leaves the accountant exactly as it was.
+        // spend leaves the accountant (and the ledger) exactly as it was.
         let (current_max, current_sib) = match self.parallel.get(phase) {
             Some(sibs) => (
-                sibs.values().cloned().fold(0.0, f64::max),
+                sibs.values().copied().fold(0.0, f64::max),
                 sibs.get(sibling).copied().unwrap_or(0.0),
             ),
             None => (0.0, 0.0),
@@ -164,7 +272,7 @@ impl BudgetAccountant {
             .parallel
             .iter()
             .filter(|(name, _)| name.as_str() != phase)
-            .map(|(_, sibs)| sibs.values().cloned().fold(0.0, f64::max))
+            .map(|(_, sibs)| sibs.values().copied().fold(0.0, f64::max))
             .sum();
         let spent_now = seq + par_others + current_max;
         let tol = 1e-9 * self.total.value().max(1.0);
@@ -180,7 +288,96 @@ impl BudgetAccountant {
             .or_default()
             .entry(sibling.to_string())
             .or_insert(0.0) = new_sib;
+        self.ledger.push(LedgerEntry {
+            phase: phase.to_string(),
+            sibling: Some(sibling.to_string()),
+            mechanism: info.mechanism,
+            epsilon: eps.value(),
+            sensitivity: info.sensitivity,
+            kind: Composition::Parallel,
+        });
         Ok(())
+    }
+
+    /// Replay the audit ledger from scratch through the composition rules
+    /// and verify that
+    ///
+    /// 1. the replayed phase maps reproduce the live accountant **bit for
+    ///    bit** (every phase, sibling, and accumulated ε), and
+    /// 2. the replayed total telescopes to `expected_total` within the
+    ///    accountant's enforcement tolerance (`1e-9 · max(ε_tot, 1)` —
+    ///    budget *allocation* splits ε_tot with ordinary float arithmetic,
+    ///    so demanding bit-exactness against the configured total would
+    ///    reject correct runs).
+    ///
+    /// On success the ledger and its [`LedgerCheck`] are published to
+    /// `stpt-obs` for telemetry export (a no-op unless `STPT_TRACE` is on)
+    /// and the check is returned. On failure returns
+    /// [`DpError::AuditFailed`] — a failed audit means the ledger and the
+    /// accountant disagree, i.e. some spend bypassed the ledger or the
+    /// composition arithmetic is broken, and the release must not be
+    /// trusted.
+    pub fn audit(&self, expected_total: f64) -> Result<LedgerCheck, DpError> {
+        let mut sequential: BTreeMap<String, f64> = BTreeMap::new();
+        let mut parallel: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+        for entry in &self.ledger {
+            match (&entry.kind, &entry.sibling) {
+                (Composition::Sequential, _) => {
+                    *sequential.entry(entry.phase.clone()).or_insert(0.0) += entry.epsilon;
+                }
+                (Composition::Parallel, Some(sib)) => {
+                    *parallel
+                        .entry(entry.phase.clone())
+                        .or_default()
+                        .entry(sib.clone())
+                        .or_insert(0.0) += entry.epsilon;
+                }
+                (Composition::Parallel, None) => {
+                    return Err(DpError::AuditFailed {
+                        expected: expected_total,
+                        replayed: f64::NAN,
+                        detail: format!(
+                            "ledger entry for phase '{}' is parallel but has no sibling",
+                            entry.phase
+                        ),
+                    });
+                }
+            }
+        }
+
+        let replayed = spent_of(&sequential, &parallel);
+        let spent = self.spent();
+        let maps_match = maps_bit_equal(&sequential, &self.sequential)
+            && nested_maps_bit_equal(&parallel, &self.parallel);
+        let tol = 1e-9 * self.total.value().max(1.0);
+        let total_matches = (replayed - expected_total).abs() <= tol;
+        let check = LedgerCheck {
+            total: expected_total,
+            replayed,
+            spent,
+            entries: self.ledger.len(),
+            consistent: maps_match && total_matches,
+        };
+
+        if !maps_match {
+            return Err(DpError::AuditFailed {
+                expected: expected_total,
+                replayed,
+                detail: "ledger replay does not reproduce the live accountant bit-exactly"
+                    .to_string(),
+            });
+        }
+        if !total_matches {
+            return Err(DpError::AuditFailed {
+                expected: expected_total,
+                replayed,
+                detail: format!(
+                    "ledger telescopes to ε={replayed}, expected ε={expected_total} (tol {tol})"
+                ),
+            });
+        }
+        stpt_obs::ledger::publish_ledger(self.ledger.clone(), check);
+        Ok(check)
     }
 
     fn check(&self, eps: f64) -> Result<(), DpError> {
@@ -195,6 +392,25 @@ impl BudgetAccountant {
             Ok(())
         }
     }
+}
+
+/// Bit-exact equality of two phase maps (same keys, same `f64` bits).
+fn maps_bit_equal(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ka, va), (kb, vb))| ka == kb && va.to_bits() == vb.to_bits())
+}
+
+/// Bit-exact equality of two nested phase/sibling maps.
+fn nested_maps_bit_equal(
+    a: &BTreeMap<String, BTreeMap<String, f64>>,
+    b: &BTreeMap<String, BTreeMap<String, f64>>,
+) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ka, va), (kb, vb))| ka == kb && maps_bit_equal(va, vb))
 }
 
 #[cfg(test)]
@@ -233,8 +449,9 @@ mod tests {
         acc.spend_sequential("a", Epsilon::new(0.4)).unwrap();
         assert!((acc.spent() - 0.8).abs() < 1e-12);
         assert!(acc.spend_sequential("a", Epsilon::new(0.4)).is_err());
-        // The failed spend must not be recorded.
+        // The failed spend must not be recorded — in the maps or the ledger.
         assert!((acc.spent() - 0.8).abs() < 1e-12);
+        assert_eq!(acc.ledger().len(), 2);
     }
 
     #[test]
@@ -278,6 +495,7 @@ mod tests {
         assert!(acc.spend_parallel("par", "x", Epsilon::new(2.0)).is_err());
         // Phase map may exist but must not carry the failed spend.
         assert!((acc.spent() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.ledger().len(), 1);
         acc.spend_parallel("par", "x", Epsilon::new(1.0)).unwrap();
         assert!((acc.spent() - 3.0).abs() < 1e-12);
     }
@@ -299,5 +517,75 @@ mod tests {
         }
         assert!((acc.spent() - 30.0).abs() < 1e-9);
         assert!(acc.spend_sequential("post", Epsilon::new(0.01)).is_err());
+    }
+
+    #[test]
+    fn ledger_records_attribution() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(2.0));
+        acc.spend_sequential_with("seq", Epsilon::new(0.5), SpendInfo::laplace(1.0))
+            .unwrap();
+        acc.spend_parallel_with("par", "cell", Epsilon::new(1.0), SpendInfo::geometric(2.0))
+            .unwrap();
+        let ledger = acc.ledger();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger[0].mechanism, "laplace");
+        assert_eq!(ledger[0].sensitivity, 1.0);
+        assert!(ledger[0].sibling.is_none());
+        assert_eq!(ledger[0].kind, Composition::Sequential);
+        assert_eq!(ledger[1].mechanism, "geometric");
+        assert_eq!(ledger[1].sibling.as_deref(), Some("cell"));
+        assert_eq!(ledger[1].kind, Composition::Parallel);
+    }
+
+    #[test]
+    fn audit_replays_bit_exactly() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(30.0));
+        let per_slice = Epsilon::new(10.0).split(96);
+        for t in 0..96 {
+            let phase = format!("pattern-t{t}");
+            for cell in 0..4 {
+                acc.spend_parallel_with(
+                    &phase,
+                    &format!("n{cell}"),
+                    per_slice,
+                    SpendInfo::laplace(1.0),
+                )
+                .unwrap();
+            }
+        }
+        for p in 0..8 {
+            acc.spend_parallel_with(
+                "sanitize",
+                &format!("part-{p}"),
+                Epsilon::new(20.0),
+                SpendInfo::laplace(0.5),
+            )
+            .unwrap();
+        }
+        let check = acc.audit(30.0).expect("audit must pass");
+        assert!(check.consistent);
+        assert_eq!(check.entries, 96 * 4 + 8);
+        assert_eq!(check.replayed.to_bits(), check.spent.to_bits());
+    }
+
+    #[test]
+    fn audit_fails_closed_on_wrong_total() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(10.0));
+        acc.spend_sequential("only", Epsilon::new(4.0)).unwrap();
+        let err = acc.audit(10.0).expect_err("ledger does not telescope");
+        match err {
+            DpError::AuditFailed { replayed, .. } => assert!((replayed - 4.0).abs() < 1e-12),
+            other => panic!("expected AuditFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_detects_ledger_tampering() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(2.0));
+        acc.spend_sequential("a", Epsilon::new(1.0)).unwrap();
+        // Simulate a spend that bypassed the ledger.
+        acc.sequential.insert("ghost".to_string(), 0.5);
+        let err = acc.audit(1.5).expect_err("replay must not match");
+        assert!(matches!(err, DpError::AuditFailed { .. }));
     }
 }

@@ -14,6 +14,17 @@ pub enum DpError {
     },
     /// A parameter outside its valid domain (ε ≤ 0, sensitivity < 0, …).
     InvalidParameter(String),
+    /// The audit-ledger replay disagreed with the live accountant or did
+    /// not telescope to the configured total ε. A release whose audit
+    /// fails must not be trusted.
+    AuditFailed {
+        /// The total ε the ledger was expected to telescope to.
+        expected: f64,
+        /// The total ε the ledger replay actually produced.
+        replayed: f64,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DpError {
@@ -27,6 +38,14 @@ impl fmt::Display for DpError {
                 "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
             ),
             DpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DpError::AuditFailed {
+                expected,
+                replayed,
+                detail,
+            } => write!(
+                f,
+                "budget audit failed: ledger replays to ε={replayed}, expected ε={expected} ({detail})"
+            ),
         }
     }
 }
@@ -48,5 +67,14 @@ mod tests {
         assert!(s.contains("remaining ε=0.5"));
         let e = DpError::InvalidParameter("epsilon must be positive".into());
         assert!(e.to_string().contains("epsilon must be positive"));
+        let e = DpError::AuditFailed {
+            expected: 30.0,
+            replayed: 29.5,
+            detail: "drift".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("audit failed"));
+        assert!(s.contains("29.5"));
+        assert!(s.contains("drift"));
     }
 }

@@ -32,7 +32,7 @@ pub mod mechanism;
 pub mod rng;
 pub mod sensitivity;
 
-pub use budget::{BudgetAccountant, Epsilon};
+pub use budget::{BudgetAccountant, Epsilon, SpendInfo};
 pub use error::DpError;
 pub use mechanism::{is_exact_zero, laplace_sample, GeometricMechanism, LaplaceMechanism};
 pub use rng::DpRng;
@@ -40,7 +40,7 @@ pub use sensitivity::{clip_series, Sensitivity};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
-    pub use crate::budget::{BudgetAccountant, Epsilon};
+    pub use crate::budget::{BudgetAccountant, Epsilon, SpendInfo};
     pub use crate::error::DpError;
     pub use crate::mechanism::{
         is_exact_zero, laplace_sample, GeometricMechanism, LaplaceMechanism,

@@ -5,6 +5,12 @@ use crate::rng::DpRng;
 use crate::sensitivity::Sensitivity;
 use rand::Rng;
 
+/// Telemetry: number of Laplace noise draws (counts only when `STPT_TRACE`
+/// is on; a single relaxed atomic load otherwise).
+static LAPLACE_DRAWS: stpt_obs::Counter = stpt_obs::Counter::new("dp.noise_draws.laplace");
+/// Telemetry: number of two-sided geometric noise draws.
+static GEOMETRIC_DRAWS: stpt_obs::Counter = stpt_obs::Counter::new("dp.noise_draws.geometric");
+
 /// True iff `x` is exactly `±0.0` at the bit level.
 ///
 /// This is the intent-revealing form of an *exact* float-zero test: unlike
@@ -29,6 +35,7 @@ pub fn laplace_sample(scale: f64, rng: &mut DpRng) -> f64 {
     if is_exact_zero(scale) {
         return 0.0;
     }
+    LAPLACE_DRAWS.add(1);
     // gen::<f64>() is in [0, 1); shift to (-1/2, 1/2].
     let u: f64 = 0.5 - rng.gen::<f64>();
     -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
@@ -125,6 +132,7 @@ impl GeometricMechanism {
         if alpha <= 0.0 {
             return 0;
         }
+        GEOMETRIC_DRAWS.add(1);
         let u: f64 = rng.gen::<f64>(); // [0, 1)
                                        // Symmetric construction: magnitude from a geometric tail, sign from
                                        // the uniform's half. P(|X| >= k) = 2α^k/(1+α) for k >= 1.

@@ -69,6 +69,15 @@ pub trait Parameterized {
     fn num_params(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
     }
+
+    /// Global L2 norm of all accumulated gradients (telemetry).
+    fn grad_l2_norm(&mut self) -> f64 {
+        self.params_mut()
+            .iter()
+            .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
 }
 
 #[cfg(test)]

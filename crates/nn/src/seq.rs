@@ -251,9 +251,11 @@ impl SequenceRegressor {
             indices.shuffle(&mut rng);
             indices.truncate(self.config.max_samples);
         }
+        let _train_span = stpt_obs::span!("nn.train");
         let mut opt = RmsProp::new(self.config.lr, 0.99);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         let mut ws = Workspace::new();
+        let started = std::time::Instant::now();
         // Workspace buffers grow to their steady-state sizes during the
         // first minibatch; after that the loop below is allocation-free.
         // hot-path:begin
@@ -269,13 +271,23 @@ impl SequenceRegressor {
                         self.accumulate_sample(&mut ws, &windows[i], targets[i], chunk.len());
                 }
                 self.clip_grads(self.config.grad_clip);
+                if stpt_obs::enabled() {
+                    TRAIN_GRAD_NORM.observe(self.grad_l2_norm());
+                }
                 opt.step(self);
                 epoch_loss += batch_loss / chunk.len() as f64;
                 batches += 1.0;
             }
-            epoch_losses.push(epoch_loss / batches);
+            let mean_loss = epoch_loss / batches;
+            TRAIN_EPOCHS.add(1);
+            TRAIN_EPOCH_LOSS.observe(mean_loss);
+            epoch_losses.push(mean_loss);
         }
         // hot-path:end
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            TRAIN_WINDOWS_PER_SEC.set((indices.len() * self.config.epochs) as f64 / elapsed);
+        }
         TrainStats {
             epoch_losses,
             samples_used: indices.len(),
@@ -351,6 +363,14 @@ pub fn make_windows(series: &[Vec<f64>], ws: usize) -> (Vec<Vec<f64>>, Vec<f64>)
 /// Salt mixed into the training-shuffle seed so it differs from the
 /// weight-initialisation stream.
 const TRAIN_SEED_SALT: u64 = 0x7e57_5eed_0042_1337;
+
+// Training telemetry. Recording is lock- and allocation-free (and a single
+// relaxed atomic load when `STPT_TRACE` is off), so these calls are legal
+// inside the zero-alloc hot paths below.
+static TRAIN_EPOCHS: stpt_obs::Counter = stpt_obs::Counter::new("nn.train.epochs");
+static TRAIN_WINDOWS_PER_SEC: stpt_obs::Gauge = stpt_obs::Gauge::new("nn.train.windows_per_sec");
+static TRAIN_EPOCH_LOSS: stpt_obs::Histogram = stpt_obs::Histogram::new("nn.train.epoch_loss");
+static TRAIN_GRAD_NORM: stpt_obs::Histogram = stpt_obs::Histogram::new("nn.train.grad_norm");
 
 #[cfg(test)]
 // Exact float assertions in these tests are deliberate (bitwise-reproducible

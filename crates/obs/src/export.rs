@@ -1,0 +1,323 @@
+//! Telemetry JSON export.
+//!
+//! Serialisation is hand-rolled (this crate is dependency-free by design)
+//! and emits a single self-describing document per run:
+//!
+//! ```json
+//! {
+//!   "run": "table2",
+//!   "spans": [ { "path": "stpt/pattern", "count": 3, "total_ms": 1.2 } ],
+//!   "counters": [ { "name": "dp.noise_draws.laplace", "value": 96 } ],
+//!   "gauges": [ { "name": "nn.windows_per_sec", "value": 1234.5 } ],
+//!   "histograms": [ { "name": "nn.grad_norm", "count": 8, "sum": 3.1,
+//!                     "buckets": [ [0.25, 5], [0.5, 3] ] } ],
+//!   "ledger": { "check": { ... }, "entries": [ ... ] }
+//! }
+//! ```
+//!
+//! Files land under `results/telemetry/<run>.json` (override the directory
+//! with `STPT_TELEMETRY_DIR`). Non-finite floats serialise as `null` —
+//! JSON has no NaN/Inf and a telemetry reader must see *that it happened*
+//! rather than a parse error.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::ledger;
+use crate::metrics;
+use crate::trace;
+
+/// Default output directory, relative to the working directory.
+pub const DEFAULT_DIR: &str = "results/telemetry";
+
+/// Escape a string for a JSON string literal (without the quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number, mapping non-finite values to `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `format!("{}", 1.0)` yields "1" — keep it valid JSON either way,
+        // but make integral floats round-trip as floats for readability.
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Render the full telemetry document for a run label.
+pub fn telemetry_json(run: &str) -> String {
+    let spans = trace::snapshot();
+    let metrics::MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    } = metrics::snapshot();
+    let published = ledger::ledger_snapshot();
+
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"run\": \"{}\",", json_escape(run));
+
+    out.push_str("  \"spans\": [");
+    for (i, (path, stat)) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{ \"path\": \"{}\", \"count\": {}, \"total_ms\": {} }}",
+            json_escape(path),
+            stat.count,
+            json_f64(stat.total_ms())
+        );
+    }
+    out.push_str(if spans.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str("  \"counters\": [");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{ \"name\": \"{}\", \"value\": {} }}",
+            json_escape(name),
+            value
+        );
+    }
+    out.push_str(if counters.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    out.push_str("  \"gauges\": [");
+    for (i, (name, value)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{ \"name\": \"{}\", \"value\": {} }}",
+            json_escape(name),
+            json_f64(*value)
+        );
+    }
+    out.push_str(if gauges.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    out.push_str("  \"histograms\": [");
+    for (i, h) in histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{ \"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+            json_escape(h.name),
+            h.count,
+            json_f64(h.sum)
+        );
+        for (j, (lb, c)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{}, {}]", json_f64(*lb), c);
+        }
+        out.push_str("] }");
+    }
+    out.push_str(if histograms.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    match published {
+        None => out.push_str("  \"ledger\": null\n"),
+        Some((entries, check)) => {
+            out.push_str("  \"ledger\": {\n");
+            let _ = writeln!(
+                out,
+                "    \"check\": {{ \"total\": {}, \"replayed\": {}, \"spent\": {}, \
+                 \"entries\": {}, \"consistent\": {} }},",
+                json_f64(check.total),
+                json_f64(check.replayed),
+                json_f64(check.spent),
+                check.entries,
+                check.consistent
+            );
+            out.push_str("    \"entries\": [");
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let sibling = match &e.sibling {
+                    Some(s) => format!("\"{}\"", json_escape(s)),
+                    None => "null".to_owned(),
+                };
+                let _ = write!(
+                    out,
+                    "\n      {{ \"phase\": \"{}\", \"sibling\": {}, \"mechanism\": \"{}\", \
+                     \"epsilon\": {}, \"sensitivity\": {}, \"kind\": \"{}\" }}",
+                    json_escape(&e.phase),
+                    sibling,
+                    json_escape(e.mechanism),
+                    json_f64(e.epsilon),
+                    json_f64(e.sensitivity),
+                    e.kind.label()
+                );
+            }
+            out.push_str(if entries.is_empty() {
+                "]\n"
+            } else {
+                "\n    ]\n"
+            });
+            out.push_str("  }\n");
+        }
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Sanitise a run label into a filename stem.
+fn file_stem(run: &str) -> String {
+    let stem: String = run
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if stem.is_empty() {
+        "run".to_owned()
+    } else {
+        stem
+    }
+}
+
+/// Write the telemetry document for `run` into `dir` (created if missing).
+pub fn write_telemetry_to(dir: &Path, run: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", file_stem(run)));
+    std::fs::write(&path, telemetry_json(run))?;
+    Ok(path)
+}
+
+/// Write the telemetry document for `run` under `STPT_TELEMETRY_DIR` (or
+/// [`DEFAULT_DIR`]). Returns `None` when the gate is off or the write
+/// fails — telemetry must never take down the run it observes; failures
+/// are reported on stderr instead.
+pub fn write_telemetry(run: &str) -> Option<PathBuf> {
+    if !crate::enabled() {
+        return None;
+    }
+    let dir = std::env::var("STPT_TELEMETRY_DIR").unwrap_or_else(|_| DEFAULT_DIR.to_owned());
+    match write_telemetry_to(Path::new(&dir), run) {
+        Ok(path) => Some(path),
+        Err(err) => {
+            crate::diag!("telemetry: failed to write {dir}/{run}.json: {err}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{Composition, LedgerCheck, LedgerEntry};
+
+    #[test]
+    fn json_f64_handles_degenerate_values() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn document_is_structurally_sound() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _s = crate::span!("export_test");
+        }
+        crate::ledger::publish_ledger(
+            vec![LedgerEntry {
+                phase: "pattern".to_owned(),
+                sibling: Some("n0".to_owned()),
+                mechanism: "laplace",
+                epsilon: 0.5,
+                sensitivity: 1.0,
+                kind: Composition::Parallel,
+            }],
+            LedgerCheck {
+                total: 0.5,
+                replayed: 0.5,
+                spent: 0.5,
+                entries: 1,
+                consistent: true,
+            },
+        );
+        let doc = telemetry_json("unit/test");
+        crate::set_enabled(false);
+        crate::reset();
+        assert!(doc.contains("\"run\": \"unit/test\""));
+        assert!(doc.contains("\"path\": \"export_test\""));
+        assert!(doc.contains("\"consistent\": true"));
+        assert!(doc.contains("\"kind\": \"parallel\""));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser in the dependency-free crate.
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn write_telemetry_to_creates_the_file() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        crate::reset();
+        let dir = std::env::temp_dir().join("stpt_obs_export_test");
+        let path = write_telemetry_to(&dir, "smoke run").expect("write");
+        assert!(path.ends_with("smoke_run.json"));
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("\"ledger\": null"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

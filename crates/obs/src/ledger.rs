@@ -1,0 +1,151 @@
+//! Privacy-budget audit ledger.
+//!
+//! `stpt-dp`'s `BudgetAccountant` records one [`LedgerEntry`] per spend
+//! and, when a run finishes, replays the ledger to verify it telescopes to
+//! the configured total ε (the runtime form of the sequential/parallel
+//! composition theorems). The accountant owns the ledger; this module only
+//! *publishes* the final ledger plus its [`LedgerCheck`] so telemetry
+//! exports can carry the verified composition argument.
+//!
+//! Publication is gated by the global `STPT_TRACE` switch like everything
+//! else in this crate — but the *recording and checking* in `stpt-dp` is
+//! always on: the ledger is a privacy invariant, not a debugging aid.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Which composition theorem a spend was accounted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Composition {
+    /// Sequential composition (Thm. 1): ε adds across phases.
+    Sequential,
+    /// Parallel composition (Thm. 2): ε is the max across disjoint
+    /// siblings within a phase.
+    Parallel,
+}
+
+impl Composition {
+    /// Stable lowercase label for export.
+    pub fn label(self) -> &'static str {
+        match self {
+            Composition::Sequential => "sequential",
+            Composition::Parallel => "parallel",
+        }
+    }
+}
+
+/// One recorded budget spend.
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    /// Phase label (the accountant key), e.g. `"pattern-t12"` or
+    /// `"sanitize"`.
+    pub phase: String,
+    /// Disjoint-sibling label for parallel spends (`None` for sequential).
+    pub sibling: Option<String>,
+    /// Mechanism that consumed the budget, e.g. `"laplace"`.
+    pub mechanism: &'static str,
+    /// Privacy parameter ε of this spend.
+    pub epsilon: f64,
+    /// L1 sensitivity the mechanism was calibrated against.
+    pub sensitivity: f64,
+    /// Composition kind the spend was accounted under.
+    pub kind: Composition,
+}
+
+/// Result of replaying a ledger against the accountant's live state.
+#[derive(Debug, Clone, Copy)]
+pub struct LedgerCheck {
+    /// Configured total budget ε the run was expected to consume.
+    pub total: f64,
+    /// ε obtained by replaying the ledger through the composition rules.
+    pub replayed: f64,
+    /// ε the live accountant reports as spent.
+    pub spent: f64,
+    /// Number of ledger entries replayed.
+    pub entries: usize,
+    /// Whether the replay matched the live accountant bit-exactly and the
+    /// total within tolerance.
+    pub consistent: bool,
+}
+
+type Published = Option<(Vec<LedgerEntry>, LedgerCheck)>;
+
+static PUBLISHED: OnceLock<Mutex<Published>> = OnceLock::new();
+
+fn slot() -> MutexGuard<'static, Published> {
+    PUBLISHED
+        .get_or_init(|| Mutex::new(None))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Publish a run's finished ledger and its audit verdict for export.
+/// No-op when the gate is off. Last publication wins.
+pub fn publish_ledger(entries: Vec<LedgerEntry>, check: LedgerCheck) {
+    if !crate::enabled() {
+        return;
+    }
+    *slot() = Some((entries, check));
+}
+
+/// The most recently published ledger, if any.
+pub fn ledger_snapshot() -> Option<(Vec<LedgerEntry>, LedgerCheck)> {
+    slot().clone()
+}
+
+/// Drop any published ledger.
+pub fn reset() {
+    *slot() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(phase: &str, eps: f64) -> LedgerEntry {
+        LedgerEntry {
+            phase: phase.to_owned(),
+            sibling: None,
+            mechanism: "laplace",
+            epsilon: eps,
+            sensitivity: 1.0,
+            kind: Composition::Sequential,
+        }
+    }
+
+    #[test]
+    fn publish_respects_gate_and_snapshot_round_trips() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        reset();
+        publish_ledger(
+            vec![entry("ghost", 1.0)],
+            LedgerCheck {
+                total: 1.0,
+                replayed: 1.0,
+                spent: 1.0,
+                entries: 1,
+                consistent: true,
+            },
+        );
+        assert!(ledger_snapshot().is_none());
+
+        crate::set_enabled(true);
+        publish_ledger(
+            vec![entry("pattern", 0.5), entry("sanitize", 0.5)],
+            LedgerCheck {
+                total: 1.0,
+                replayed: 1.0,
+                spent: 1.0,
+                entries: 2,
+                consistent: true,
+            },
+        );
+        crate::set_enabled(false);
+        let (entries, check) = ledger_snapshot().expect("published");
+        assert_eq!(entries.len(), 2);
+        assert!(check.consistent);
+        assert_eq!(check.entries, 2);
+        reset();
+        assert!(ledger_snapshot().is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Hermetic observability for the STPT reproduction.
+//!
+//! Three instruments, one gate:
+//!
+//! * [`trace`] — span-based hierarchical phase timers. `obs::span!("x")`
+//!   returns an RAII guard; nested guards build `/`-separated paths and
+//!   wall time aggregates per path.
+//! * [`metrics`] — a static registry of atomic [`Counter`]s, [`Gauge`]s and
+//!   [`Histogram`]s. Recording is lock-free and allocation-free, so hot
+//!   paths (e.g. the zero-alloc training loop in `stpt-nn`) can be
+//!   instrumented without violating their no-allocation guarantees.
+//! * [`ledger`] — the privacy-budget audit ledger: `stpt-dp`'s
+//!   `BudgetAccountant` appends one [`LedgerEntry`] per spend and publishes
+//!   the replay check here, so telemetry exports carry the runtime-verified
+//!   composition argument.
+//!
+//! Everything is gated by the `STPT_TRACE` environment variable (any
+//! non-empty value other than `0` enables it). When the gate is off, every
+//! recording call is a single relaxed atomic load — near-zero overhead.
+//! [`export::write_telemetry`] dumps the collected state as JSON under
+//! `results/telemetry/`.
+//!
+//! The crate is dependency-free (std only) so every workspace crate —
+//! including the `stpt-dp` privacy kernel — can depend on it without
+//! cycles or new external surface.
+//!
+//! # Output routing
+//!
+//! Workspace rule XT06 (`cargo xtask lint`) bans raw `println!` /
+//! `eprintln!` in library crates: human-readable runtime output must flow
+//! through [`report!`] (stdout — results, tables) or [`diag!`] (stderr —
+//! warnings and diagnostics) so there is exactly one choke point for
+//! console output.
+
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod ledger;
+pub mod metrics;
+pub mod trace;
+
+pub use ledger::{Composition, LedgerCheck, LedgerEntry};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use trace::SpanGuard;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Tri-state gate: 0 = uninitialised, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether tracing/metrics collection is enabled. First call reads the
+/// `STPT_TRACE` environment variable; later calls are one relaxed atomic
+/// load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("STPT_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Force the gate on or off, overriding `STPT_TRACE`. Used by tests and by
+/// harnesses that decide at runtime (the variable is only read once).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Clear all collected state (spans, metric values, ledger). Metric
+/// *registrations* survive — statics stay registered; their values reset
+/// to zero. Intended for tests and for harnesses that export one snapshot
+/// per run.
+pub fn reset() {
+    trace::reset();
+    metrics::reset();
+    ledger::reset();
+}
+
+/// Print one line of primary output (results, table rows) to stdout.
+/// The sanctioned implementation behind [`report!`].
+pub fn output_line(line: &str) {
+    // The raw macro is correct exactly here — this is the choke point.
+    // xtask-allow(XT06): the single sanctioned stdout choke point
+    println!("{line}");
+}
+
+/// Print one line of diagnostic output (warnings, progress) to stderr.
+/// The sanctioned implementation behind [`diag!`].
+pub fn diag_line(line: &str) {
+    // xtask-allow(XT06): single stderr choke point for the workspace.
+    eprintln!("{line}");
+}
+
+/// Open a timed span: `let _guard = obs::span!("stpt.pattern");`.
+/// Nested spans aggregate under `outer/inner` paths. No-op (and
+/// allocation-free) when the gate is off.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name)
+    };
+}
+
+/// Primary-output line (stdout), `format!` syntax. The workspace's
+/// sanctioned replacement for `println!` (see rule XT06).
+#[macro_export]
+macro_rules! report {
+    ($($t:tt)*) => {
+        $crate::output_line(&::std::format!($($t)*))
+    };
+}
+
+/// Diagnostic line (stderr), `format!` syntax. The workspace's sanctioned
+/// replacement for `eprintln!` (see rule XT06).
+#[macro_export]
+macro_rules! diag {
+    ($($t:tt)*) => {
+        $crate::diag_line(&::std::format!($($t)*))
+    };
+}
+
+/// Serialises tests that toggle the global gate or inspect the global
+/// tables — the test harness runs tests on multiple threads.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_toggles() {
+        let _lock = test_lock();
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

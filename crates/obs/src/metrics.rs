@@ -1,0 +1,354 @@
+//! Static metrics registry: atomic counters, gauges and histograms.
+//!
+//! Metrics are declared as `static` items with `const` constructors:
+//!
+//! ```
+//! static NOISE_DRAWS: stpt_obs::Counter = stpt_obs::Counter::new("dp.noise_draws.laplace");
+//! NOISE_DRAWS.add(1);
+//! ```
+//!
+//! Recording is **lock-free and allocation-free**: one relaxed atomic load
+//! for the gate plus one atomic RMW for the value. A metric registers
+//! itself in the process-global registry the first time it records (a
+//! `Once`-guarded push), so snapshots only contain metrics that were
+//! actually touched. When the gate is off, recording is the gate load and
+//! nothing else — safe inside the zero-alloc training hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+
+/// Number of histogram buckets. Log2-spaced: bucket `i` covers
+/// `[2^(i-20), 2^(i-19))`, so the dynamic range spans ~1e-6 … ~4e3 with
+/// under- and overflow clamped to the end buckets.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Exponent offset of bucket 0 (`2^-20` ≈ 1e-6).
+const BUCKET_EXP_OFFSET: i32 = 20;
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    name: &'static str,
+    cell: AtomicU64,
+    reg: Once,
+}
+
+impl Counter {
+    /// Declare a counter (const — use in `static` items).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cell: AtomicU64::new(0),
+            reg: Once::new(),
+        }
+    }
+
+    /// Add `n`. No-op when the gate is off.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.reg
+            .call_once(|| registry().counters.push(RegEntry(self)));
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    reg: Once,
+}
+
+impl Gauge {
+    /// Declare a gauge (const — use in `static` items).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0),
+            reg: Once::new(),
+        }
+    }
+
+    /// Set the gauge. No-op when the gate is off.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.reg
+            .call_once(|| registry().gauges.push(RegEntry(self)));
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A log2-bucketed histogram of non-negative `f64` observations, tracking
+/// count, sum and per-bucket hit counts.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    reg: Once,
+}
+
+impl Histogram {
+    /// Declare a histogram (const — use in `static` items).
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            reg: Once::new(),
+        }
+    }
+
+    /// Record one observation. No-op when the gate is off; lock- and
+    /// allocation-free otherwise (the sum is a CAS loop on raw bits).
+    #[inline]
+    pub fn observe(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.reg
+            .call_once(|| registry().histograms.push(RegEntry(self)));
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Bucket index for a value (non-positive and non-finite values clamp
+    /// to the end buckets).
+    fn bucket_of(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let exp = v.log2().floor() as i32 + BUCKET_EXP_OFFSET;
+        exp.clamp(0, HISTOGRAM_BUCKETS as i32 - 1) as usize
+    }
+
+    /// Lower bound of bucket `i` in value units (`2^(i-20)`).
+    pub fn bucket_lower_bound(i: usize) -> f64 {
+        2f64.powi(i as i32 - BUCKET_EXP_OFFSET)
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket hit counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn reset_values(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A registered `&'static` metric. Newtype so the registry vectors have a
+/// nameable element type.
+struct RegEntry<T: 'static>(&'static T);
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<RegEntry<Counter>>,
+    gauges: Vec<RegEntry<Gauge>>,
+    histograms: Vec<RegEntry<Histogram>>,
+}
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, Registry> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Snapshot of one histogram for export.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: f64,
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Snapshot of every registered metric, each list sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// One [`HistogramSnapshot`] per histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Snapshot all registered metrics, each list sorted by name.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let mut counters: Vec<(&'static str, u64)> =
+        reg.counters.iter().map(|c| (c.0.name, c.0.get())).collect();
+    let mut gauges: Vec<(&'static str, f64)> =
+        reg.gauges.iter().map(|g| (g.0.name, g.0.get())).collect();
+    let mut histograms: Vec<HistogramSnapshot> = reg
+        .histograms
+        .iter()
+        .map(|h| HistogramSnapshot {
+            name: h.0.name,
+            count: h.0.count(),
+            sum: h.0.sum(),
+            buckets: h
+                .0
+                .bucket_counts()
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (Histogram::bucket_lower_bound(i), c))
+                .collect(),
+        })
+        .collect();
+    drop(reg);
+    counters.sort_by_key(|&(n, _)| n);
+    gauges.sort_by_key(|&(n, _)| n);
+    histograms.sort_by_key(|h| h.name);
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// Zero the values of every registered metric (registrations persist).
+pub fn reset() {
+    let reg = registry();
+    for c in &reg.counters {
+        c.0.cell.store(0, Ordering::Relaxed);
+    }
+    for g in &reg.gauges {
+        g.0.bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+    for h in &reg.histograms {
+        h.0.reset_values();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_COUNTER: Counter = Counter::new("test.counter");
+    static TEST_GAUGE: Gauge = Gauge::new("test.gauge");
+    static TEST_HIST: Histogram = Histogram::new("test.hist");
+
+    #[test]
+    fn recording_respects_the_gate() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        TEST_COUNTER.add(5);
+        assert_eq!(TEST_COUNTER.get(), 0);
+        crate::set_enabled(true);
+        TEST_COUNTER.add(5);
+        TEST_COUNTER.add(2);
+        assert_eq!(TEST_COUNTER.get(), 7);
+        TEST_GAUGE.set(1.25);
+        assert!((TEST_GAUGE.get() - 1.25).abs() < 1e-15);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        TEST_HIST.observe(0.5);
+        TEST_HIST.observe(0.5);
+        TEST_HIST.observe(1024.0);
+        crate::set_enabled(false);
+        assert_eq!(TEST_HIST.count(), 3);
+        assert!((TEST_HIST.sum() - 1025.0).abs() < 1e-12);
+        let buckets = TEST_HIST.bucket_counts();
+        assert_eq!(buckets[Histogram::bucket_of(0.5)], 2);
+        assert_eq!(buckets[Histogram::bucket_of(1024.0)], 1);
+        // 0.5 and 1024 land in different buckets.
+        assert_ne!(Histogram::bucket_of(0.5), Histogram::bucket_of(1024.0));
+    }
+
+    #[test]
+    fn bucket_of_clamps_degenerate_values() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(-3.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), 0);
+        assert_eq!(Histogram::bucket_of(1e300), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_contains_touched_metrics() {
+        static SNAP_COUNTER: Counter = Counter::new("test.snap_counter");
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        SNAP_COUNTER.add(1);
+        crate::set_enabled(false);
+        let snap = snapshot();
+        assert!(snap.counters.iter().any(|&(n, _)| n == "test.snap_counter"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Span-based hierarchical phase timers.
+//!
+//! A span is opened with [`crate::span!`] and closed when its RAII guard
+//! drops. Spans nest per thread: a span opened while another is live
+//! aggregates under the path `outer/inner`. Wall time and hit counts are
+//! accumulated per path in a process-global table and exported by
+//! [`crate::export`].
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanStat {
+    /// Number of completed spans on this path.
+    pub count: u64,
+    /// Total wall time across all completions, in nanoseconds.
+    pub total_ns: u128,
+}
+
+impl SpanStat {
+    /// Total wall time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+thread_local! {
+    /// The per-thread stack of live span names (for path construction).
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+static SPANS: OnceLock<Mutex<HashMap<String, SpanStat>>> = OnceLock::new();
+
+fn table() -> MutexGuard<'static, HashMap<String, SpanStat>> {
+    SPANS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// RAII guard for one timed span. Construct through [`crate::span!`].
+///
+/// When the gate is off the guard is inert: no allocation, no clock read,
+/// no lock — `enter` is one atomic load and `drop` one branch.
+#[must_use = "a span guard measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    /// Full `/`-separated path, captured at entry. `None` when disabled.
+    path: Option<String>,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Open a span named `name` nested under the thread's live spans.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard {
+                path: None,
+                start: None,
+            };
+        }
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        SpanGuard {
+            path: Some(path),
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let elapsed_ns = self
+            .start
+            .map(|s| s.elapsed().as_nanos())
+            .unwrap_or_default();
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut table = table();
+        let stat = table.entry(path).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed_ns;
+    }
+}
+
+/// Snapshot of all span statistics, sorted by path.
+pub fn snapshot() -> Vec<(String, SpanStat)> {
+    let table = table();
+    let mut out: Vec<(String, SpanStat)> = table.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    drop(table);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Clear all aggregated span statistics.
+pub fn reset() {
+    table().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        reset();
+        {
+            let _a = SpanGuard::enter("outer");
+            {
+                let _b = SpanGuard::enter("inner");
+            }
+            {
+                let _b = SpanGuard::enter("inner");
+            }
+        }
+        crate::set_enabled(false);
+        let snap = snapshot();
+        let paths: Vec<&str> = snap.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"outer"), "{paths:?}");
+        assert!(paths.contains(&"outer/inner"), "{paths:?}");
+        let inner = snap.iter().find(|(p, _)| p == "outer/inner").unwrap();
+        assert_eq!(inner.1.count, 2);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        reset();
+        {
+            let _a = SpanGuard::enter("ghost");
+        }
+        assert!(snapshot().is_empty());
+    }
+}

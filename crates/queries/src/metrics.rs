@@ -6,6 +6,9 @@ use crate::query::RangeQuery;
 use serde::{Deserialize, Serialize};
 use stpt_data::ConsumptionMatrix;
 
+/// Telemetry: total range queries evaluated across all workloads.
+static QUERIES_EVALUATED: stpt_obs::Counter = stpt_obs::Counter::new("queries.evaluated");
+
 /// Relative error of one query in percent: `|p - p̄| / max(p, ρ) · 100`.
 ///
 /// Like the DP histogram literature, the denominator is floored at a
@@ -35,6 +38,8 @@ pub fn evaluate_workload(
     sanitized: &ConsumptionMatrix,
     queries: &[RangeQuery],
 ) -> WorkloadResult {
+    let _span = stpt_obs::span!("queries.evaluate");
+    QUERIES_EVALUATED.add(queries.len() as u64);
     assert_eq!(truth.shape(), sanitized.shape(), "matrix shapes differ");
     let ps_truth = PrefixSum3D::new(truth);
     let ps_noisy = PrefixSum3D::new(sanitized);

@@ -11,6 +11,7 @@
 //! | XT03 | float-eq       | no `==`/`!=` on float literals in library code |
 //! | XT04 | panic-in-lib   | library code returns `Result`, never panics |
 //! | XT05 | budget-bypass  | budget spend results are never discarded |
+//! | XT06 | println-in-lib | library output flows through `stpt-obs`, not `println!` |
 //!
 //! Violations are suppressed per-site with `// xtask-allow(XTnn): reason`;
 //! the reason is mandatory. See `DESIGN.md` § "Privacy-invariant tooling".

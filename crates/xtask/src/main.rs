@@ -12,7 +12,7 @@ use xtask::scan::{lint_workspace, render_human, render_json};
 const USAGE: &str = "\
 usage: cargo xtask lint [--json] [ROOT]
 
-Run the DP-soundness static-analysis pass (rules XT01..XT05) over every
+Run the DP-soundness static-analysis pass (rules XT01..XT06) over every
 .rs file in the workspace (vendor/ and test fixtures excluded).
 
   --json   emit machine-readable diagnostics on stdout

@@ -1,6 +1,6 @@
 //! The DP-soundness rules.
 //!
-//! Each rule has a stable ID (`XT01`…`XT05`), a lexical detector over the
+//! Each rule has a stable ID (`XT01`…`XT06`), a lexical detector over the
 //! token stream produced by [`crate::lexer`], and a scope describing which
 //! parts of the workspace it applies to. Rules are deliberately lexical:
 //! they trade a small amount of precision for zero dependencies and
@@ -94,6 +94,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     xt03_float_eq(file, &mut diags);
     xt04_panic_in_lib(file, &mut diags);
     xt05_budget_bypass(file, &mut diags);
+    xt06_println_in_lib(file, &mut diags);
 
     diags.retain(|d| {
         !file.lexed.allows.iter().any(|a| {
@@ -304,10 +305,10 @@ fn xt04_panic_in_lib(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 /// XT05 — budget bypass. The `Result` of `spend_sequential` /
-/// `spend_parallel` is the privacy-overspend guard; discarding it with
-/// `let _ = …` or `.ok()` silently continues past `BudgetExhausted`.
-/// Applies outside test code (property tests legitimately exercise
-/// saturation).
+/// `spend_parallel` (and their `_with` ledger-attributing variants) is the
+/// privacy-overspend guard; discarding it with `let _ = …` or `.ok()`
+/// silently continues past `BudgetExhausted`. Applies outside test code
+/// (property tests legitimately exercise saturation).
 fn xt05_budget_bypass(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if file.role() == FileRole::Test {
         return;
@@ -318,7 +319,10 @@ fn xt05_budget_bypass(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             continue;
         }
         let Some(name) = ident(tok) else { continue };
-        if name != "spend_sequential" && name != "spend_parallel" {
+        if !matches!(
+            name,
+            "spend_sequential" | "spend_parallel" | "spend_sequential_with" | "spend_parallel_with"
+        ) {
             continue;
         }
         if !is_punct(toks.get(i + 1), '(') {
@@ -376,6 +380,46 @@ fn xt05_budget_bypass(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 ),
             ));
         }
+    }
+}
+
+/// XT06 — raw console output in library code. `println!` / `eprintln!` in
+/// a library crate bypasses the observability layer: runtime output must
+/// flow through `stpt_obs::report!` (stdout) or `stpt_obs::diag!` (stderr)
+/// so tracing and telemetry capture stay coherent. Binaries (`src/bin/`,
+/// `examples/`), tests, the xtask tool itself, and `stpt-obs`'s own choke
+/// points (which carry reasoned `xtask-allow`s) are exempt.
+fn xt06_println_in_lib(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.role() != FileRole::Lib || file.rel_path.starts_with("crates/xtask/") {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = ident(tok) else { continue };
+        if !matches!(name, "println" | "eprintln" | "print" | "eprint") {
+            continue;
+        }
+        if !is_punct(toks.get(i + 1), '!') {
+            continue; // not a macro invocation
+        }
+        let replacement = if name.starts_with('e') {
+            "stpt_obs::diag!"
+        } else {
+            "stpt_obs::report!"
+        };
+        out.push(diag(
+            file,
+            "XT06",
+            tok.line,
+            format!(
+                "`{name}!` in library code — route runtime output through \
+                 `{replacement}` so the observability layer stays the single \
+                 output choke point"
+            ),
+        ));
     }
 }
 
@@ -549,6 +593,48 @@ mod tests {
     fn allow_for_other_rule_does_not_suppress() {
         let src = "// xtask-allow(XT03): wrong rule\nfn f() { x.unwrap(); }\n";
         assert_eq!(rules_hit("crates/core/src/a.rs", src), vec!["XT04"]);
+    }
+
+    #[test]
+    fn xt06_flags_println_in_lib_only() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        assert_eq!(
+            rules_hit("crates/core/src/stpt.rs", src),
+            vec!["XT06", "XT06"]
+        );
+        // Binaries, tests and the xtask tool itself are exempt.
+        assert!(rules_hit("crates/bench/src/bin/fig6.rs", src).is_empty());
+        assert!(rules_hit("tests/end_to_end.rs", src).is_empty());
+        assert!(rules_hit("crates/xtask/src/scan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn xt06_skips_test_code_and_non_macro_idents() {
+        let src = "
+            fn lib_code() { self.print(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { println!(\"debug\"); }
+            }
+        ";
+        assert!(rules_hit("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn xt06_allow_with_reason_suppresses() {
+        let src = "
+            // xtask-allow(XT06): the one sanctioned stdout choke point
+            fn f() { println!(\"x\"); }
+        ";
+        assert!(rules_hit("crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn xt05_covers_with_variants() {
+        let src = "fn f() { let _ = acc.spend_parallel_with(a, b, c, info); }\n";
+        assert_eq!(rules_hit("crates/core/src/sanitize.rs", src), vec!["XT05"]);
+        let src2 = "fn f() { acc.spend_sequential_with(a, b, info).ok(); }\n";
+        assert_eq!(rules_hit("crates/core/src/sanitize.rs", src2), vec!["XT05"]);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`core`] (`stpt-core`) — the STPT algorithm itself.
 //! * [`baselines`] (`stpt-baselines`) — Identity, Fourier, Wavelet, FAST,
 //!   LGAN-DP and WPO.
+//! * [`obs`] (`stpt-obs`) — hermetic observability: phase spans, the
+//!   metrics registry and the DP budget audit ledger (gated by
+//!   `STPT_TRACE`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -25,4 +28,5 @@ pub use stpt_core as core;
 pub use stpt_data as data;
 pub use stpt_dp as dp;
 pub use stpt_nn as nn;
+pub use stpt_obs as obs;
 pub use stpt_queries as queries;

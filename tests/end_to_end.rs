@@ -57,6 +57,27 @@ fn full_pipeline_spends_exactly_declared_budget() {
     let cfg = test_config(&ds);
     let out = run_stpt_on_dataset(&ds, GRID, GRID, &cfg).unwrap();
     assert!((out.epsilon_spent - cfg.eps_total()).abs() < 1e-6);
+    // The audit ledger replayed through the composition rules telescopes
+    // to the same number, bit-for-bit against the live accountant.
+    assert!(out.audit.consistent);
+    assert_eq!(out.audit.replayed.to_bits(), out.audit.spent.to_bits());
+    assert!((out.audit.total - cfg.eps_total()).abs() < 1e-9);
+}
+
+#[test]
+fn audit_holds_under_an_uneven_budget_split() {
+    // A second split of the same pipeline (heavily pattern-weighted)
+    // exercises different per-partition allocations; the ledger must still
+    // telescope exactly.
+    let ds = test_dataset(DatasetSpec::CA, 200, SpatialDistribution::Normal);
+    let mut cfg = test_config(&ds);
+    cfg.eps_pattern = 24.0;
+    cfg.eps_sanitize = 6.0;
+    let out = run_stpt_on_dataset(&ds, GRID, GRID, &cfg).unwrap();
+    assert!(out.audit.consistent);
+    assert_eq!(out.audit.replayed.to_bits(), out.audit.spent.to_bits());
+    assert!((out.audit.total - 30.0).abs() < 1e-9);
+    assert!(out.audit.entries > 0);
 }
 
 #[test]

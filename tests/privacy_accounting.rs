@@ -4,7 +4,8 @@
 use rand::SeedableRng;
 use stpt_suite::core::quantize::{k_quantize_with, PartitionScheme};
 use stpt_suite::core::{
-    recognize_patterns, sanitize_partitions, BudgetAllocation, PatternConfig, SanitizeConfig,
+    recognize_patterns, run_stpt_on_dataset, sanitize_partitions, BudgetAllocation, PatternConfig,
+    SanitizeConfig, StptConfig,
 };
 use stpt_suite::data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
 use stpt_suite::dp::prelude::*;
@@ -93,6 +94,72 @@ fn pattern_phase_rejects_overdraft_midway() {
     assert!(matches!(err, Err(DpError::BudgetExhausted { .. })));
     // Whatever was spent stays within the total.
     assert!(acc.spent() <= 1.0 + 1e-9);
+}
+
+/// The full pipeline's budget ledger telescopes to the configured total at
+/// two different ε splits: the audit replay reproduces the live accountant
+/// bit-for-bit, and the replayed total matches ε_tot.
+#[test]
+fn ledger_telescopes_to_configured_epsilon_at_two_splits() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let mut spec = DatasetSpec::CER;
+    spec.households = 200;
+    let ds = Dataset::generate_at(
+        spec,
+        SpatialDistribution::Uniform,
+        Granularity::Daily,
+        40,
+        &mut rng,
+    );
+    // Two splits of the same total (the paper's 10/20 and an even 15/15).
+    for (eps_pattern, eps_sanitize) in [(10.0, 20.0), (15.0, 15.0)] {
+        let mut cfg = StptConfig::fast(ds.clip_bound());
+        cfg.eps_pattern = eps_pattern;
+        cfg.eps_sanitize = eps_sanitize;
+        cfg.t_train = 24;
+        cfg.depth = 2;
+        cfg.net = tiny_net();
+        let out = run_stpt_on_dataset(&ds, 8, 8, &cfg).unwrap();
+        assert!(out.audit.consistent, "split {eps_pattern}/{eps_sanitize}");
+        // Replay is bit-exact against the live accountant.
+        assert_eq!(
+            out.audit.replayed.to_bits(),
+            out.audit.spent.to_bits(),
+            "split {eps_pattern}/{eps_sanitize}: replayed {} vs spent {}",
+            out.audit.replayed,
+            out.audit.spent
+        );
+        assert!(
+            (out.audit.total - cfg.eps_total()).abs() < 1e-9,
+            "split {eps_pattern}/{eps_sanitize}: total {}",
+            out.audit.total
+        );
+        assert!(out.audit.entries > 0, "ledger must record the spends");
+    }
+}
+
+/// An accountant audited against a total it did not spend fails closed
+/// with `AuditFailed` rather than letting an inconsistent release through.
+#[test]
+fn overspent_or_mismatched_accountant_fails_closed() {
+    let mut acc = BudgetAccountant::new(Epsilon::new(3.0));
+    acc.spend_sequential_with("phase-a", Epsilon::new(1.0), SpendInfo::laplace(1.0))
+        .unwrap();
+    acc.spend_sequential_with("phase-b", Epsilon::new(2.0), SpendInfo::laplace(1.0))
+        .unwrap();
+    // The budget is exhausted: further spends are rejected and leave the
+    // ledger untouched.
+    let entries_before = acc.ledger().len();
+    assert!(matches!(
+        acc.spend_sequential("phase-c", Epsilon::new(0.5)),
+        Err(DpError::BudgetExhausted { .. })
+    ));
+    assert_eq!(acc.ledger().len(), entries_before);
+    // Auditing against the spent total passes; against anything else the
+    // accountant fails closed.
+    assert!(acc.audit(3.0).is_ok());
+    assert!(matches!(acc.audit(4.0), Err(DpError::AuditFailed { .. })));
+    assert!(matches!(acc.audit(2.5), Err(DpError::AuditFailed { .. })));
 }
 
 #[test]
