@@ -15,8 +15,8 @@ use stpt_queries::QueryClass;
 struct PanelResult {
     dataset: String,
     class: String,
-    /// algorithm -> distribution -> mean MRE (%)
-    mre: BTreeMap<String, BTreeMap<String, f64>>,
+    /// algorithm -> distribution -> MRE (%) spread over the reps.
+    mre: BTreeMap<String, BTreeMap<String, Spread>>,
 }
 
 fn main() {
@@ -79,12 +79,10 @@ fn main() {
         })
         .collect();
 
-    // Average over reps.
-    let mut agg: BTreeMap<(String, String, String, String), (f64, u32)> = BTreeMap::new();
+    // Collect the per-rep samples for each cell.
+    let mut agg: BTreeMap<(String, String, String, String), Vec<f64>> = BTreeMap::new();
     for (ds, dist, class, alg, mre) in results {
-        let e = agg.entry((ds, class, alg, dist)).or_insert((0.0, 0));
-        e.0 += mre;
-        e.1 += 1;
+        agg.entry((ds, class, alg, dist)).or_default().push(mre);
     }
 
     let algorithms = [
@@ -121,19 +119,19 @@ fn main() {
                         alg.to_string(),
                         dist.label().to_string(),
                     );
-                    let (sum, n) = agg.get(&key).copied().unwrap_or((f64::NAN, 1));
-                    let mean = sum / n as f64;
-                    per_dist.insert(dist.label().to_string(), mean);
-                    cells.push(format!("{mean:.1}"));
+                    let samples = agg.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                    let spread = Spread::of(samples);
+                    per_dist.insert(dist.label().to_string(), spread);
+                    cells.push(format!("{:.1}", spread.mean));
                 }
                 panel.mre.insert(alg.to_string(), per_dist);
                 stpt_obs::report!("{}", row(&cells));
             }
             // Improvement of STPT over the best baseline (Uniform).
-            let stpt = panel.mre["STPT"]["Uniform"];
+            let stpt = panel.mre["STPT"]["Uniform"].mean;
             let best_base = algorithms[1..]
                 .iter()
-                .map(|a| panel.mre[*a]["Uniform"])
+                .map(|a| panel.mre[*a]["Uniform"].mean)
                 .fold(f64::INFINITY, f64::min);
             if best_base.is_finite() && best_base > 0.0 {
                 stpt_obs::report!(

@@ -12,7 +12,8 @@ use stpt_queries::QueryClass;
 #[derive(Serialize)]
 struct Point {
     eps_total: f64,
-    mre: BTreeMap<String, f64>,
+    /// class -> MRE (%) spread over the reps.
+    mre: BTreeMap<String, Spread>,
 }
 
 fn main() {
@@ -34,7 +35,7 @@ fn main() {
     let budgets = [5.0, 10.0, 20.0, 30.0, 40.0];
     let mut points = Vec::new();
     for &eps_tot in &budgets {
-        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for rep in 0..env.reps {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
@@ -42,21 +43,23 @@ fn main() {
             cfg.eps_sanitize = eps_tot * 2.0 / 3.0;
             let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
             for class in QueryClass::ALL {
-                *sums.entry(class.label().to_string()).or_default() +=
-                    mre_of(&env, &inst, &out.sanitized, class, rep);
+                samples
+                    .entry(class.label().to_string())
+                    .or_default()
+                    .push(mre_of(&env, &inst, &out.sanitized, class, rep));
             }
         }
-        let mre: BTreeMap<String, f64> = sums
+        let mre: BTreeMap<String, Spread> = samples
             .into_iter()
-            .map(|(c, s)| (c, s / env.reps as f64))
+            .map(|(c, s)| (c, Spread::of(&s)))
             .collect();
         stpt_obs::report!(
             "{}",
             row(&[
                 format!("{eps_tot}"),
-                format!("{:.1}", mre["Random"]),
-                format!("{:.1}", mre["Small"]),
-                format!("{:.1}", mre["Large"]),
+                format!("{:.1}", mre["Random"].mean),
+                format!("{:.1}", mre["Small"].mean),
+                format!("{:.1}", mre["Large"].mean),
             ])
         );
         points.push(Point {

@@ -59,6 +59,51 @@ impl ExperimentEnv {
     }
 }
 
+/// Per-repetition spread of a measured quantity. Serialised wherever a
+/// figure used to report a bare rep-averaged number, so downstream
+/// consumers (`cargo xtask baseline`) can derive tolerance bands from the
+/// `STPT_REPS`-rep spread instead of guessing one.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Spread {
+    /// Mean over repetitions.
+    pub mean: f64,
+    /// Population standard deviation over repetitions.
+    pub std: f64,
+    /// Minimum over repetitions.
+    pub min: f64,
+    /// Maximum over repetitions.
+    pub max: f64,
+    /// Number of repetitions.
+    pub n: u64,
+}
+
+impl Spread {
+    /// Summarise per-rep samples. An empty slice yields a NaN-mean spread
+    /// (serialised as `null`), which a baseline consumer must treat as
+    /// missing rather than zero.
+    pub fn of(values: &[f64]) -> Spread {
+        let n = values.len() as u64;
+        if n == 0 {
+            return Spread {
+                mean: f64::NAN,
+                std: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                n,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        Spread {
+            mean,
+            std: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            n,
+        }
+    }
+}
+
 /// One generated evaluation instance: the true (unclipped) matrix queries
 /// are answered against, and the clipped matrix mechanisms consume.
 pub struct Instance {
@@ -172,13 +217,22 @@ pub fn run_stpt_timed(inst: &Instance, cfg: &StptConfig) -> Result<(StptOutput, 
     Ok((out, start.elapsed().as_secs_f64()))
 }
 
+/// Envelope schema version written by [`emit_result`]. Bumped whenever the
+/// envelope shape changes so consumers (`cargo xtask regress`) can give a
+/// pointed error on stale files instead of a shape mismatch.
+pub const ENVELOPE_SCHEMA: u32 = 2;
+
 /// Write a run's result blob under `results/<name>.json`.
 ///
 /// Every bench binary routes its machine-readable output through this one
-/// helper: the payload is wrapped in an envelope carrying the experiment
-/// scale ([`ExperimentEnv`]) and — when `STPT_TRACE` is on — the run's full
-/// telemetry snapshot (spans, metrics, budget ledger). The same snapshot is
-/// also written standalone under `results/telemetry/<name>.json`.
+/// helper: the payload is wrapped in an envelope carrying the envelope
+/// schema version, a creation timestamp (unix seconds), the experiment
+/// scale ([`ExperimentEnv`]) and — when `STPT_TRACE` is on — the run's
+/// telemetry snapshot (spans, metrics, budget ledger verdict; the per-draw
+/// ledger audit trail is elided from the envelope). The full snapshot is
+/// written standalone under `results/telemetry/<name>.json`, and when
+/// `STPT_TRACE_EVENTS` is on the timestamped span events land next to it
+/// as a Chrome trace (`results/telemetry/<name>.trace.json`).
 pub fn emit_result<T: Serialize>(name: &str, env: &ExperimentEnv, value: &T) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -193,21 +247,31 @@ pub fn emit_result<T: Serialize>(name: &str, env: &ExperimentEnv, value: &T) {
         }
     };
     let env_json = serde_json::to_string(env).unwrap_or_else(|_| "null".to_string());
+    let created_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or_default();
     // The telemetry document is produced by stpt-obs's dependency-free
     // writer, so it is spliced in as a pre-rendered JSON fragment.
+    // The per-draw ledger audit trail is megabytes at experiment scale, so
+    // the envelope inlines the summary (aggregate ledger verdict only); the
+    // full trail lives in the standalone telemetry file written below.
     let telemetry = if stpt_obs::enabled() {
-        stpt_obs::export::telemetry_json(name)
+        stpt_obs::export::telemetry_summary_json(name)
     } else {
         "null".to_string()
     };
     let doc = format!(
-        "{{\n\"name\": \"{name}\",\n\"env\": {env_json},\n\"data\": {data},\n\"telemetry\": {telemetry}\n}}\n"
+        "{{\n\"name\": \"{name}\",\n\"schema\": {ENVELOPE_SCHEMA},\n\"created_unix\": {created_unix},\n\"env\": {env_json},\n\"data\": {data},\n\"telemetry\": {telemetry}\n}}\n"
     );
     let path = dir.join(format!("{name}.json"));
     if let Err(e) = std::fs::write(&path, doc) {
         stpt_obs::diag!("warning: could not write {}: {e}", path.display());
     }
     if let Some(tpath) = stpt_obs::export::write_telemetry(name) {
+        stpt_obs::diag!("telemetry: wrote {}", tpath.display());
+    }
+    if let Some(tpath) = stpt_obs::export::write_chrome_trace(name) {
         stpt_obs::diag!("telemetry: wrote {}", tpath.display());
     }
 }
@@ -232,6 +296,19 @@ mod tests {
             hours: 40,
             t_train: 25,
         }
+    }
+
+    #[test]
+    fn spread_summarises_rep_samples() {
+        let s = Spread::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.n, 3);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let empty = Spread::of(&[]);
+        assert!(empty.mean.is_nan());
+        assert_eq!(empty.n, 0);
     }
 
     #[test]

@@ -65,8 +65,23 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Render the full telemetry document for a run label.
+/// Render the full telemetry document for a run label, including the
+/// per-draw ledger audit trail.
 pub fn telemetry_json(run: &str) -> String {
+    render_telemetry(run, true)
+}
+
+/// Render the telemetry document without the per-draw ledger `entries`
+/// (the aggregate `check` verdict is kept, `entries` becomes `null`).
+///
+/// The audit trail grows with one entry per noise draw — megabytes at
+/// experiment scale — so result envelopes inline this summary and point at
+/// the standalone `results/telemetry/<run>.json` for the full trail.
+pub fn telemetry_summary_json(run: &str) -> String {
+    render_telemetry(run, false)
+}
+
+fn render_telemetry(run: &str, ledger_entries: bool) -> String {
     let spans = trace::snapshot();
     let metrics::MetricsSnapshot {
         counters,
@@ -135,12 +150,20 @@ pub fn telemetry_json(run: &str) -> String {
         if i > 0 {
             out.push(',');
         }
+        let quant = |q: f64| match h.quantile(q) {
+            Some(v) => json_f64(v),
+            None => "null".to_owned(),
+        };
         let _ = write!(
             out,
-            "\n    {{ \"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+            "\n    {{ \"name\": \"{}\", \"count\": {}, \"sum\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
             json_escape(h.name),
             h.count,
-            json_f64(h.sum)
+            json_f64(h.sum),
+            quant(0.5),
+            quant(0.95),
+            quant(0.99)
         );
         for (j, (lb, c)) in h.buckets.iter().enumerate() {
             if j > 0 {
@@ -170,32 +193,36 @@ pub fn telemetry_json(run: &str) -> String {
                 check.entries,
                 check.consistent
             );
-            out.push_str("    \"entries\": [");
-            for (i, e) in entries.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
+            if ledger_entries {
+                out.push_str("    \"entries\": [");
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let sibling = match &e.sibling {
+                        Some(s) => format!("\"{}\"", json_escape(s)),
+                        None => "null".to_owned(),
+                    };
+                    let _ = write!(
+                        out,
+                        "\n      {{ \"phase\": \"{}\", \"sibling\": {}, \"mechanism\": \"{}\", \
+                         \"epsilon\": {}, \"sensitivity\": {}, \"kind\": \"{}\" }}",
+                        json_escape(&e.phase),
+                        sibling,
+                        json_escape(e.mechanism),
+                        json_f64(e.epsilon),
+                        json_f64(e.sensitivity),
+                        e.kind.label()
+                    );
                 }
-                let sibling = match &e.sibling {
-                    Some(s) => format!("\"{}\"", json_escape(s)),
-                    None => "null".to_owned(),
-                };
-                let _ = write!(
-                    out,
-                    "\n      {{ \"phase\": \"{}\", \"sibling\": {}, \"mechanism\": \"{}\", \
-                     \"epsilon\": {}, \"sensitivity\": {}, \"kind\": \"{}\" }}",
-                    json_escape(&e.phase),
-                    sibling,
-                    json_escape(e.mechanism),
-                    json_f64(e.epsilon),
-                    json_f64(e.sensitivity),
-                    e.kind.label()
-                );
-            }
-            out.push_str(if entries.is_empty() {
-                "]\n"
+                out.push_str(if entries.is_empty() {
+                    "]\n"
+                } else {
+                    "\n    ]\n"
+                });
             } else {
-                "\n    ]\n"
-            });
+                out.push_str("    \"entries\": null\n");
+            }
             out.push_str("  }\n");
         }
     }
@@ -244,6 +271,149 @@ pub fn write_telemetry(run: &str) -> Option<PathBuf> {
         Ok(path) => Some(path),
         Err(err) => {
             crate::diag!("telemetry: failed to write {dir}/{run}.json: {err}");
+            None
+        }
+    }
+}
+
+/// Render the recorded span events ([`crate::events`]) as a Chrome
+/// `trace_event` JSON object — loadable in Perfetto (<https://ui.perfetto.dev>)
+/// or `chrome://tracing`.
+///
+/// Format notes:
+/// * one `"B"`/`"E"` duration-event pair per span, timestamps in
+///   microseconds from the process trace epoch, one `tid` track per OS
+///   thread (named via `"M"` metadata events);
+/// * full `/`-joined span paths ride in `args.path` (the event `name` is
+///   the leaf, which is what the timeline labels show);
+/// * begins left unmatched at export time — a still-open span, or a pair
+///   whose end fell off the full ring buffer — are closed synthetically at
+///   the thread's last seen timestamp so the document is always well
+///   nested; the number of dropped events is reported in
+///   `otherData.dropped_events`.
+pub fn chrome_trace_json(run: &str) -> String {
+    let events = crate::events::snapshot();
+    let dropped = crate::events::dropped();
+
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {{ \"run\": \"{}\", \"dropped_events\": {} }},",
+        json_escape(run),
+        dropped
+    );
+    out.push_str("  \"traceEvents\": [");
+
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        out.push_str(&body);
+    };
+
+    // One thread_name metadata record per track.
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        push_event(
+            &mut out,
+            format!(
+                "{{ \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"name\": \"thread_name\", \
+                 \"args\": {{ \"name\": \"thread {tid}\" }} }}"
+            ),
+        );
+    }
+
+    // Per-thread stacks of open begins, to synthesize ends for unmatched
+    // ones (span still open at export, or end lost to the ring cap).
+    let mut open: std::collections::HashMap<u64, Vec<&crate::events::TraceEvent>> =
+        std::collections::HashMap::new();
+    let mut last_ts: std::collections::HashMap<u64, u128> = std::collections::HashMap::new();
+
+    for e in &events {
+        let ts_us = e.ts_ns as f64 / 1e3;
+        last_ts
+            .entry(e.tid)
+            .and_modify(|t| *t = (*t).max(e.ts_ns))
+            .or_insert(e.ts_ns);
+        match e.phase {
+            crate::events::EventPhase::Begin => {
+                open.entry(e.tid).or_default().push(e);
+                push_event(
+                    &mut out,
+                    format!(
+                        "{{ \"ph\": \"B\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"name\": \"{}\", \
+                         \"cat\": \"span\", \"args\": {{ \"path\": \"{}\" }} }}",
+                        e.tid,
+                        json_f64(ts_us),
+                        json_escape(e.name),
+                        json_escape(&e.path)
+                    ),
+                );
+            }
+            crate::events::EventPhase::End => {
+                open.entry(e.tid).or_default().pop();
+                push_event(
+                    &mut out,
+                    format!(
+                        "{{ \"ph\": \"E\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"name\": \"{}\" }}",
+                        e.tid,
+                        json_f64(ts_us),
+                        json_escape(e.name)
+                    ),
+                );
+            }
+        }
+    }
+
+    // Close unmatched begins innermost-first at the thread's last timestamp.
+    let mut open: Vec<(u64, Vec<&crate::events::TraceEvent>)> = open.into_iter().collect();
+    open.sort_by_key(|(tid, _)| *tid);
+    for (tid, stack) in open {
+        let ts_us = last_ts.get(&tid).copied().unwrap_or_default() as f64 / 1e3;
+        for e in stack.iter().rev() {
+            push_event(
+                &mut out,
+                format!(
+                    "{{ \"ph\": \"E\", \"pid\": 1, \"tid\": {tid}, \"ts\": {}, \"name\": \"{}\" }}",
+                    json_f64(ts_us),
+                    json_escape(e.name)
+                ),
+            );
+        }
+    }
+
+    out.push_str(if first { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Write the Chrome trace for `run` into `dir` as `<run>.trace.json`.
+pub fn write_chrome_trace_to(dir: &Path, run: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.trace.json", file_stem(run)));
+    std::fs::write(&path, chrome_trace_json(run))?;
+    Ok(path)
+}
+
+/// Write the Chrome trace for `run` under `STPT_TELEMETRY_DIR` (or
+/// [`DEFAULT_DIR`]). Returns `None` when the events gate is off or the
+/// write fails — like [`write_telemetry`], export must never take down the
+/// run it observes.
+pub fn write_chrome_trace(run: &str) -> Option<PathBuf> {
+    if !crate::events_enabled() {
+        return None;
+    }
+    let dir = std::env::var("STPT_TELEMETRY_DIR").unwrap_or_else(|_| DEFAULT_DIR.to_owned());
+    match write_chrome_trace_to(Path::new(&dir), run) {
+        Ok(path) => Some(path),
+        Err(err) => {
+            crate::diag!("telemetry: failed to write {dir}/{run}.trace.json: {err}");
             None
         }
     }

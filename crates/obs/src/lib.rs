@@ -34,11 +34,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod events;
 pub mod export;
 pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
+pub use events::{EventPhase, TraceEvent};
 pub use ledger::{Composition, LedgerCheck, LedgerEntry};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use trace::SpanGuard;
@@ -47,6 +49,9 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Tri-state gate: 0 = uninitialised, 1 = off, 2 = on.
 static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Tri-state gate for timestamped span events (`STPT_TRACE_EVENTS`).
+static EVENTS_STATE: AtomicU8 = AtomicU8::new(0);
 
 /// Whether tracing/metrics collection is enabled. First call reads the
 /// `STPT_TRACE` environment variable; later calls are one relaxed atomic
@@ -75,14 +80,56 @@ pub fn set_enabled(on: bool) {
     STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
-/// Clear all collected state (spans, metric values, ledger). Metric
-/// *registrations* survive — statics stay registered; their values reset
-/// to zero. Intended for tests and for harnesses that export one snapshot
-/// per run.
+/// Whether timestamped span-event recording is enabled. First call reads
+/// the `STPT_TRACE_EVENTS` environment variable; later calls are one
+/// relaxed atomic load. Independent of [`enabled`]: events can be recorded
+/// without the aggregate tables and vice versa — a span fires when either
+/// gate is on.
+#[inline]
+pub fn events_enabled() -> bool {
+    match EVENTS_STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_events_from_env(),
+    }
+}
+
+#[cold]
+fn init_events_from_env() -> bool {
+    let on = std::env::var("STPT_TRACE_EVENTS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    EVENTS_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Force the events gate on or off, overriding `STPT_TRACE_EVENTS`.
+pub fn set_events_enabled(on: bool) {
+    EVENTS_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Clear all collected state (spans, metric values, ledger, span events).
+/// Metric *registrations* survive — statics stay registered; their values
+/// reset to zero. Intended for tests and for harnesses that export one
+/// snapshot per run.
 pub fn reset() {
     trace::reset();
     metrics::reset();
     ledger::reset();
+    events::reset();
+}
+
+/// Reset every process-global table this crate owns — the span aggregate
+/// table, all metric values, the published budget ledger and the span-event
+/// buffer — without touching the gates.
+///
+/// Integration tests share one process (and therefore one set of statics);
+/// any test that snapshots telemetry, or asserts on ledger/metric contents,
+/// must call this first so it does not observe residue from tests that ran
+/// earlier in the same binary. Alias of [`reset`] under a name that states
+/// the contract.
+pub fn reset_for_tests() {
+    reset();
 }
 
 /// Print one line of primary output (results, table rows) to stdout.

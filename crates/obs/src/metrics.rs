@@ -232,6 +232,35 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Approximate `q`-quantile (`0 < q <= 1`) from the log2 buckets,
+    /// assuming observations are uniformly distributed within each bucket.
+    ///
+    /// The target rank is `q * count` (continuous); the bucket holding that
+    /// rank is found by cumulative count and the value interpolated
+    /// linearly between the bucket's lower bound `2^(i-20)` and upper bound
+    /// `2^(i+1-20)`. Worst-case error is therefore one octave. Returns
+    /// `None` for an empty histogram or a `q` outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0.0;
+        for &(lb, n) in &self.buckets {
+            let next = cum + n as f64;
+            if target <= next {
+                let frac = (target - cum) / n as f64;
+                return Some(lb + frac * lb); // ub - lb == lb for log2 buckets
+            }
+            cum = next;
+        }
+        // Rounding left the target just past the last bucket: clamp to its
+        // upper bound.
+        self.buckets.last().map(|&(lb, _)| 2.0 * lb)
+    }
+}
+
 /// Snapshot of every registered metric, each list sorted by name.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
@@ -339,6 +368,35 @@ mod tests {
         assert_eq!(Histogram::bucket_of(f64::NAN), 0);
         assert_eq!(Histogram::bucket_of(f64::INFINITY), 0);
         assert_eq!(Histogram::bucket_of(1e300), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_interpolation_is_pinned() {
+        // 2 observations in [0.25, 0.5), 6 in [1.0, 2.0).
+        let snap = HistogramSnapshot {
+            name: "test.quantile",
+            count: 8,
+            sum: 0.0,
+            buckets: vec![(0.25, 2), (1.0, 6)],
+        };
+        // q=0.25 → rank 2 = exactly the end of bucket 0 → its upper bound.
+        assert!((snap.quantile(0.25).unwrap() - 0.5).abs() < 1e-12);
+        // q=0.5 → rank 4 = 2 of 6 into bucket 1 → 1.0 + (2/6)·1.0.
+        assert!((snap.quantile(0.5).unwrap() - (1.0 + 2.0 / 6.0)).abs() < 1e-12);
+        // q=0.99 → rank 7.92 → 1.0 + (5.92/6)·1.0.
+        assert!((snap.quantile(0.99).unwrap() - (1.0 + 5.92 / 6.0)).abs() < 1e-12);
+        // q=1.0 → upper bound of the last bucket.
+        assert!((snap.quantile(1.0).unwrap() - 2.0).abs() < 1e-12);
+
+        let empty = HistogramSnapshot {
+            name: "test.quantile_empty",
+            count: 0,
+            sum: 0.0,
+            buckets: Vec::new(),
+        };
+        assert!(empty.quantile(0.5).is_none());
+        assert!(snap.quantile(0.0).is_none());
+        assert!(snap.quantile(1.5).is_none());
     }
 
     #[test]

@@ -43,22 +43,34 @@ fn table() -> MutexGuard<'static, HashMap<String, SpanStat>> {
 
 /// RAII guard for one timed span. Construct through [`crate::span!`].
 ///
-/// When the gate is off the guard is inert: no allocation, no clock read,
-/// no lock — `enter` is one atomic load and `drop` one branch.
+/// When both gates are off the guard is inert: no allocation, no clock
+/// read, no lock — `enter` is two relaxed atomic loads and `drop` one
+/// branch. A span fires when either gate is on: `STPT_TRACE` feeds the
+/// aggregate table, `STPT_TRACE_EVENTS` additionally records timestamped
+/// begin/end events for [`crate::export::write_chrome_trace`].
 #[must_use = "a span guard measures the scope it is bound to; dropping it immediately records nothing useful"]
 pub struct SpanGuard {
     /// Full `/`-separated path, captured at entry. `None` when disabled.
     path: Option<String>,
     start: Option<Instant>,
+    /// Leaf name (for the end event).
+    name: &'static str,
+    /// Whether to feed the aggregate table at drop (the aggregate gate's
+    /// state at entry — a mid-span toggle must not record a lone exit).
+    aggregate: bool,
 }
 
 impl SpanGuard {
     /// Open a span named `name` nested under the thread's live spans.
     pub fn enter(name: &'static str) -> SpanGuard {
-        if !crate::enabled() {
+        let aggregate = crate::enabled();
+        let events = crate::events_enabled();
+        if !aggregate && !events {
             return SpanGuard {
                 path: None,
                 start: None,
+                name,
+                aggregate: false,
             };
         }
         let path = STACK.with(|stack| {
@@ -66,9 +78,14 @@ impl SpanGuard {
             stack.push(name);
             stack.join("/")
         });
+        if events {
+            crate::events::record(crate::events::EventPhase::Begin, name, &path);
+        }
         SpanGuard {
             path: Some(path),
             start: Some(Instant::now()),
+            name,
+            aggregate,
         }
     }
 }
@@ -82,9 +99,15 @@ impl Drop for SpanGuard {
             .start
             .map(|s| s.elapsed().as_nanos())
             .unwrap_or_default();
+        if crate::events_enabled() {
+            crate::events::record(crate::events::EventPhase::End, self.name, &path);
+        }
         STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
+        if !self.aggregate {
+            return;
+        }
         let mut table = table();
         let stat = table.entry(path).or_default();
         stat.count += 1;

@@ -1,0 +1,1081 @@
+//! The committed-baseline schema and its generators.
+//!
+//! A baseline (`baselines/<name>.json`) is an executable restatement of the
+//! "shape" claims EXPERIMENTS.md makes about a result document, plus
+//! telemetry invariants, pinned to the experiment scale the reference run
+//! was produced at:
+//!
+//! ```json
+//! { "name": "fig7", "schema": 1,
+//!   "env": { "reps": 3, "queries": 300, "grid": 32, "hours": 220, "t_train": 100 },
+//!   "checks": [
+//!     { "id": "band:data/mre/STPT/Random", "kind": "band",
+//!       "scale_bound": true, "note": "…", "selector": "data/mre/STPT/Random",
+//!       "expect": 6.27, "tol": 1.57 },
+//!     { "id": "claim:stpt-10x-wpo-Random", "kind": "less", "scale_bound": true,
+//!       "note": "STPT ≥10× better than WPO on random range queries",
+//!       "lhs": ["data/mre/STPT/Random"], "rhs": ["data/mre/WPO/Random"],
+//!       "factor": 0.1 },
+//!     { "id": "ledger", "kind": "ledger_consistent", "scale_bound": false,
+//!       "note": "budget audit ledger replays consistently" } ] }
+//! ```
+//!
+//! Check kinds:
+//!
+//! * `band` — `|observed − expect| ≤ tol`, where `observed` is resolved by a
+//!   [`crate::jsonsel`] selector (a spread object contributes its `mean`).
+//!   Tolerances derive from the rep spread: `max(3σ, 25% of |mean|, 0.05)`.
+//! * `exact` — relative agreement within `rel` (for bit-deterministic
+//!   quantities such as the table2 generator statistics).
+//! * `less` — `mean(lhs) < factor · mean(rhs)` over selector lists; this is
+//!   the executable form of ordering claims ("STPT beats Identity").
+//! * `counter` — a telemetry counter equals `expect` exactly.
+//! * `ledger_consistent` — the exported budget-audit ledger replays
+//!   consistently.
+//! * `span_share` — `span`'s share of `parent`'s wall time stays within
+//!   [share/3, 3·share] (a coarse phase-profile invariant).
+//!
+//! `scale_bound: true` marks checks whose expected values depend on the
+//! experiment scale; `cargo xtask regress` skips them when the run's `env`
+//! differs from the baseline's, so a miniature CI smoke run can still
+//! exercise every scale-free check against the committed full-scale
+//! baselines.
+//!
+//! Generators *verify before committing*: every ordering claim is evaluated
+//! against the generating run, and claims that do not hold in the measured
+//! data are dropped with a warning instead of being committed as
+//! immediately-red checks.
+
+use serde::Value;
+
+use crate::jsonsel::{scalar_of, select};
+use crate::report::Outcome;
+use crate::results::{EnvScale, RunDoc};
+
+/// Every result document the experiment suite produces, in run order.
+pub const EXPERIMENTS: [&str; 13] = [
+    "table2", "fig6", "fig7", "fig8ab", "fig8c", "fig8d", "fig8ef", "fig8g", "fig8h", "fig8i",
+    "fig9", "ldp_gap", "ablate",
+];
+
+/// Baseline file schema version.
+pub const BASELINE_SCHEMA: u64 = 1;
+
+/// What a single check asserts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckKind {
+    /// `|selector − expect| ≤ tol`.
+    Band {
+        /// Path into the result envelope.
+        selector: String,
+        /// Reference value.
+        expect: f64,
+        /// Absolute tolerance.
+        tol: f64,
+    },
+    /// `|selector − expect| ≤ rel · max(|expect|, 1)`.
+    Exact {
+        /// Path into the result envelope.
+        selector: String,
+        /// Reference value.
+        expect: f64,
+        /// Relative tolerance (float round-trip slack).
+        rel: f64,
+    },
+    /// `mean(lhs) < factor · mean(rhs)`.
+    Less {
+        /// Selectors averaged on the small side.
+        lhs: Vec<String>,
+        /// Selectors averaged on the large side.
+        rhs: Vec<String>,
+        /// Slack factor (1.0 = strict ordering, 0.1 = "10× better").
+        factor: f64,
+    },
+    /// Telemetry counter equals `expect` exactly.
+    Counter {
+        /// Counter name (`dp.noise_draws.laplace`, …).
+        counter: String,
+        /// Expected count.
+        expect: u64,
+    },
+    /// The exported budget ledger replays consistently.
+    LedgerConsistent,
+    /// `span`'s share of `parent` wall time is within [share/3, 3·share].
+    SpanShare {
+        /// Child span path.
+        span: String,
+        /// Parent span path.
+        parent: String,
+        /// Reference share (child total_ms / parent total_ms).
+        share: f64,
+    },
+}
+
+/// One baseline check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Stable identifier within the baseline.
+    pub id: String,
+    /// Human statement of what is asserted.
+    pub note: String,
+    /// Whether the expected value depends on the experiment scale.
+    pub scale_bound: bool,
+    /// The assertion itself.
+    pub kind: CheckKind,
+}
+
+/// One baseline document.
+#[derive(Debug, Clone)]
+pub struct BaselineDoc {
+    /// Result name this baseline gates (`fig6`, …).
+    pub name: String,
+    /// Scale the reference run was produced at.
+    pub env: EnvScale,
+    /// The checks.
+    pub checks: Vec<Check>,
+}
+
+/// Evaluation context shared across a baseline's checks.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx {
+    /// Does the run's `env` match the baseline's?
+    pub env_matches: bool,
+    /// Treat missing telemetry as a failure instead of a skip.
+    pub require_telemetry: bool,
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract().abs() < 1e-12 && v.abs() < 1e15 {
+        format!("{}", v.trunc())
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn mean_of(run: &RunDoc, selectors: &[String]) -> Result<f64, String> {
+    if selectors.is_empty() {
+        return Err("empty selector list".to_owned());
+    }
+    let mut sum = 0.0;
+    for s in selectors {
+        sum += select(&envelope_view(run), s).and_then(scalar_of)?;
+    }
+    Ok(sum / selectors.len() as f64)
+}
+
+/// Selectors address the envelope (`data/…`), so wrap the run back into an
+/// object with a `data` field.
+fn envelope_view(run: &RunDoc) -> Value {
+    Value::Object(vec![("data".to_owned(), run.data.clone())])
+}
+
+impl Check {
+    /// Evaluate against a loaded run.
+    pub fn evaluate(&self, run: &RunDoc, ctx: EvalCtx) -> Outcome {
+        if self.scale_bound && !ctx.env_matches {
+            return Outcome::Skip {
+                reason: "scale-bound check; run env differs from baseline env".to_owned(),
+            };
+        }
+        if self.needs_telemetry() && run.telemetry.is_none() {
+            if ctx.require_telemetry {
+                return Outcome::Fail {
+                    observed: "no telemetry in run".to_owned(),
+                    expected: "telemetry snapshot (STPT_TRACE=1)".to_owned(),
+                    delta: "n/a".to_owned(),
+                };
+            }
+            return Outcome::Skip {
+                reason: "run has no telemetry (set STPT_TRACE=1)".to_owned(),
+            };
+        }
+        match &self.kind {
+            CheckKind::Band {
+                selector,
+                expect,
+                tol,
+            } => match select(&envelope_view(run), selector).and_then(scalar_of) {
+                Err(e) => fail_shape(&e, &format!("{} ± {}", fmt_num(*expect), fmt_num(*tol))),
+                Ok(obs) => {
+                    let delta = obs - expect;
+                    if delta.abs() <= *tol {
+                        Outcome::Pass
+                    } else {
+                        Outcome::Fail {
+                            observed: fmt_num(obs),
+                            expected: format!("{} ± {}", fmt_num(*expect), fmt_num(*tol)),
+                            delta: format!("{delta:+.4}"),
+                        }
+                    }
+                }
+            },
+            CheckKind::Exact {
+                selector,
+                expect,
+                rel,
+            } => match select(&envelope_view(run), selector).and_then(scalar_of) {
+                Err(e) => fail_shape(&e, &fmt_num(*expect)),
+                Ok(obs) => {
+                    let delta = obs - expect;
+                    if delta.abs() <= rel * expect.abs().max(1.0) {
+                        Outcome::Pass
+                    } else {
+                        Outcome::Fail {
+                            observed: fmt_num(obs),
+                            expected: format!("exactly {}", fmt_num(*expect)),
+                            delta: format!("{delta:+.6}"),
+                        }
+                    }
+                }
+            },
+            CheckKind::Less { lhs, rhs, factor } => {
+                let l = mean_of(run, lhs);
+                let r = mean_of(run, rhs);
+                match (l, r) {
+                    (Err(e), _) | (_, Err(e)) => fail_shape(&e, "ordering operands"),
+                    (Ok(l), Ok(r)) => {
+                        let bound = factor * r;
+                        if l < bound {
+                            Outcome::Pass
+                        } else {
+                            Outcome::Fail {
+                                observed: format!("mean(lhs) = {}", fmt_num(l)),
+                                expected: format!(
+                                    "< {} (= {} × mean(rhs) {})",
+                                    fmt_num(bound),
+                                    fmt_num(*factor),
+                                    fmt_num(r)
+                                ),
+                                delta: format!("{:+.4}", l - bound),
+                            }
+                        }
+                    }
+                }
+            }
+            CheckKind::Counter { counter, expect } => match run.counter(counter) {
+                None => fail_shape(
+                    &format!("counter `{counter}` absent from telemetry"),
+                    &expect.to_string(),
+                ),
+                Some(obs) if obs == *expect => Outcome::Pass,
+                Some(obs) => Outcome::Fail {
+                    observed: obs.to_string(),
+                    expected: format!("exactly {expect}"),
+                    delta: format!("{:+}", obs as i128 - *expect as i128),
+                },
+            },
+            CheckKind::LedgerConsistent => match run.ledger_consistent() {
+                Some(true) => Outcome::Pass,
+                Some(false) => Outcome::Fail {
+                    observed: "consistent: false".to_owned(),
+                    expected: "consistent: true".to_owned(),
+                    delta: "ledger replay mismatch".to_owned(),
+                },
+                None => fail_shape("no ledger in telemetry", "consistent: true"),
+            },
+            CheckKind::SpanShare {
+                span,
+                parent,
+                share,
+            } => {
+                let child_ms = run.span_total_ms(span);
+                let parent_ms = run.span_total_ms(parent);
+                match (child_ms, parent_ms) {
+                    (Some(c), Some(p)) if p > 0.0 => {
+                        let obs = c / p;
+                        let (lo, hi) = (share / 3.0, share * 3.0);
+                        if obs >= lo && obs <= hi {
+                            Outcome::Pass
+                        } else {
+                            Outcome::Fail {
+                                observed: format!("{obs:.3} of `{parent}`"),
+                                expected: format!("within [{lo:.3}, {hi:.3}]"),
+                                delta: format!("{:+.3}", obs - share),
+                            }
+                        }
+                    }
+                    _ => fail_shape(
+                        &format!("span `{span}` or `{parent}` absent from telemetry"),
+                        &format!("share ≈ {share:.3}"),
+                    ),
+                }
+            }
+        }
+    }
+
+    fn needs_telemetry(&self) -> bool {
+        matches!(
+            self.kind,
+            CheckKind::Counter { .. } | CheckKind::LedgerConsistent | CheckKind::SpanShare { .. }
+        )
+    }
+}
+
+fn fail_shape(err: &str, expected: &str) -> Outcome {
+    Outcome::Fail {
+        observed: format!("unresolvable: {err}"),
+        expected: expected.to_owned(),
+        delta: "document changed shape".to_owned(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serialisation
+// ---------------------------------------------------------------------------
+
+fn num(v: f64) -> Value {
+    Value::Number(v)
+}
+fn s(v: &str) -> Value {
+    Value::String(v.to_owned())
+}
+
+impl Check {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_owned(), s(&self.id)),
+            ("note".to_owned(), s(&self.note)),
+            ("scale_bound".to_owned(), Value::Bool(self.scale_bound)),
+        ];
+        match &self.kind {
+            CheckKind::Band {
+                selector,
+                expect,
+                tol,
+            } => {
+                fields.push(("kind".to_owned(), s("band")));
+                fields.push(("selector".to_owned(), s(selector)));
+                fields.push(("expect".to_owned(), num(*expect)));
+                fields.push(("tol".to_owned(), num(*tol)));
+            }
+            CheckKind::Exact {
+                selector,
+                expect,
+                rel,
+            } => {
+                fields.push(("kind".to_owned(), s("exact")));
+                fields.push(("selector".to_owned(), s(selector)));
+                fields.push(("expect".to_owned(), num(*expect)));
+                fields.push(("rel".to_owned(), num(*rel)));
+            }
+            CheckKind::Less { lhs, rhs, factor } => {
+                fields.push(("kind".to_owned(), s("less")));
+                let arr = |v: &[String]| Value::Array(v.iter().map(|x| s(x)).collect());
+                fields.push(("lhs".to_owned(), arr(lhs)));
+                fields.push(("rhs".to_owned(), arr(rhs)));
+                fields.push(("factor".to_owned(), num(*factor)));
+            }
+            CheckKind::Counter { counter, expect } => {
+                fields.push(("kind".to_owned(), s("counter")));
+                fields.push(("counter".to_owned(), s(counter)));
+                fields.push(("expect".to_owned(), num(*expect as f64)));
+            }
+            CheckKind::LedgerConsistent => {
+                fields.push(("kind".to_owned(), s("ledger_consistent")));
+            }
+            CheckKind::SpanShare {
+                span,
+                parent,
+                share,
+            } => {
+                fields.push(("kind".to_owned(), s("span_share")));
+                fields.push(("span".to_owned(), s(span)));
+                fields.push(("parent".to_owned(), s(parent)));
+                fields.push(("share".to_owned(), num(*share)));
+            }
+        }
+        Value::Object(fields)
+    }
+
+    fn from_value(v: &Value) -> Result<Check, String> {
+        let text = |k: &str| -> Result<String, String> {
+            select(v, k)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("`{k}` is not a string"))
+        };
+        let number = |k: &str| select(v, k).and_then(scalar_of);
+        let kind_tag = text("kind")?;
+        let kind = match kind_tag.as_str() {
+            "band" => CheckKind::Band {
+                selector: text("selector")?,
+                expect: number("expect")?,
+                tol: number("tol")?,
+            },
+            "exact" => CheckKind::Exact {
+                selector: text("selector")?,
+                expect: number("expect")?,
+                rel: number("rel")?,
+            },
+            "less" => {
+                let list = |k: &str| -> Result<Vec<String>, String> {
+                    select(v, k)?
+                        .as_array()
+                        .ok_or_else(|| format!("`{k}` is not an array"))?
+                        .iter()
+                        .map(|x| {
+                            x.as_str()
+                                .map(str::to_owned)
+                                .ok_or_else(|| format!("`{k}` holds a non-string"))
+                        })
+                        .collect()
+                };
+                CheckKind::Less {
+                    lhs: list("lhs")?,
+                    rhs: list("rhs")?,
+                    factor: number("factor")?,
+                }
+            }
+            "counter" => CheckKind::Counter {
+                counter: text("counter")?,
+                expect: number("expect")? as u64,
+            },
+            "ledger_consistent" => CheckKind::LedgerConsistent,
+            "span_share" => CheckKind::SpanShare {
+                span: text("span")?,
+                parent: text("parent")?,
+                share: number("share")?,
+            },
+            other => return Err(format!("unknown check kind `{other}`")),
+        };
+        let scale_bound = match select(v, "scale_bound")? {
+            Value::Bool(b) => *b,
+            _ => return Err("`scale_bound` is not a bool".to_owned()),
+        };
+        Ok(Check {
+            id: text("id")?,
+            note: text("note")?,
+            scale_bound,
+            kind,
+        })
+    }
+}
+
+impl BaselineDoc {
+    /// Render as the committed `baselines/<name>.json` document.
+    pub fn to_json(&self) -> String {
+        let doc = Value::Object(vec![
+            ("name".to_owned(), s(&self.name)),
+            ("schema".to_owned(), num(BASELINE_SCHEMA as f64)),
+            ("env".to_owned(), self.env.to_value()),
+            (
+                "checks".to_owned(),
+                Value::Array(self.checks.iter().map(Check::to_value).collect()),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_owned()) + "\n"
+    }
+
+    /// Parse a committed baseline document.
+    pub fn from_json(text: &str) -> Result<BaselineDoc, String> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| format!("baseline does not parse: {e}"))?;
+        let schema = select(&v, "schema").and_then(scalar_of)? as u64;
+        if schema != BASELINE_SCHEMA {
+            return Err(format!(
+                "baseline schema {schema} unsupported (expected {BASELINE_SCHEMA}) — \
+                 regenerate with `cargo xtask baseline`"
+            ));
+        }
+        let name = select(&v, "name")?
+            .as_str()
+            .ok_or("`name` is not a string")?
+            .to_owned();
+        let env = EnvScale::from_value(select(&v, "env")?)?;
+        let checks = select(&v, "checks")?
+            .as_array()
+            .ok_or("`checks` is not an array")?
+            .iter()
+            .map(Check::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BaselineDoc { name, env, checks })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// generation
+// ---------------------------------------------------------------------------
+
+/// Build the baseline for a run. Ordering claims that do not hold in the
+/// generating data are dropped and reported in the returned warning list;
+/// everything kept is guaranteed to pass against the generating run.
+pub fn build(run: &RunDoc) -> Result<(BaselineDoc, Vec<String>), String> {
+    let mut checks = value_checks(run)?;
+    checks.extend(claims_for(run));
+    checks.extend(telemetry_checks(run));
+
+    let ctx = EvalCtx {
+        env_matches: true,
+        require_telemetry: false,
+    };
+    let mut kept = Vec::new();
+    let mut warnings = Vec::new();
+    for c in checks {
+        match c.evaluate(run, ctx) {
+            Outcome::Pass | Outcome::Skip { .. } => kept.push(c),
+            Outcome::Fail { observed, .. } => warnings.push(format!(
+                "{}: dropped `{}` — does not hold in the generating run ({}): {observed}",
+                run.name, c.id, c.note
+            )),
+        }
+    }
+    Ok((
+        BaselineDoc {
+            name: run.name.clone(),
+            env: run.env,
+            checks: kept,
+        },
+        warnings,
+    ))
+}
+
+/// Walk the data payload and pin every numeric leaf.
+///
+/// * spread objects (`{mean, std, …, n}`) become one band with a
+///   rep-spread-derived tolerance;
+/// * other numbers become a band with a generous relative tolerance —
+///   except in `table2`, whose generator statistics are bit-deterministic
+///   and scale-free, so they are pinned exactly;
+/// * wall-clock fields (`seconds`) are machine-dependent and are never
+///   pinned absolutely (fig8d keeps only its ordering claim).
+fn value_checks(run: &RunDoc) -> Result<Vec<Check>, String> {
+    let mut out = Vec::new();
+    walk("data", &run.data, &run.name, &mut out)?;
+    Ok(out)
+}
+
+fn is_spread(fields: &[(String, Value)]) -> bool {
+    let has = |k: &str| fields.iter().any(|(n, v)| n == k && v.as_f64().is_some());
+    has("mean") && has("std") && has("n")
+}
+
+fn walk(path: &str, v: &Value, run_name: &str, out: &mut Vec<Check>) -> Result<(), String> {
+    match v {
+        Value::Object(fields) if is_spread(fields) => {
+            let get = |k: &str| {
+                fields
+                    .iter()
+                    .find(|(n, _)| n == k)
+                    .and_then(|(_, x)| x.as_f64())
+                    .ok_or_else(|| format!("{path}: spread lacks `{k}`"))
+            };
+            let (mean, std) = (get("mean")?, get("std")?);
+            out.push(Check {
+                id: format!("band:{path}"),
+                note: format!("rep-spread band around `{path}`"),
+                scale_bound: true,
+                kind: CheckKind::Band {
+                    selector: path.to_owned(),
+                    expect: mean,
+                    tol: (3.0 * std).max(0.25 * mean.abs()).max(0.05),
+                },
+            });
+            Ok(())
+        }
+        Value::Object(fields) => {
+            for (k, x) in fields {
+                walk(&format!("{path}/{k}"), x, run_name, out)?;
+            }
+            Ok(())
+        }
+        Value::Array(items) => {
+            for (i, x) in items.iter().enumerate() {
+                walk(&format!("{path}/#{i}"), x, run_name, out)?;
+            }
+            Ok(())
+        }
+        Value::Number(n) => {
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            if leaf == "seconds" {
+                return Ok(()); // wall clock: ordering claims only
+            }
+            if run_name == "table2" {
+                out.push(Check {
+                    id: format!("exact:{path}"),
+                    note: format!("bit-deterministic generator statistic `{path}`"),
+                    scale_bound: false,
+                    kind: CheckKind::Exact {
+                        selector: path.to_owned(),
+                        expect: *n,
+                        rel: 1e-9,
+                    },
+                });
+            } else {
+                out.push(Check {
+                    id: format!("band:{path}"),
+                    note: format!("value band around `{path}`"),
+                    scale_bound: true,
+                    kind: CheckKind::Band {
+                        selector: path.to_owned(),
+                        expect: *n,
+                        tol: (0.4 * n.abs()).max(0.05),
+                    },
+                });
+            }
+            Ok(())
+        }
+        Value::Bool(_) | Value::String(_) | Value::Null => Ok(()),
+    }
+}
+
+// -- ordering claims (executable EXPERIMENTS.md shape statements) -----------
+
+fn less(id: &str, note: &str, lhs: Vec<String>, rhs: Vec<String>, factor: f64) -> Check {
+    Check {
+        id: format!("claim:{id}"),
+        note: note.to_owned(),
+        scale_bound: true,
+        kind: CheckKind::Less { lhs, rhs, factor },
+    }
+}
+
+fn string_keys_of(v: &Value, path: &str, key: &str) -> Vec<String> {
+    // Distinct values of `key` across an array of objects at `path`.
+    let mut out: Vec<String> = Vec::new();
+    if let Ok(Value::Array(items)) = select(v, path) {
+        for item in items {
+            if let Some(s) = item
+                .as_object()
+                .and_then(|f| f.iter().find(|(k, _)| k == key))
+                .and_then(|(_, x)| x.as_str())
+            {
+                if !out.iter().any(|x| x == s) {
+                    out.push(s.to_owned());
+                }
+            }
+        }
+    }
+    out
+}
+
+fn claims_for(run: &RunDoc) -> Vec<Check> {
+    let data = envelope_view(run);
+    let mut c = Vec::new();
+    match run.name.as_str() {
+        "table2" => {
+            // Generated marginals track the paper's published targets.
+            for ds in string_keys_of(&data, "data", "dataset") {
+                for stat in ["mean", "std"] {
+                    let gen_sel = format!("data/[dataset={ds}]/{stat}_generated");
+                    let tgt_sel = format!("data/[dataset={ds}]/{stat}_target");
+                    if let Ok(target) = select(&data, &tgt_sel).and_then(scalar_of) {
+                        c.push(Check {
+                            id: format!("claim:{ds}-{stat}-matches-paper"),
+                            note: format!(
+                                "{ds} generated {stat} tracks the paper's Table 2 target"
+                            ),
+                            scale_bound: false,
+                            kind: CheckKind::Band {
+                                selector: gen_sel,
+                                expect: target,
+                                tol: (0.15 * target.abs()).max(0.05),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        "fig6" => {
+            let sel = |ds: &str, class: &str, alg: &str, dist: &str| {
+                vec![format!(
+                    "data/[dataset={ds}&class={class}]/mre/{alg}/{dist}"
+                )]
+            };
+            for ds in ["CER", "CA", "MI", "TX"] {
+                c.push(less(
+                    &format!("fig6-{ds}-stpt-beats-identity"),
+                    &format!("{ds}/Random: STPT beats the Identity baseline (Uniform)"),
+                    sel(ds, "Random", "STPT", "Uniform"),
+                    sel(ds, "Random", "Identity", "Uniform"),
+                    1.0,
+                ));
+                c.push(less(
+                    &format!("fig6-{ds}-normal-degrades-stpt"),
+                    &format!("{ds}/Random: STPT degrades when households cluster (Normal)"),
+                    sel(ds, "Random", "STPT", "Uniform"),
+                    sel(ds, "Random", "STPT", "Normal"),
+                    1.0,
+                ));
+            }
+            for ds in ["CA", "MI", "TX"] {
+                for class in ["Random", "Large"] {
+                    c.push(less(
+                        &format!("fig6-{ds}-{class}-stpt-beats-wavelet"),
+                        &format!("{ds}/{class}: STPT beats Wavelet-10 on sparse data (Uniform)"),
+                        sel(ds, class, "STPT", "Uniform"),
+                        sel(ds, class, "Wavelet-10", "Uniform"),
+                        1.0,
+                    ));
+                }
+            }
+        }
+        "fig7" => {
+            for class in ["Random", "Large"] {
+                c.push(less(
+                    &format!("fig7-stpt-beats-identity-{class}"),
+                    &format!("{class}: STPT beats Identity under user-level DP"),
+                    vec![format!("data/mre/STPT/{class}")],
+                    vec![format!("data/mre/Identity/{class}")],
+                    1.0,
+                ));
+                c.push(less(
+                    &format!("fig7-identity-beats-wpo-{class}"),
+                    &format!("{class}: even Identity beats workload-pattern-only (WPO)"),
+                    vec![format!("data/mre/Identity/{class}")],
+                    vec![format!("data/mre/WPO/{class}")],
+                    1.0,
+                ));
+                c.push(less(
+                    &format!("fig7-stpt-10x-wpo-{class}"),
+                    &format!("{class}: STPT is ≥10× more accurate than WPO"),
+                    vec![format!("data/mre/STPT/{class}")],
+                    vec![format!("data/mre/WPO/{class}")],
+                    0.1,
+                ));
+            }
+        }
+        "fig8ab" => {
+            c.push(less(
+                "fig8ab-error-falls-with-budget",
+                "MAE at the largest per-datapoint budget is below the smallest",
+                vec!["data/[budget_per_datapoint=0.2]/mae".to_owned()],
+                vec!["data/[budget_per_datapoint=0.01]/mae".to_owned()],
+                1.0,
+            ));
+        }
+        "fig8c" => {
+            c.push(less(
+                "fig8c-moderate-k-beats-large-k",
+                "k=8 clustering beats k=40 on random range queries",
+                vec!["data/[k=8]/mre/Random".to_owned()],
+                vec!["data/[k=40]/mre/Random".to_owned()],
+                1.0,
+            ));
+        }
+        "fig8d" => {
+            c.push(less(
+                "fig8d-identity-cheaper-than-stpt",
+                "Identity sanitisation runs faster than the full STPT pipeline",
+                vec!["data/[algorithm=Identity]/seconds".to_owned()],
+                vec!["data/[algorithm=STPT]/seconds".to_owned()],
+                1.0,
+            ));
+        }
+        "fig8ef" => {
+            c.push(less(
+                "fig8ef-shallow-beats-deep",
+                "depth-2 pattern trees beat depth-5 on MAE",
+                vec!["data/[depth=2]/mae".to_owned()],
+                vec!["data/[depth=5]/mae".to_owned()],
+                1.0,
+            ));
+        }
+        "fig8g" => {
+            c.push(less(
+                "fig8g-small-pattern-share-wins",
+                "33% pattern-budget share beats 90% on random range queries",
+                vec!["data/[pattern_share_pct=33]/mre/Random".to_owned()],
+                vec!["data/[pattern_share_pct=90]/mre/Random".to_owned()],
+                1.0,
+            ));
+        }
+        "fig8h" => {
+            let budgets = [5.0, 10.0, 20.0, 30.0, 40.0];
+            for w in budgets.windows(2) {
+                c.push(less(
+                    &format!("fig8h-monotone-{}-{}", w[0], w[1]),
+                    &format!("MRE at ε_tot={} ≤ 1.05 × MRE at ε_tot={}", w[1], w[0]),
+                    vec![format!("data/[eps_total={}]/mre/Random", w[1])],
+                    vec![format!("data/[eps_total={}]/mre/Random", w[0])],
+                    1.05,
+                ));
+            }
+            c.push(less(
+                "fig8h-endpoints",
+                "MRE at ε_tot=40 is strictly below ε_tot=5",
+                vec!["data/[eps_total=40]/mre/Random".to_owned()],
+                vec!["data/[eps_total=5]/mre/Random".to_owned()],
+                1.0,
+            ));
+        }
+        "fig9" => {
+            if let Ok(Value::Object(fields)) = select(&data, "data/weekday_totals") {
+                for (ds, _) in fields {
+                    let day = |i: usize| format!("data/weekday_totals/{ds}/#{i}");
+                    c.push(less(
+                        &format!("fig9-{ds}-weekday-below-weekend"),
+                        &format!("{ds}: mean weekday consumption below mean weekend"),
+                        (0..5).map(day).collect(),
+                        (5..7).map(day).collect(),
+                        1.0,
+                    ));
+                }
+            }
+        }
+        "ldp_gap" => {
+            for eps in ["10", "30", "100"] {
+                c.push(less(
+                    &format!("ldp-gap-stpt-beats-ldp-eps{eps}"),
+                    &format!("ε={eps}: central STPT beats the LDP baseline"),
+                    vec![format!("data/[epsilon={eps}]/stpt_mre")],
+                    vec![format!("data/[epsilon={eps}]/ldp_mre")],
+                    1.0,
+                ));
+            }
+            c.push(less(
+                "ldp-gap-shrinks-with-budget",
+                "the LDP-vs-central gap shrinks as ε grows",
+                vec!["data/[epsilon=100]/gap".to_owned()],
+                vec!["data/[epsilon=10]/gap".to_owned()],
+                1.0,
+            ));
+        }
+        "ablate" => {
+            for dist in ["Uniform", "Normal", "LA"] {
+                let base = format!("distribution={dist}&depth=3&k=16");
+                c.push(less(
+                    &format!("ablate-{dist}-locality-helps"),
+                    &format!("{dist}: 2-house blocks beat a global (non-local) tree"),
+                    vec![format!(
+                        "data/[{base}&block=2&t_block=adaptive&allocation=Optimal]/random"
+                    )],
+                    vec![format!(
+                        "data/[{base}&block=global&t_block=0&allocation=Optimal]/random"
+                    )],
+                    1.0,
+                ));
+            }
+        }
+        _ => {}
+    }
+    c
+}
+
+// -- telemetry invariants ---------------------------------------------------
+
+fn telemetry_checks(run: &RunDoc) -> Vec<Check> {
+    let Some(t) = run.telemetry.as_ref() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+
+    if run.ledger_consistent().is_some() {
+        out.push(Check {
+            id: "ledger".to_owned(),
+            note: "budget audit ledger replays consistently".to_owned(),
+            scale_bound: false,
+            kind: CheckKind::LedgerConsistent,
+        });
+    }
+
+    if let Ok(Value::Array(counters)) = select(t, "counters") {
+        for counter in counters {
+            let Some(fields) = counter.as_object() else {
+                continue;
+            };
+            let name = fields
+                .iter()
+                .find(|(k, _)| k == "name")
+                .and_then(|(_, v)| v.as_str());
+            let value = fields
+                .iter()
+                .find(|(k, _)| k == "value")
+                .and_then(|(_, v)| v.as_f64());
+            if let (Some(name), Some(value)) = (name, value) {
+                out.push(Check {
+                    id: format!("counter:{name}"),
+                    note: format!("deterministic event count `{name}`"),
+                    scale_bound: true,
+                    kind: CheckKind::Counter {
+                        counter: name.to_owned(),
+                        expect: value as u64,
+                    },
+                });
+            }
+        }
+    }
+
+    // Phase-profile invariants: pin each top-level phase's share of its
+    // parent when the parent is long enough for the ratio to be stable.
+    if let Ok(Value::Array(spans)) = select(t, "spans") {
+        let total_of = |p: &str| run.span_total_ms(p).unwrap_or(0.0);
+        for span in spans {
+            let Some(path) = span
+                .as_object()
+                .and_then(|f| f.iter().find(|(k, _)| k == "path"))
+                .and_then(|(_, v)| v.as_str())
+            else {
+                continue;
+            };
+            let Some((parent, _)) = path.rsplit_once('/') else {
+                continue; // roots have no parent
+            };
+            if parent.contains('/') {
+                continue; // pin only first-level phases
+            }
+            let (child_ms, parent_ms) = (total_of(path), total_of(parent));
+            if parent_ms < 50.0 {
+                continue;
+            }
+            let share = child_ms / parent_ms;
+            if share < 0.02 {
+                continue;
+            }
+            out.push(Check {
+                id: format!("share:{path}"),
+                note: format!("`{path}` keeps its share of `{parent}` wall time"),
+                scale_bound: true,
+                kind: CheckKind::SpanShare {
+                    span: path.to_owned(),
+                    parent: parent.to_owned(),
+                    share,
+                },
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    fn run_doc() -> RunDoc {
+        // xtask-allow(XT04): test fixture parse of a literal document
+        let data: Value = serde_json::from_str(
+            r#"{ "mre": { "STPT": { "mean": 5.0, "std": 0.2, "min": 4.8, "max": 5.2, "n": 3 },
+                          "WPO": 60.0 } }"#,
+        )
+        .unwrap();
+        // xtask-allow(XT04): test fixture parse of a literal document
+        let telemetry: Value = serde_json::from_str(
+            r#"{ "counters": [ { "name": "dp.noise_draws.laplace", "value": 42 } ],
+                 "spans": [ { "path": "stpt", "count": 1, "total_ms": 100.0 },
+                            { "path": "stpt/pattern", "count": 1, "total_ms": 40.0 } ],
+                 "ledger": { "check": { "consistent": true } } }"#,
+        )
+        .unwrap();
+        RunDoc {
+            name: "unit".to_owned(),
+            env: EnvScale {
+                reps: 3,
+                queries: 300,
+                grid: 32,
+                hours: 220,
+                t_train: 100,
+            },
+            data,
+            telemetry: Some(telemetry),
+        }
+    }
+
+    #[test]
+    fn build_generates_bands_and_telemetry_checks_that_self_pass() {
+        let run = run_doc();
+        let (doc, warnings) = match build(&run) {
+            Ok(x) => x,
+            // xtask-allow(XT04): test assertion
+            Err(e) => panic!("build failed: {e}"),
+        };
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let ids: Vec<&str> = doc.checks.iter().map(|c| c.id.as_str()).collect();
+        assert!(ids.contains(&"band:data/mre/STPT"), "{ids:?}");
+        assert!(ids.contains(&"band:data/mre/WPO"), "{ids:?}");
+        assert!(ids.contains(&"ledger"), "{ids:?}");
+        assert!(ids.contains(&"counter:dp.noise_draws.laplace"), "{ids:?}");
+        assert!(ids.contains(&"share:stpt/pattern"), "{ids:?}");
+
+        let ctx = EvalCtx {
+            env_matches: true,
+            require_telemetry: false,
+        };
+        for c in &doc.checks {
+            assert_eq!(c.evaluate(&run, ctx), Outcome::Pass, "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn checks_round_trip_through_json() {
+        let run = run_doc();
+        let (doc, _) = match build(&run) {
+            Ok(x) => x,
+            // xtask-allow(XT04): test assertion
+            Err(e) => panic!("build failed: {e}"),
+        };
+        let text = doc.to_json();
+        let back = match BaselineDoc::from_json(&text) {
+            Ok(b) => b,
+            // xtask-allow(XT04): test assertion
+            Err(e) => panic!("round trip failed: {e}\n{text}"),
+        };
+        assert_eq!(back.name, doc.name);
+        assert_eq!(back.env, doc.env);
+        assert_eq!(back.checks, doc.checks);
+    }
+
+    #[test]
+    fn evaluation_reports_deltas_and_skips() {
+        let run = run_doc();
+        let band = Check {
+            id: "band:data/mre/WPO".to_owned(),
+            note: "band".to_owned(),
+            scale_bound: true,
+            kind: CheckKind::Band {
+                selector: "data/mre/WPO".to_owned(),
+                expect: 50.0,
+                tol: 5.0,
+            },
+        };
+        let ctx = EvalCtx {
+            env_matches: true,
+            require_telemetry: false,
+        };
+        match band.evaluate(&run, ctx) {
+            Outcome::Fail {
+                observed, delta, ..
+            } => {
+                assert_eq!(observed, "60");
+                assert!(delta.starts_with("+10"), "{delta}");
+            }
+            // xtask-allow(XT04): test assertion
+            other => panic!("expected Fail, got {other:?}"),
+        }
+
+        let skewed = EvalCtx {
+            env_matches: false,
+            require_telemetry: false,
+        };
+        assert!(matches!(band.evaluate(&run, skewed), Outcome::Skip { .. }));
+
+        let claim = less(
+            "stpt-beats-wpo",
+            "ordering",
+            vec!["data/mre/STPT".to_owned()],
+            vec!["data/mre/WPO".to_owned()],
+            0.1,
+        );
+        assert_eq!(claim.evaluate(&run, ctx), Outcome::Pass);
+
+        let mut bare = run.clone();
+        bare.telemetry = None;
+        let counter = Check {
+            id: "counter:x".to_owned(),
+            note: "counter".to_owned(),
+            scale_bound: true,
+            kind: CheckKind::Counter {
+                counter: "x".to_owned(),
+                expect: 1,
+            },
+        };
+        assert!(matches!(counter.evaluate(&bare, ctx), Outcome::Skip { .. }));
+        let strict = EvalCtx {
+            env_matches: true,
+            require_telemetry: true,
+        };
+        assert!(matches!(
+            counter.evaluate(&bare, strict),
+            Outcome::Fail { .. }
+        ));
+    }
+}

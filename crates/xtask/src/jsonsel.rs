@@ -1,0 +1,133 @@
+//! Tiny JSON selector language for baseline checks.
+//!
+//! A selector is a `/`-separated path into a [`serde::Value`] tree. Each
+//! segment is one of:
+//!
+//! * `name` — object field lookup;
+//! * `#3` — array index;
+//! * `[key=value&key2=value2]` — first array element (an object) whose
+//!   fields match every `key=value` pair. Values compare as strings for
+//!   string fields and as numbers (within 1e-9 relative) for numeric
+//!   fields, so `[k=8]` matches both `"k": 8` and `"k": 8.0`.
+//!
+//! Example from the fig6 baseline:
+//! `data/[dataset=CER&class=Random]/mre/STPT/Uniform/mean`.
+//!
+//! Selectors are stored in `baselines/*.json` and resolved against the
+//! result envelopes by `cargo xtask regress`; a miss is an error carrying
+//! the failing segment so the report can say *where* the document changed
+//! shape.
+
+use serde::Value;
+
+/// Resolve `selector` against `root`, or explain which segment failed.
+pub fn select<'a>(root: &'a Value, selector: &str) -> Result<&'a Value, String> {
+    let mut cur = root;
+    for seg in selector.split('/').filter(|s| !s.is_empty()) {
+        cur = step(cur, seg).map_err(|e| format!("`{selector}` at segment `{seg}`: {e}"))?;
+    }
+    Ok(cur)
+}
+
+fn step<'a>(cur: &'a Value, seg: &str) -> Result<&'a Value, String> {
+    if let Some(idx) = seg.strip_prefix('#') {
+        let items = cur.as_array().ok_or("expected an array for `#` index")?;
+        let i: usize = idx.parse().map_err(|_| format!("bad index `{idx}`"))?;
+        return items
+            .get(i)
+            .ok_or_else(|| format!("index {i} out of range ({} elements)", items.len()));
+    }
+    if let Some(body) = seg.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let items = cur
+            .as_array()
+            .ok_or("expected an array for `[...]` match")?;
+        let pairs: Vec<(&str, &str)> = body
+            .split('&')
+            .map(|kv| {
+                kv.split_once('=')
+                    .ok_or_else(|| format!("bad match `{kv}`"))
+            })
+            .collect::<Result<_, _>>()?;
+        return items
+            .iter()
+            .find(|item| pairs.iter().all(|&(k, v)| field_matches(item, k, v)))
+            .ok_or_else(|| format!("no element matches [{body}]"));
+    }
+    match cur {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == seg)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{seg}`")),
+        _ => Err("expected an object".to_owned()),
+    }
+}
+
+fn field_matches(item: &Value, key: &str, want: &str) -> bool {
+    let Some(fields) = item.as_object() else {
+        return false;
+    };
+    let Some((_, v)) = fields.iter().find(|(k, _)| k == key) else {
+        return false;
+    };
+    match v {
+        Value::String(s) => s == want,
+        Value::Number(n) => want
+            .parse::<f64>()
+            .is_ok_and(|w| (n - w).abs() <= 1e-9 * n.abs().max(1.0)),
+        Value::Bool(b) => want.parse::<bool>().is_ok_and(|w| w == *b),
+        _ => false,
+    }
+}
+
+/// Extract the scalar a check compares: a bare number, or the `mean` of a
+/// spread object (`{ "mean": …, "std": …, … }`).
+pub fn scalar_of(v: &Value) -> Result<f64, String> {
+    match v {
+        Value::Number(n) => Ok(*n),
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "mean")
+            .and_then(|(_, m)| m.as_f64())
+            .ok_or_else(|| "object has no numeric `mean` field".to_owned()),
+        Value::Null => Err("value is null".to_owned()),
+        _ => Err("value is not numeric".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Value {
+        // xtask-allow(XT04): test fixture parse of a literal document
+        serde_json::from_str(
+            r#"{ "data": [ { "k": 8, "mre": { "Random": 4.5 } },
+                           { "k": 40, "mre": { "Random": 5.1 } } ],
+                 "spread": { "mean": 2.5, "std": 0.1 } }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn selects_fields_indices_and_matches() {
+        let d = doc();
+        let v = select(&d, "data/#1/k").and_then(scalar_of);
+        assert_eq!(v, Ok(40.0));
+        let v = select(&d, "data/[k=8]/mre/Random").and_then(scalar_of);
+        assert_eq!(v, Ok(4.5));
+        let v = select(&d, "spread").and_then(scalar_of);
+        assert_eq!(v, Ok(2.5));
+    }
+
+    #[test]
+    fn misses_carry_the_failing_segment() {
+        let d = doc();
+        let err = select(&d, "data/[k=9]/mre").err().unwrap_or_default();
+        assert!(err.contains("[k=9]"), "{err}");
+        let err = select(&d, "data/#5").err().unwrap_or_default();
+        assert!(err.contains("out of range"), "{err}");
+        let err = select(&d, "nope").err().unwrap_or_default();
+        assert!(err.contains("missing field"), "{err}");
+    }
+}

@@ -1,7 +1,15 @@
 //! Workspace tooling for the STPT reproduction.
 //!
-//! The one subcommand that matters is `cargo xtask lint`: a dependency-free
-//! static-analysis pass enforcing the DP-soundness invariants that rustc
+//! Three subcommands:
+//!
+//! * `cargo xtask lint` — DP-soundness static analysis (below);
+//! * `cargo xtask baseline` — regenerate `baselines/*.json` from the
+//!   result envelopes in `results/` ([`baseline`]);
+//! * `cargo xtask regress` — gate `results/` against the committed
+//!   baselines ([`regress`]), failing on accuracy drift, broken ordering
+//!   claims, changed noise-draw counts, or an inconsistent budget ledger.
+//!
+//! The lint pass enforces the DP-soundness invariants that rustc
 //! and clippy cannot see:
 //!
 //! | rule | name           | invariant |
@@ -18,7 +26,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod jsonsel;
 pub mod lexer;
+pub mod regress;
+pub mod report;
+pub mod results;
 pub mod rules;
 pub mod scan;
 

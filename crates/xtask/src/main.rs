@@ -1,22 +1,39 @@
 //! `cargo xtask` — workspace tooling entry point.
 //!
-//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+//! Exit codes: 0 = clean, 1 = violations/regressions found, 2 = usage or
+//! I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::baseline;
+use xtask::regress::{evaluate_workspace, RegressOpts};
+use xtask::report;
+use xtask::results::load_run;
 use xtask::scan::{lint_workspace, render_human, render_json};
 
 const USAGE: &str = "\
-usage: cargo xtask lint [--json] [ROOT]
+usage: cargo xtask <lint|baseline|regress> [options] [ROOT]
 
-Run the DP-soundness static-analysis pass (rules XT01..XT06) over every
-.rs file in the workspace (vendor/ and test fixtures excluded).
+  lint [--json]
+      Run the DP-soundness static-analysis pass (rules XT01..XT06) over
+      every .rs file in the workspace (vendor/ and test fixtures excluded).
 
-  --json   emit machine-readable diagnostics on stdout
-  ROOT     workspace root to scan (defaults to this workspace)
+  baseline
+      Regenerate baselines/*.json from the result envelopes in results/.
+      Run after `./run_experiments.sh`; commit the output. Ordering claims
+      that do not hold in the measured data are dropped with a warning.
+
+  regress [--json] [--require-telemetry]
+      Check results/ (+ results/telemetry/) against the committed
+      baselines. Scale-bound checks are skipped when a run's env differs
+      from its baseline's; --require-telemetry turns missing-telemetry
+      skips into failures. Non-zero exit iff a check fails.
+
+  --json   emit machine-readable output on stdout
+  ROOT     workspace root (defaults to this workspace)
 ";
 
 fn main() -> ExitCode {
@@ -62,6 +79,67 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("baseline") => {
+            let mut root: Option<PathBuf> = None;
+            for arg in it {
+                match arg {
+                    "--help" | "-h" => {
+                        print!("{USAGE}");
+                        return ExitCode::SUCCESS;
+                    }
+                    other if !other.starts_with('-') && root.is_none() => {
+                        root = Some(PathBuf::from(other));
+                    }
+                    other => {
+                        eprintln!("xtask: unknown argument `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(default_workspace_root);
+            run_baseline(&root)
+        }
+        Some("regress") => {
+            let mut json = false;
+            let mut opts = RegressOpts::default();
+            let mut root: Option<PathBuf> = None;
+            for arg in it {
+                match arg {
+                    "--json" => json = true,
+                    "--require-telemetry" => opts.require_telemetry = true,
+                    "--help" | "-h" => {
+                        print!("{USAGE}");
+                        return ExitCode::SUCCESS;
+                    }
+                    other if !other.starts_with('-') && root.is_none() => {
+                        root = Some(PathBuf::from(other));
+                    }
+                    other => {
+                        eprintln!("xtask: unknown argument `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(default_workspace_root);
+            match evaluate_workspace(&root, opts) {
+                Ok(results) => {
+                    if json {
+                        print!("{}", report::render_json(&results));
+                    } else {
+                        print!("{}", report::render_human(&results));
+                    }
+                    if report::totals(&results).failed == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("xtask: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -70,6 +148,72 @@ fn main() -> ExitCode {
             eprintln!("xtask: unknown subcommand `{other}`\n{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Regenerate every baseline a result envelope exists for.
+fn run_baseline(root: &std::path::Path) -> ExitCode {
+    let results_dir = root.join("results");
+    let baselines_dir = root.join("baselines");
+    if let Err(e) = std::fs::create_dir_all(&baselines_dir) {
+        eprintln!("xtask: could not create {}: {e}", baselines_dir.display());
+        return ExitCode::from(2);
+    }
+
+    let mut errors = 0usize;
+    let mut written = 0usize;
+    for name in baseline::EXPERIMENTS {
+        if !results_dir.join(format!("{name}.json")).exists() {
+            println!("baseline: {name}: no result file, skipped");
+            continue;
+        }
+        let run = match load_run(&results_dir, name) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("baseline: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        match baseline::build(&run) {
+            Ok((doc, warnings)) => {
+                for w in &warnings {
+                    eprintln!("baseline: warning: {w}");
+                }
+                let path = baselines_dir.join(format!("{name}.json"));
+                match std::fs::write(&path, doc.to_json()) {
+                    Ok(()) => {
+                        println!(
+                            "baseline: wrote {} ({} checks, {} claims dropped)",
+                            path.display(),
+                            doc.checks.len(),
+                            warnings.len()
+                        );
+                        written += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("baseline: could not write {}: {e}", path.display());
+                        errors += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("baseline: {name}: {e}");
+                errors += 1;
+            }
+        }
+    }
+    println!("baseline: {written} written, {errors} errors");
+    if errors > 0 {
+        ExitCode::from(2)
+    } else if written == 0 {
+        eprintln!(
+            "baseline: no result envelopes found under {}",
+            results_dir.display()
+        );
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -1,0 +1,237 @@
+//! Shared pass/fail reporting for `cargo xtask baseline` and
+//! `cargo xtask regress`.
+//!
+//! Both subcommands evaluate [`crate::baseline::Check`]s and need the same
+//! two renderings: a human summary (failures and skips spelled out with
+//! observed-vs-expected deltas, passes counted) and a `--json` document for
+//! CI. Keeping it in one module guarantees the two commands never drift in
+//! how they describe a check.
+
+use std::fmt::Write as _;
+
+/// The verdict for one evaluated check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The check held.
+    Pass,
+    /// The check did not hold; both sides and their delta, pre-rendered.
+    Fail {
+        /// What the run produced.
+        observed: String,
+        /// What the baseline demands.
+        expected: String,
+        /// Observed-vs-expected distance (units depend on the check kind).
+        delta: String,
+    },
+    /// The check could not be evaluated and was not counted either way.
+    Skip {
+        /// Why (scale mismatch, missing telemetry, missing result file…).
+        reason: String,
+    },
+}
+
+/// One evaluated check, attributed to its baseline document.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Baseline name (`fig6`, `table2`, …).
+    pub baseline: String,
+    /// Stable check id within the baseline.
+    pub id: String,
+    /// What the check asserts, for human output.
+    pub note: String,
+    /// The verdict.
+    pub outcome: Outcome,
+}
+
+/// Aggregate counts over a report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Checks that held.
+    pub passed: usize,
+    /// Checks that failed.
+    pub failed: usize,
+    /// Checks that could not be evaluated.
+    pub skipped: usize,
+}
+
+/// Count outcomes.
+pub fn totals(results: &[CheckResult]) -> Totals {
+    let mut t = Totals::default();
+    for r in results {
+        match r.outcome {
+            Outcome::Pass => t.passed += 1,
+            Outcome::Fail { .. } => t.failed += 1,
+            Outcome::Skip { .. } => t.skipped += 1,
+        }
+    }
+    t
+}
+
+/// Human rendering: per-baseline groups; failures and skips are spelled
+/// out, passes are one count line per baseline.
+pub fn render_human(results: &[CheckResult]) -> String {
+    let mut out = String::new();
+    let mut names: Vec<&str> = results.iter().map(|r| r.baseline.as_str()).collect();
+    names.dedup();
+
+    for name in names {
+        let group: Vec<&CheckResult> = results.iter().filter(|r| r.baseline == name).collect();
+        let t = totals_ref(&group);
+        let _ = writeln!(
+            out,
+            "{name}: {} passed, {} failed, {} skipped",
+            t.passed, t.failed, t.skipped
+        );
+        for r in group {
+            match &r.outcome {
+                Outcome::Pass => {}
+                Outcome::Fail {
+                    observed,
+                    expected,
+                    delta,
+                } => {
+                    let _ = writeln!(out, "  FAIL {}: {}", r.id, r.note);
+                    let _ = writeln!(
+                        out,
+                        "       observed {observed}, expected {expected} (delta {delta})"
+                    );
+                }
+                Outcome::Skip { reason } => {
+                    let _ = writeln!(out, "  skip {}: {reason}", r.id);
+                }
+            }
+        }
+    }
+
+    let t = totals(results);
+    let verdict = if t.failed == 0 { "OK" } else { "FAILED" };
+    let _ = writeln!(
+        out,
+        "regress: {verdict} — {} passed, {} failed, {} skipped",
+        t.passed, t.failed, t.skipped
+    );
+    out
+}
+
+fn totals_ref(results: &[&CheckResult]) -> Totals {
+    let mut t = Totals::default();
+    for r in results {
+        match r.outcome {
+            Outcome::Pass => t.passed += 1,
+            Outcome::Fail { .. } => t.failed += 1,
+            Outcome::Skip { .. } => t.skipped += 1,
+        }
+    }
+    t
+}
+
+/// Machine rendering: one JSON object with totals and every check.
+pub fn render_json(results: &[CheckResult]) -> String {
+    let esc = |s: &str| {
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    };
+    let t = totals(results);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"passed\": {}, \"failed\": {}, \"skipped\": {},",
+        t.passed, t.failed, t.skipped
+    );
+    out.push_str("  \"checks\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (status, detail) = match &r.outcome {
+            Outcome::Pass => ("pass".to_owned(), String::new()),
+            Outcome::Fail {
+                observed,
+                expected,
+                delta,
+            } => (
+                "fail".to_owned(),
+                format!(
+                    ", \"observed\": \"{}\", \"expected\": \"{}\", \"delta\": \"{}\"",
+                    esc(observed),
+                    esc(expected),
+                    esc(delta)
+                ),
+            ),
+            Outcome::Skip { reason } => (
+                "skip".to_owned(),
+                format!(", \"reason\": \"{}\"", esc(reason)),
+            ),
+        };
+        let _ = write!(
+            out,
+            "\n    {{ \"baseline\": \"{}\", \"id\": \"{}\", \"status\": \"{status}\"{detail} }}",
+            esc(&r.baseline),
+            esc(&r.id)
+        );
+    }
+    out.push_str(if results.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<CheckResult> {
+        vec![
+            CheckResult {
+                baseline: "fig6".into(),
+                id: "a".into(),
+                note: "band".into(),
+                outcome: Outcome::Pass,
+            },
+            CheckResult {
+                baseline: "fig6".into(),
+                id: "b".into(),
+                note: "claim".into(),
+                outcome: Outcome::Fail {
+                    observed: "5.1".into(),
+                    expected: "4.7 ± 0.2".into(),
+                    delta: "+0.2".into(),
+                },
+            },
+            CheckResult {
+                baseline: "fig7".into(),
+                id: "c".into(),
+                note: "counter".into(),
+                outcome: Outcome::Skip {
+                    reason: "no telemetry".into(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn totals_and_renderings_cover_all_outcomes() {
+        let results = sample();
+        let t = totals(&results);
+        assert_eq!((t.passed, t.failed, t.skipped), (1, 1, 1));
+
+        let human = render_human(&results);
+        assert!(human.contains("FAIL b"), "{human}");
+        assert!(
+            human.contains("observed 5.1, expected 4.7 ± 0.2"),
+            "{human}"
+        );
+        assert!(human.contains("skip c"), "{human}");
+        assert!(human.contains("regress: FAILED"), "{human}");
+
+        let json = render_json(&results);
+        let value: serde::Value = match serde_json::from_str(&json) {
+            Ok(v) => v,
+            // xtask-allow(XT04): test assertion
+            Err(e) => panic!("report JSON must parse: {e}"),
+        };
+        let checks = crate::jsonsel::select(&value, "checks");
+        assert!(checks.is_ok_and(|c| c.as_array().is_some_and(|a| a.len() == 3)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Loader for the result envelopes written by `stpt_bench::emit_result`.
+//!
+//! Every `results/<name>.json` is expected to be a schema-2 envelope:
+//!
+//! ```json
+//! { "name": "fig6", "schema": 2, "created_unix": 1723…,
+//!   "env": { "reps": 3, "queries": 300, "grid": 32, "hours": 220, "t_train": 100 },
+//!   "data": …, "telemetry": { … } | null }
+//! ```
+//!
+//! Legacy pre-envelope files (a bare array/object) are rejected with a
+//! pointed message — the regression gate must never silently compare
+//! against a document whose provenance it cannot see. A missing inline
+//! telemetry block falls back to the standalone
+//! `results/telemetry/<name>.json` document when present.
+
+use std::path::Path;
+
+use serde::Value;
+
+/// Experiment scale knobs, as recorded in the envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvScale {
+    /// Repetitions averaged per configuration (`STPT_REPS`).
+    pub reps: u64,
+    /// Queries per workload class (`STPT_QUERIES`).
+    pub queries: u64,
+    /// Grid side (`STPT_GRID`).
+    pub grid: u64,
+    /// Series length (`STPT_HOURS`).
+    pub hours: u64,
+    /// Training prefix (`STPT_TRAIN`).
+    pub t_train: u64,
+}
+
+impl EnvScale {
+    /// Compact `reps=3 queries=300 …` rendering for reports.
+    pub fn render(&self) -> String {
+        format!(
+            "reps={} queries={} grid={} hours={} t_train={}",
+            self.reps, self.queries, self.grid, self.hours, self.t_train
+        )
+    }
+
+    /// Parse from the envelope's `env` object.
+    pub fn from_value(v: &Value) -> Result<EnvScale, String> {
+        let get = |k: &str| -> Result<u64, String> {
+            crate::jsonsel::select(v, k)
+                .and_then(crate::jsonsel::scalar_of)
+                .map(|f| f as u64)
+        };
+        Ok(EnvScale {
+            reps: get("reps")?,
+            queries: get("queries")?,
+            grid: get("grid")?,
+            hours: get("hours")?,
+            t_train: get("t_train")?,
+        })
+    }
+
+    /// Serialise back into a JSON object.
+    pub fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("reps".to_owned(), Value::Number(self.reps as f64)),
+            ("queries".to_owned(), Value::Number(self.queries as f64)),
+            ("grid".to_owned(), Value::Number(self.grid as f64)),
+            ("hours".to_owned(), Value::Number(self.hours as f64)),
+            ("t_train".to_owned(), Value::Number(self.t_train as f64)),
+        ])
+    }
+}
+
+/// One loaded result envelope.
+#[derive(Debug, Clone)]
+pub struct RunDoc {
+    /// Run label (`fig6`, `table2`, …).
+    pub name: String,
+    /// Experiment scale the run was produced at.
+    pub env: EnvScale,
+    /// The experiment payload.
+    pub data: Value,
+    /// Telemetry snapshot: inline from the envelope, else the standalone
+    /// `results/telemetry/<name>.json`, else `None`.
+    pub telemetry: Option<Value>,
+}
+
+impl RunDoc {
+    /// Look up a counter value in the telemetry snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let t = self.telemetry.as_ref()?;
+        let counters = crate::jsonsel::select(t, "counters").ok()?.as_array()?;
+        counters
+            .iter()
+            .find_map(|c| {
+                let fields = c.as_object()?;
+                let n = fields.iter().find(|(k, _)| k == "name")?.1.as_str()?;
+                if n != name {
+                    return None;
+                }
+                fields.iter().find(|(k, _)| k == "value")?.1.as_f64()
+            })
+            .map(|v| v as u64)
+    }
+
+    /// Total wall-clock milliseconds recorded under a span path.
+    pub fn span_total_ms(&self, path: &str) -> Option<f64> {
+        let t = self.telemetry.as_ref()?;
+        let spans = crate::jsonsel::select(t, "spans").ok()?.as_array()?;
+        spans.iter().find_map(|s| {
+            let fields = s.as_object()?;
+            let p = fields.iter().find(|(k, _)| k == "path")?.1.as_str()?;
+            if p != path {
+                return None;
+            }
+            fields.iter().find(|(k, _)| k == "total_ms")?.1.as_f64()
+        })
+    }
+
+    /// The ledger's `consistent` verdict, if a ledger was exported.
+    pub fn ledger_consistent(&self) -> Option<bool> {
+        let t = self.telemetry.as_ref()?;
+        match crate::jsonsel::select(t, "ledger/check/consistent").ok()? {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Load and validate the envelope for `name` from `results_dir`.
+pub fn load_run(results_dir: &Path, name: &str) -> Result<RunDoc, String> {
+    let path = results_dir.join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    let value: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("could not parse {}: {e}", path.display()))?;
+
+    let Some(fields) = value.as_object() else {
+        return Err(format!(
+            "{}: legacy pre-envelope result (top level is not an object) — \
+             regenerate with `./run_experiments.sh`",
+            path.display()
+        ));
+    };
+    let field = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    let schema = field("schema").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+    if schema < 2 {
+        return Err(format!(
+            "{}: envelope schema {schema} predates the regression gate — \
+             regenerate with `./run_experiments.sh`",
+            path.display()
+        ));
+    }
+    let env = field("env")
+        .ok_or_else(|| format!("{}: envelope has no `env`", path.display()))
+        .and_then(|v| EnvScale::from_value(v).map_err(|e| format!("{}: {e}", path.display())))?;
+    let data = field("data")
+        .cloned()
+        .ok_or_else(|| format!("{}: envelope has no `data`", path.display()))?;
+
+    let telemetry = match field("telemetry") {
+        Some(Value::Null) | None => load_standalone_telemetry(results_dir, name),
+        Some(t) => Some(t.clone()),
+    };
+
+    Ok(RunDoc {
+        name: name.to_owned(),
+        env,
+        data,
+        telemetry,
+    })
+}
+
+fn load_standalone_telemetry(results_dir: &Path, name: &str) -> Option<Value> {
+    let path = results_dir.join("telemetry").join(format!("{name}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, name: &str, body: &str) {
+        // xtask-allow(XT04): test helper, I/O failure should abort the test
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(dir.join(name), body).unwrap();
+    }
+
+    #[test]
+    fn loads_schema2_envelopes_and_rejects_legacy() {
+        let dir = std::env::temp_dir().join("xtask_results_loader_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write(
+            &dir,
+            "good.json",
+            r#"{ "name": "good", "schema": 2, "created_unix": 1,
+                 "env": { "reps": 3, "queries": 300, "grid": 32, "hours": 220, "t_train": 100 },
+                 "data": [1.0, 2.0],
+                 "telemetry": { "counters": [ { "name": "c", "value": 7 } ],
+                                "spans": [ { "path": "stpt", "count": 1, "total_ms": 10.0 } ],
+                                "ledger": { "check": { "consistent": true } } } }"#,
+        );
+        write(&dir, "legacy.json", r#"[ { "dataset": "CER" } ]"#);
+
+        let run = load_run(&dir, "good");
+        let run = match run {
+            Ok(r) => r,
+            Err(e) => {
+                // xtask-allow(XT04): test assertion
+                panic!("good envelope should load: {e}")
+            }
+        };
+        assert_eq!(run.env.reps, 3);
+        assert_eq!(run.counter("c"), Some(7));
+        assert_eq!(run.counter("missing"), None);
+        assert_eq!(run.span_total_ms("stpt"), Some(10.0));
+        assert_eq!(run.ledger_consistent(), Some(true));
+
+        let err = load_run(&dir, "legacy").err().unwrap_or_default();
+        assert!(err.contains("legacy"), "{err}");
+        let err = load_run(&dir, "absent").err().unwrap_or_default();
+        assert!(err.contains("could not read"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

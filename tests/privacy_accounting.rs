@@ -101,6 +101,10 @@ fn pattern_phase_rejects_overdraft_midway() {
 /// bit-for-bit, and the replayed total matches ε_tot.
 #[test]
 fn ledger_telescopes_to_configured_epsilon_at_two_splits() {
+    // The pipeline publishes its ledger into the global obs registry as a
+    // side effect of the audit; start from a clean slate so this test never
+    // observes (or leaks) state from neighbouring tests.
+    stpt_suite::obs::reset_for_tests();
     let mut rng = rand::rngs::StdRng::seed_from_u64(41);
     let mut spec = DatasetSpec::CER;
     spec.households = 200;
@@ -142,6 +146,9 @@ fn ledger_telescopes_to_configured_epsilon_at_two_splits() {
 /// with `AuditFailed` rather than letting an inconsistent release through.
 #[test]
 fn overspent_or_mismatched_accountant_fails_closed() {
+    // Audits publish to the global obs ledger registry; reset first (see
+    // `ledger_telescopes_to_configured_epsilon_at_two_splits`).
+    stpt_suite::obs::reset_for_tests();
     let mut acc = BudgetAccountant::new(Epsilon::new(3.0));
     acc.spend_sequential_with("phase-a", Epsilon::new(1.0), SpendInfo::laplace(1.0))
         .unwrap();

@@ -120,6 +120,20 @@ pub fn get_field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<&'a Va
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+// `Value` round-trips through itself, as in the real crate — callers can
+// (de)serialise arbitrary JSON without a typed schema.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
