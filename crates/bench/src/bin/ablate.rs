@@ -3,6 +3,7 @@
 //! distributions. Used to pick the library defaults; complements the
 //! Figure 8 sweeps.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use stpt_bench::*;
 use stpt_core::BudgetAllocation;
@@ -43,41 +44,65 @@ fn main() {
     );
     stpt_obs::report!("|---|---|---|---|---|---|---|---|---|");
 
-    let mut points = Vec::new();
-    for dist in [
+    let dists = [
         SpatialDistribution::Uniform,
         SpatialDistribution::Normal,
         SpatialDistribution::LaLike,
-    ] {
-        for (depth, k, block, t_block, alloc) in [
-            (
-                3usize,
-                16usize,
-                None,
-                Some(0usize),
-                BudgetAllocation::Optimal,
-            ),
-            (3, 16, Some(4usize), Some(14), BudgetAllocation::Optimal),
-            (3, 16, Some(2), Some(7), BudgetAllocation::Optimal),
-            (3, 16, Some(8), None, BudgetAllocation::Optimal),
-            (3, 16, Some(4), None, BudgetAllocation::Optimal),
-            (3, 16, Some(2), None, BudgetAllocation::Optimal),
-            (3, 32, Some(4), None, BudgetAllocation::Optimal),
-            (3, 8, Some(4), None, BudgetAllocation::Optimal),
-            (3, 16, Some(4), None, BudgetAllocation::Uniform),
-        ] {
+    ];
+    let configs = [
+        (
+            3usize,
+            16usize,
+            None,
+            Some(0usize),
+            BudgetAllocation::Optimal,
+        ),
+        (3, 16, Some(4usize), Some(14), BudgetAllocation::Optimal),
+        (3, 16, Some(2), Some(7), BudgetAllocation::Optimal),
+        (3, 16, Some(8), None, BudgetAllocation::Optimal),
+        (3, 16, Some(4), None, BudgetAllocation::Optimal),
+        (3, 16, Some(2), None, BudgetAllocation::Optimal),
+        (3, 32, Some(4), None, BudgetAllocation::Optimal),
+        (3, 8, Some(4), None, BudgetAllocation::Optimal),
+        (3, 16, Some(4), None, BudgetAllocation::Uniform),
+    ];
+
+    // Flatten (dist, config, rep) jobs; the ordered collect keeps the rep
+    // sums below reducing in the old sequential order (bit-identical at
+    // any STPT_THREADS).
+    let jobs: Vec<(usize, usize, u64)> = (0..dists.len())
+        .flat_map(|di| {
+            (0..configs.len()).flat_map(move |ci| (0..env.reps).map(move |rep| (di, ci, rep)))
+        })
+        .collect();
+    let outs: Vec<[f64; 3]> = jobs
+        .into_par_iter()
+        .map(|(di, ci, rep)| {
+            let (depth, k, block, t_block, alloc) = configs[ci];
+            let inst = make_instance(&env, spec, dists[di], rep);
+            let mut cfg = stpt_config(&env, &spec, rep);
+            cfg.depth = depth;
+            cfg.quantization = k;
+            cfg.partition_block = block;
+            cfg.partition_t_block = t_block;
+            cfg.allocation = alloc;
+            let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
+            let mut mres = [0.0; 3];
+            for (i, class) in QueryClass::ALL.iter().enumerate() {
+                mres[i] = mre_of(&env, &inst, &out.sanitized, *class, rep);
+            }
+            mres
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for (di, &dist) in dists.iter().enumerate() {
+        for (ci, &(depth, k, block, t_block, alloc)) in configs.iter().enumerate() {
             let mut sums = [0.0f64; 3];
-            for rep in 0..env.reps {
-                let inst = make_instance(&env, spec, dist, rep);
-                let mut cfg = stpt_config(&env, &spec, rep);
-                cfg.depth = depth;
-                cfg.quantization = k;
-                cfg.partition_block = block;
-                cfg.partition_t_block = t_block;
-                cfg.allocation = alloc;
-                let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-                for (i, class) in QueryClass::ALL.iter().enumerate() {
-                    sums[i] += mre_of(&env, &inst, &out.sanitized, *class, rep);
+            for rep in 0..env.reps as usize {
+                let mres = outs[(di * configs.len() + ci) * env.reps as usize + rep];
+                for (i, m) in mres.iter().enumerate() {
+                    sums[i] += m;
                 }
             }
             let n = env.reps as f64;

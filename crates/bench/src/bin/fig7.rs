@@ -3,6 +3,7 @@
 //! is event-level, so its user-level accuracy collapses — more than an order
 //! of magnitude worse than STPT.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use stpt_baselines::Identity;
@@ -23,26 +24,40 @@ fn main() {
     stpt_obs::report!("# Figure 7 — WPO vs STPT, LA household distribution (MRE %)");
     stpt_obs::report!("# {} reps, eps_tot = 30\n", env.reps);
 
-    let mut sums: BTreeMap<(String, String), (f64, u32)> = BTreeMap::new();
-    for rep in 0..env.reps {
-        let inst = make_instance(&env, spec, SpatialDistribution::LaLike, rep);
-        let cfg = stpt_config(&env, &spec, rep);
-        let (stpt_out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-        let (wpo_out, _) = run_baseline(wpo().as_ref(), &inst, cfg.eps_total(), rep);
-        let (id_out, _) = run_baseline(&Identity, &inst, cfg.eps_total(), rep);
-        for class in QueryClass::ALL {
-            for (name, matrix) in [
-                ("STPT", &stpt_out.sanitized),
-                ("WPO", &wpo_out),
-                ("Identity", &id_out),
-            ] {
-                let mre = mre_of(&env, &inst, matrix, class, rep);
-                let e = sums
-                    .entry((name.to_string(), class.label().to_string()))
-                    .or_insert((0.0, 0));
-                e.0 += mre;
-                e.1 += 1;
+    // One job per repetition; rows come back in rep order, so the sums
+    // below accumulate in exactly the old sequential loop's order (float
+    // addition is not associative — ordering is what keeps the output
+    // bit-identical at any STPT_THREADS).
+    let per_rep: Vec<Vec<(&'static str, &'static str, f64)>> = (0..env.reps)
+        .into_par_iter()
+        .map(|rep| {
+            let inst = make_instance(&env, spec, SpatialDistribution::LaLike, rep);
+            let cfg = stpt_config(&env, &spec, rep);
+            let (stpt_out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
+            let (wpo_out, _) = run_baseline(wpo().as_ref(), &inst, cfg.eps_total(), rep);
+            let (id_out, _) = run_baseline(&Identity, &inst, cfg.eps_total(), rep);
+            let mut rows = Vec::new();
+            for class in QueryClass::ALL {
+                for (name, matrix) in [
+                    ("STPT", &stpt_out.sanitized),
+                    ("WPO", &wpo_out),
+                    ("Identity", &id_out),
+                ] {
+                    rows.push((name, class.label(), mre_of(&env, &inst, matrix, class, rep)));
+                }
             }
+            rows
+        })
+        .collect();
+
+    let mut sums: BTreeMap<(String, String), (f64, u32)> = BTreeMap::new();
+    for rows in per_rep {
+        for (name, class, mre) in rows {
+            let e = sums
+                .entry((name.to_string(), class.to_string()))
+                .or_insert((0.0, 0));
+            e.0 += mre;
+            e.1 += 1;
         }
     }
 

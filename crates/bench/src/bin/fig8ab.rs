@@ -2,6 +2,7 @@
 //! privacy budget per training datapoint (ε_pattern / T_train), with the
 //! sanitisation budget held fixed.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use stpt_bench::*;
 use stpt_data::{DatasetSpec, SpatialDistribution};
@@ -25,17 +26,31 @@ fn main() {
     stpt_obs::report!("|---|---|---|");
 
     let budgets = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5];
-    let mut points = Vec::new();
-    for &per_point in &budgets {
-        let mut mae_sum = 0.0;
-        let mut rmse_sum = 0.0;
-        for rep in 0..env.reps {
+    // Flatten (budget, rep) into one parallel job list; results come back
+    // in job order, so the rep sums below reduce in the old sequential
+    // order and the output stays bit-identical at any STPT_THREADS.
+    let jobs: Vec<(usize, u64)> = (0..budgets.len())
+        .flat_map(|bi| (0..env.reps).map(move |rep| (bi, rep)))
+        .collect();
+    let outs: Vec<(f64, f64)> = jobs
+        .into_par_iter()
+        .map(|(bi, rep)| {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
-            cfg.eps_pattern = per_point * cfg.t_train as f64;
+            cfg.eps_pattern = budgets[bi] * cfg.t_train as f64;
             let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-            mae_sum += out.pattern_mae;
-            rmse_sum += out.pattern_rmse;
+            (out.pattern_mae, out.pattern_rmse)
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for (bi, &per_point) in budgets.iter().enumerate() {
+        let mut mae_sum = 0.0;
+        let mut rmse_sum = 0.0;
+        for rep in 0..env.reps as usize {
+            let (mae, rmse) = outs[bi * env.reps as usize + rep];
+            mae_sum += mae;
+            rmse_sum += rmse;
         }
         let p = Point {
             budget_per_datapoint: per_point,

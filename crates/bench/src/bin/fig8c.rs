@@ -1,6 +1,7 @@
 //! Figure 8c: effect of the number of quantisation levels `k` on MRE.
 //! Moderate k captures homogeneity; excessive k over-partitions and hurts.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use stpt_bench::*;
@@ -25,17 +26,34 @@ fn main() {
     stpt_obs::report!("|---|---|---|---|");
 
     let ks = [2usize, 4, 8, 12, 16, 24, 32, 40];
-    let mut points = Vec::new();
-    for &k in &ks {
-        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
-        for rep in 0..env.reps {
+    // Flatten (k, rep) jobs; each returns per-class MREs in QueryClass::ALL
+    // order, and the ordered collect keeps the rep sums below reducing in
+    // the old sequential order (bit-identical at any STPT_THREADS).
+    let jobs: Vec<(usize, u64)> = (0..ks.len())
+        .flat_map(|ki| (0..env.reps).map(move |rep| (ki, rep)))
+        .collect();
+    let outs: Vec<[f64; 3]> = jobs
+        .into_par_iter()
+        .map(|(ki, rep)| {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
-            cfg.quantization = k;
+            cfg.quantization = ks[ki];
             let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-            for class in QueryClass::ALL {
-                *sums.entry(class.label().to_string()).or_default() +=
-                    mre_of(&env, &inst, &out.sanitized, class, rep);
+            let mut mres = [0.0; 3];
+            for (i, class) in QueryClass::ALL.iter().enumerate() {
+                mres[i] = mre_of(&env, &inst, &out.sanitized, *class, rep);
+            }
+            mres
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for (ki, &k) in ks.iter().enumerate() {
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        for rep in 0..env.reps as usize {
+            let mres = outs[ki * env.reps as usize + rep];
+            for (i, class) in QueryClass::ALL.iter().enumerate() {
+                *sums.entry(class.label().to_string()).or_default() += mres[i];
             }
         }
         let mre: BTreeMap<String, f64> = sums

@@ -19,6 +19,9 @@ fn main() {
     stpt_obs::report!("{}", row(&["Algorithm".into(), "Seconds".into()]));
     stpt_obs::report!("|---|---|");
 
+    // Deliberately sequential: this bin's loop IS the measurement. Running
+    // the algorithms concurrently would time them under each other's cache
+    // and core contention, which is not the figure's question.
     let inst = make_instance(&env, spec, SpatialDistribution::Uniform, 0);
     let cfg = stpt_config(&env, &spec, 0);
     let mut timings = Vec::new();

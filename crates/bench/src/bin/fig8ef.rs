@@ -2,6 +2,7 @@
 //! depth. Shallow trees miss micro trends; deep trees leave too little
 //! training data per level — medium depth wins.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use stpt_bench::*;
 use stpt_data::{DatasetSpec, SpatialDistribution};
@@ -22,21 +23,36 @@ fn main() {
     stpt_obs::report!("{}", row(&["Depth".into(), "MAE".into(), "RMSE".into()]));
     stpt_obs::report!("|---|---|---|");
 
-    let mut points = Vec::new();
-    for depth in 1..=max_depth {
-        // Each level needs a segment longer than the window.
-        if env.t_train / (depth + 1) <= 6 {
-            break;
-        }
-        let mut mae_sum = 0.0;
-        let mut rmse_sum = 0.0;
-        for rep in 0..env.reps {
+    // Each level needs a segment longer than the window; precomputing the
+    // admissible depth list preserves the old loop's early `break`.
+    let depths: Vec<usize> = (1..=max_depth)
+        .take_while(|&depth| env.t_train / (depth + 1) > 6)
+        .collect();
+    // Flatten (depth, rep) jobs; the ordered collect keeps the rep sums
+    // below reducing in the old sequential order (bit-identical at any
+    // STPT_THREADS).
+    let jobs: Vec<(usize, u64)> = (0..depths.len())
+        .flat_map(|di| (0..env.reps).map(move |rep| (di, rep)))
+        .collect();
+    let outs: Vec<(f64, f64)> = jobs
+        .into_par_iter()
+        .map(|(di, rep)| {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
-            cfg.depth = depth;
+            cfg.depth = depths[di];
             let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-            mae_sum += out.pattern_mae;
-            rmse_sum += out.pattern_rmse;
+            (out.pattern_mae, out.pattern_rmse)
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for (di, &depth) in depths.iter().enumerate() {
+        let mut mae_sum = 0.0;
+        let mut rmse_sum = 0.0;
+        for rep in 0..env.reps as usize {
+            let (mae, rmse) = outs[di * env.reps as usize + rep];
+            mae_sum += mae;
+            rmse_sum += rmse;
         }
         let p = Point {
             depth,

@@ -2,6 +2,7 @@
 //! pattern recognition (ε_tot fixed at 30). Both extremes hurt: too little
 //! budget ruins the pattern, too much starves the sanitisation.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use stpt_bench::*;
@@ -32,18 +33,35 @@ fn main() {
     stpt_obs::report!("|---|---|---|---|");
 
     let shares = [0.1, 0.2, 0.33, 0.5, 0.7, 0.9];
-    let mut points = Vec::new();
-    for &share in &shares {
-        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
-        for rep in 0..env.reps {
+    // Flatten (share, rep) jobs; the ordered collect keeps the rep sums
+    // below reducing in the old sequential order (bit-identical at any
+    // STPT_THREADS).
+    let jobs: Vec<(usize, u64)> = (0..shares.len())
+        .flat_map(|si| (0..env.reps).map(move |rep| (si, rep)))
+        .collect();
+    let outs: Vec<[f64; 3]> = jobs
+        .into_par_iter()
+        .map(|(si, rep)| {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
-            cfg.eps_pattern = eps_tot * share;
-            cfg.eps_sanitize = eps_tot * (1.0 - share);
+            cfg.eps_pattern = eps_tot * shares[si];
+            cfg.eps_sanitize = eps_tot * (1.0 - shares[si]);
             let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-            for class in QueryClass::ALL {
-                *sums.entry(class.label().to_string()).or_default() +=
-                    mre_of(&env, &inst, &out.sanitized, class, rep);
+            let mut mres = [0.0; 3];
+            for (i, class) in QueryClass::ALL.iter().enumerate() {
+                mres[i] = mre_of(&env, &inst, &out.sanitized, *class, rep);
+            }
+            mres
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for (si, &share) in shares.iter().enumerate() {
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        for rep in 0..env.reps as usize {
+            let mres = outs[si * env.reps as usize + rep];
+            for (i, class) in QueryClass::ALL.iter().enumerate() {
+                *sums.entry(class.label().to_string()).or_default() += mres[i];
             }
         }
         let mre: BTreeMap<String, f64> = sums

@@ -2,6 +2,7 @@
 //! All models share the same widths/epochs so the comparison isolates the
 //! architecture (RNN / GRU / LSTM / transformer / attention+GRU).
 
+use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use stpt_bench::*;
@@ -40,19 +41,36 @@ fn main() {
         (ModelKind::Transformer, "Transformer"),
         (ModelKind::AttentionGru, "Attn+GRU"),
     ];
-    let mut points = Vec::new();
-    for (kind, label) in kinds {
-        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
-        let mut mae_sum = 0.0;
-        for rep in 0..env.reps {
+    // Flatten (model, rep) jobs; the ordered collect keeps the rep sums
+    // below reducing in the old sequential order (bit-identical at any
+    // STPT_THREADS).
+    let jobs: Vec<(usize, u64)> = (0..kinds.len())
+        .flat_map(|mi| (0..env.reps).map(move |rep| (mi, rep)))
+        .collect();
+    let outs: Vec<(f64, [f64; 3])> = jobs
+        .into_par_iter()
+        .map(|(mi, rep)| {
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
-            cfg.net.kind = kind;
+            cfg.net.kind = kinds[mi].0;
             let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-            mae_sum += out.pattern_mae;
-            for class in QueryClass::ALL {
-                *sums.entry(class.label().to_string()).or_default() +=
-                    mre_of(&env, &inst, &out.sanitized, class, rep);
+            let mut mres = [0.0; 3];
+            for (i, class) in QueryClass::ALL.iter().enumerate() {
+                mres[i] = mre_of(&env, &inst, &out.sanitized, *class, rep);
+            }
+            (out.pattern_mae, mres)
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for (mi, &(_, label)) in kinds.iter().enumerate() {
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        let mut mae_sum = 0.0;
+        for rep in 0..env.reps as usize {
+            let (mae, mres) = outs[mi * env.reps as usize + rep];
+            mae_sum += mae;
+            for (i, class) in QueryClass::ALL.iter().enumerate() {
+                *sums.entry(class.label().to_string()).or_default() += mres[i];
             }
         }
         let mre: BTreeMap<String, f64> = sums

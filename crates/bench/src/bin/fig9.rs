@@ -2,6 +2,7 @@
 //! generators — the weekly-cycle sanity check of the synthetic digital twins.
 
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use stpt_bench::{emit_result, row, ExperimentEnv};
@@ -34,17 +35,26 @@ fn main() {
     );
     stpt_obs::report!("|---|---|---|---|---|---|---|---|");
 
+    // One job per dataset; results come back in DatasetSpec::ALL order and
+    // are printed after the join so the table is stable at any
+    // STPT_THREADS.
+    let totals_by_spec: Vec<(String, [f64; 7])> = DatasetSpec::ALL
+        .par_iter()
+        .map(|&spec| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+            let ds = Dataset::generate(spec, SpatialDistribution::Uniform, hours, &mut rng);
+            (spec.name.to_string(), ds.weekday_totals())
+        })
+        .collect();
+
     let mut out = Fig9 {
         weekday_totals: BTreeMap::new(),
     };
-    for spec in DatasetSpec::ALL {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-        let ds = Dataset::generate(spec, SpatialDistribution::Uniform, hours, &mut rng);
-        let totals = ds.weekday_totals();
-        let mut cells = vec![spec.name.to_string()];
+    for (name, totals) in totals_by_spec {
+        let mut cells = vec![name.clone()];
         cells.extend(totals.iter().map(|t| format!("{t:.0}")));
         stpt_obs::report!("{}", row(&cells));
-        out.weekday_totals.insert(spec.name.to_string(), totals);
+        out.weekday_totals.insert(name, totals);
     }
     stpt_obs::report!("\n(weekends sit above weekdays — the Figure 9 shape)");
     emit_result("fig9", &env, &out);

@@ -4,6 +4,7 @@
 //! readings and the aggregator is untrusted.
 
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::Serialize;
 use stpt_bench::*;
 use stpt_core::{ldp_release, LdpConfig};
@@ -35,17 +36,23 @@ fn main() {
     );
     stpt_obs::report!("|---|---|---|---|");
 
-    let mut points = Vec::new();
-    for eps in [10.0, 30.0, 100.0] {
-        let mut stpt_sum = 0.0;
-        let mut ldp_sum = 0.0;
-        for rep in 0..env.reps {
+    let epsilons = [10.0, 30.0, 100.0];
+    // Flatten (eps, rep) jobs; the ordered collect keeps the rep sums
+    // below reducing in the old sequential order (bit-identical at any
+    // STPT_THREADS).
+    let jobs: Vec<(usize, u64)> = (0..epsilons.len())
+        .flat_map(|ei| (0..env.reps).map(move |rep| (ei, rep)))
+        .collect();
+    let outs: Vec<(f64, f64)> = jobs
+        .into_par_iter()
+        .map(|(ei, rep)| {
+            let eps = epsilons[ei];
             let inst = make_instance(&env, spec, SpatialDistribution::Uniform, rep);
             let mut cfg = stpt_config(&env, &spec, rep);
             cfg.eps_pattern = eps / 3.0;
             cfg.eps_sanitize = eps * 2.0 / 3.0;
             let (out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-            stpt_sum += mre_of(&env, &inst, &out.sanitized, QueryClass::Random, rep);
+            let stpt_mre = mre_of(&env, &inst, &out.sanitized, QueryClass::Random, rep);
 
             // Rebuild the dataset for the LDP release (it needs per-user
             // series, not the aggregated matrix).
@@ -71,7 +78,19 @@ fn main() {
                 truth.shape(),
                 &mut qrng,
             );
-            ldp_sum += stpt_queries::evaluate_workload(&truth, &ldp, &queries).mre;
+            let ldp_mre = stpt_queries::evaluate_workload(&truth, &ldp, &queries).mre;
+            (stpt_mre, ldp_mre)
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for (ei, &eps) in epsilons.iter().enumerate() {
+        let mut stpt_sum = 0.0;
+        let mut ldp_sum = 0.0;
+        for rep in 0..env.reps as usize {
+            let (s, l) = outs[ei * env.reps as usize + rep];
+            stpt_sum += s;
+            ldp_sum += l;
         }
         let p = Point {
             epsilon: eps,

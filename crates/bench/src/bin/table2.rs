@@ -2,6 +2,7 @@
 //! (households, mean/std/max hourly kWh, clipping factor).
 
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::Serialize;
 use stpt_bench::{emit_result, row, ExperimentEnv};
 use stpt_data::{Dataset, DatasetSpec, SpatialDistribution};
@@ -37,33 +38,40 @@ fn main() {
     );
     stpt_obs::report!("|---|---|---|---|---|---|");
 
-    let mut rows = Vec::new();
-    for spec in DatasetSpec::ALL {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
-        let ds = Dataset::generate(spec, SpatialDistribution::Uniform, hours, &mut rng);
-        let s = ds.stats();
+    // One job per dataset; rows come back in DatasetSpec::ALL order and
+    // are printed after the join so the table is stable at any
+    // STPT_THREADS.
+    let rows: Vec<Row> = DatasetSpec::ALL
+        .par_iter()
+        .map(|&spec| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+            let ds = Dataset::generate(spec, SpatialDistribution::Uniform, hours, &mut rng);
+            let s = ds.stats();
+            Row {
+                dataset: spec.name.to_string(),
+                households: s.households,
+                mean_generated: s.mean,
+                mean_target: spec.mean_hourly,
+                std_generated: s.std,
+                std_target: spec.std_hourly,
+                max_generated: s.max,
+                max_target: spec.max_hourly,
+                clip: spec.clip,
+            }
+        })
+        .collect();
+    for r in &rows {
         stpt_obs::report!(
             "{}",
             row(&[
-                spec.name.to_string(),
-                s.households.to_string(),
-                format!("{:.2} / {:.2}", s.mean, spec.mean_hourly),
-                format!("{:.2} / {:.2}", s.std, spec.std_hourly),
-                format!("{:.1} / {:.1}", s.max, spec.max_hourly),
-                format!("{:.2}", spec.clip),
+                r.dataset.clone(),
+                r.households.to_string(),
+                format!("{:.2} / {:.2}", r.mean_generated, r.mean_target),
+                format!("{:.2} / {:.2}", r.std_generated, r.std_target),
+                format!("{:.1} / {:.1}", r.max_generated, r.max_target),
+                format!("{:.2}", r.clip),
             ])
         );
-        rows.push(Row {
-            dataset: spec.name.to_string(),
-            households: s.households,
-            mean_generated: s.mean,
-            mean_target: spec.mean_hourly,
-            std_generated: s.std,
-            std_target: spec.std_hourly,
-            max_generated: s.max,
-            max_target: spec.max_hourly,
-            clip: spec.clip,
-        });
     }
     emit_result("table2", &env, &rows);
     stpt_obs::report!("\n(wrote results/table2.json)");

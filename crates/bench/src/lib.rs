@@ -17,13 +17,25 @@
 
 use rand::SeedableRng;
 use serde::Serialize;
+use std::sync::OnceLock;
 use std::time::Instant;
 use stpt_baselines::{Fast, Fourier, Identity, LganDp, Mechanism, Wavelet, Wpo};
 use stpt_core::{run_stpt, StptConfig, StptOutput};
 use stpt_data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
 use stpt_dp::rng::run_seed;
 use stpt_dp::{DpError, DpRng};
-use stpt_queries::{evaluate_workload, generate_queries, QueryClass};
+use stpt_queries::{
+    default_rho, evaluate_workload_with, generate_queries, PrefixSum3D, QueryClass,
+};
+
+/// Telemetry: thread count the `rayon` seam resolved to for this process
+/// (`STPT_THREADS`, or the machine's available parallelism).
+static BENCH_THREADS: stpt_obs::Gauge = stpt_obs::Gauge::new("bench.threads");
+/// Telemetry: wall-clock seconds from harness start ([`ExperimentEnv::from_env`])
+/// to result emission — the speedup numerator/denominator when comparing
+/// `STPT_THREADS` settings.
+static BENCH_WALL_SECS: stpt_obs::Gauge = stpt_obs::Gauge::new("bench.wall_secs");
+static PROCESS_START: OnceLock<Instant> = OnceLock::new();
 
 /// Scale parameters shared by all experiments.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -41,8 +53,10 @@ pub struct ExperimentEnv {
 }
 
 impl ExperimentEnv {
-    /// Read the environment, falling back to the defaults above.
+    /// Read the environment, falling back to the defaults above. Also
+    /// starts the process wall-clock used by the `bench.wall_secs` gauge.
     pub fn from_env() -> Self {
+        PROCESS_START.get_or_init(Instant::now);
         let get = |k: &str, d: usize| {
             std::env::var(k)
                 .ok()
@@ -121,6 +135,13 @@ pub struct Instance {
     pub truth: ConsumptionMatrix,
     /// Clipped matrix (mechanism input, identical to `truth`).
     pub clipped: ConsumptionMatrix,
+    /// Prefix-sum table over `truth`, built once per instance: every
+    /// [`mre_of`] call reuses it instead of rebuilding the O(cells) table
+    /// per evaluated release.
+    pub truth_ps: PrefixSum3D,
+    /// Denominator floor ([`default_rho`]) of `truth`, cached with the
+    /// table.
+    pub rho: f64,
 }
 
 /// Generate an instance for `(spec, dist)` with a deterministic per-rep seed.
@@ -135,12 +156,17 @@ pub fn make_instance(
     // (Section 3.1, Appendix C).
     let ds = Dataset::generate_at(spec, dist, Granularity::Daily, env.hours, &mut rng);
     let clipped = ds.consumption_matrix(env.grid, env.grid, true);
+    let truth = clipped.clone();
+    let truth_ps = PrefixSum3D::new(&truth);
+    let rho = default_rho(&truth);
     Instance {
         spec,
         clip: ds.clip_bound(),
         distribution: dist,
-        truth: clipped.clone(),
+        truth,
         clipped,
+        truth_ps,
+        rho,
     }
 }
 
@@ -160,7 +186,7 @@ pub fn mre_of(
 ) -> f64 {
     let mut qrng = rand::rngs::StdRng::seed_from_u64(run_seed(0x9_0e5, rep));
     let queries = generate_queries(class, env.queries, inst.truth.shape(), &mut qrng);
-    evaluate_workload(&inst.truth, sanitized, &queries).mre
+    evaluate_workload_with(&inst.truth_ps, inst.rho, sanitized, &queries).mre
 }
 
 /// The Figure 6 baseline roster (in the paper's legend order).
@@ -251,6 +277,13 @@ pub fn emit_result<T: Serialize>(name: &str, env: &ExperimentEnv, value: &T) {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or_default();
+    // Thread count and wall clock land in gauges, not in the envelope's
+    // env/data: the gauges are STPT_TRACE-gated, so the envelope stays
+    // byte-identical across STPT_THREADS settings when tracing is off.
+    BENCH_THREADS.set(rayon::current_num_threads() as f64);
+    if let Some(start) = PROCESS_START.get() {
+        BENCH_WALL_SECS.set(start.elapsed().as_secs_f64());
+    }
     // The telemetry document is produced by stpt-obs's dependency-free
     // writer, so it is spliced in as a pre-rendered JSON fragment.
     // The per-draw ledger audit trail is megabytes at experiment scale, so

@@ -5,9 +5,11 @@
 
 use crate::allocation::{allocate, BudgetAllocation};
 use crate::quantize::Partition;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use stpt_data::ConsumptionMatrix;
 use stpt_dp::prelude::*;
+use stpt_dp::rng::fork;
 
 /// Configuration of the sanitisation phase.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -73,19 +75,40 @@ pub fn sanitize_partitions(
         }
     }
 
-    let mut out = ConsumptionMatrix::zeros(c_cons.cx(), c_cons.cy(), c_cons.ct());
-    let mut releases = Vec::with_capacity(partitions.len());
+    // Spend the whole phase sequentially up front: the accountant (and its
+    // audit ledger) sees exactly the entry order of the old one-pass loop,
+    // and a budget-exhaustion error aborts before any noise is drawn.
     for ((part, &s), &eps) in partitions.iter().zip(&sens).zip(&budgets) {
-        let eps = Epsilon::new(eps);
         accountant.spend_parallel_with(
             "sanitize",
             &format!("tile-{}", part.group),
-            eps,
+            Epsilon::new(eps),
             SpendInfo::laplace(s),
         )?;
-        let mech = LaplaceMechanism::new(Sensitivity::new(s), eps);
-        let true_sum: f64 = part.cells.iter().map(|&c| c_cons.data()[c]).sum();
-        let noisy_sum = mech.release(true_sum, rng);
+    }
+
+    // Pre-fork one independent noise stream per partition in deterministic
+    // sequential order, *then* fan out (DESIGN.md §12): each partition's
+    // draw depends only on its fork position, never on which worker thread
+    // runs it, so the release is bit-identical at any `STPT_THREADS`.
+    let jobs: Vec<(usize, DpRng)> = (0..partitions.len()).map(|i| (i, fork(rng))).collect();
+    let noisy_sums: Vec<f64> = jobs
+        .into_par_iter()
+        .map(|(i, mut child)| {
+            let part = &partitions[i];
+            let mech = LaplaceMechanism::new(Sensitivity::new(sens[i]), Epsilon::new(budgets[i]));
+            let true_sum: f64 = part.cells.iter().map(|&c| c_cons.data()[c]).sum();
+            mech.release(true_sum, &mut child)
+        })
+        .collect();
+
+    let mut out = ConsumptionMatrix::zeros(c_cons.cx(), c_cons.cy(), c_cons.ct());
+    let mut releases = Vec::with_capacity(partitions.len());
+    for ((part, &s), (&eps, &noisy_sum)) in partitions
+        .iter()
+        .zip(&sens)
+        .zip(budgets.iter().zip(&noisy_sums))
+    {
         let per_cell = noisy_sum / part.cells.len() as f64;
         for &c in &part.cells {
             out.data_mut()[c] = per_cell;
@@ -94,7 +117,7 @@ pub fn sanitize_partitions(
             level: part.level,
             cells: part.cells.len(),
             sensitivity: s,
-            epsilon: eps.value(),
+            epsilon: eps,
             noisy_sum,
         });
     }

@@ -55,6 +55,7 @@ static DROPPED: AtomicU64 = AtomicU64::new(0);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static CAPACITY: OnceLock<usize> = OnceLock::new();
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static NAMES: OnceLock<Mutex<Vec<(u64, String)>>> = OnceLock::new();
 
 thread_local! {
     static TID: Cell<Option<u64>> = const { Cell::new(None) };
@@ -77,16 +78,34 @@ fn capacity() -> usize {
     })
 }
 
-/// This thread's stable track ordinal.
+fn names() -> MutexGuard<'static, Vec<(u64, String)>> {
+    NAMES
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// This thread's stable track ordinal. The first claim also registers the
+/// OS thread name (when one was set, e.g. the pool's `stpt-worker-N`
+/// threads) so exporters can label the track.
 fn thread_ordinal() -> u64 {
     TID.with(|cell| match cell.get() {
         Some(t) => t,
         None => {
             let t = NEXT_TID.fetch_add(1, Ordering::Relaxed);
             cell.set(Some(t));
+            if let Some(name) = std::thread::current().name() {
+                names().push((t, name.to_owned()));
+            }
             t
         }
     })
+}
+
+/// OS thread names keyed by track ordinal, in ordinal-claim order.
+/// Threads without a name (e.g. the main thread) are absent.
+pub fn thread_names() -> Vec<(u64, String)> {
+    names().clone()
 }
 
 /// Nanoseconds since the shared epoch (established on first use).
@@ -123,9 +142,9 @@ pub fn dropped() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
 
-/// Clear the event buffer and the dropped-event count. The time epoch and
-/// thread ordinals persist for the process lifetime (timestamps stay
-/// monotone across resets).
+/// Clear the event buffer and the dropped-event count. The time epoch,
+/// thread ordinals and the name registry persist for the process lifetime
+/// (timestamps stay monotone across resets).
 pub fn reset() {
     buffer().clear();
     DROPPED.store(0, Ordering::Relaxed);
@@ -159,6 +178,36 @@ mod tests {
         assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
         // All on the same thread track.
         assert!(events.iter().all(|e| e.tid == events[0].tid));
+    }
+
+    #[test]
+    fn named_threads_register_their_track_name() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        crate::set_events_enabled(true);
+        reset();
+        std::thread::Builder::new()
+            .name("stpt-worker-test".to_owned())
+            .spawn(|| {
+                let _s = crate::span!("ev_named");
+            })
+            .expect("spawn")
+            .join()
+            .expect("join");
+        crate::set_events_enabled(false);
+        let events = snapshot();
+        reset();
+        let tid = events
+            .iter()
+            .find(|e| e.path == "ev_named")
+            .map(|e| e.tid)
+            .expect("named-thread event recorded");
+        assert!(
+            thread_names()
+                .iter()
+                .any(|(t, n)| *t == tid && n == "stpt-worker-test"),
+            "worker name not registered for tid {tid}"
+        );
     }
 
     #[test]

@@ -193,6 +193,7 @@ fn render_telemetry(run: &str, ledger_entries: bool) -> String {
                 check.entries,
                 check.consistent
             );
+            let _ = writeln!(out, "    \"runs\": {},", ledger::published_runs());
             if ledger_entries {
                 out.push_str("    \"entries\": [");
                 for (i, e) in entries.iter().enumerate() {
@@ -315,16 +316,25 @@ pub fn chrome_trace_json(run: &str) -> String {
         out.push_str(&body);
     };
 
-    // One thread_name metadata record per track.
+    // One thread_name metadata record per track, using the OS thread name
+    // where one was recorded (the pool's `stpt-worker-N` threads) so the
+    // fan-out is legible in the timeline.
+    let names: std::collections::HashMap<u64, String> =
+        crate::events::thread_names().into_iter().collect();
     let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
     tids.sort_unstable();
     tids.dedup();
     for tid in &tids {
+        let label = names
+            .get(tid)
+            .cloned()
+            .unwrap_or_else(|| format!("thread {tid}"));
         push_event(
             &mut out,
             format!(
                 "{{ \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"name\": \"thread_name\", \
-                 \"args\": {{ \"name\": \"thread {tid}\" }} }}"
+                 \"args\": {{ \"name\": \"{}\" }} }}",
+                json_escape(&label)
             ),
         );
     }

@@ -67,34 +67,117 @@ pub struct LedgerCheck {
     pub consistent: bool,
 }
 
-type Published = Option<(Vec<LedgerEntry>, LedgerCheck)>;
+/// Deterministically merged state over every publication of the process
+/// (one per run/repetition). A bench bin audits once per repetition; under
+/// parallel repetitions "last publication wins" would make the exported
+/// ledger depend on thread scheduling. Instead the slot keeps the
+/// *canonical* run — the minimum under a total order on bit-level content
+/// ([`run_order`]) — plus the AND of every run's `consistent` verdict, so
+/// the snapshot is identical at any `STPT_THREADS`.
+struct Published {
+    /// Entries + check of the canonical (order-minimal) run.
+    canonical: Option<(Vec<LedgerEntry>, LedgerCheck)>,
+    /// AND of every published check's `consistent` flag.
+    all_consistent: bool,
+    /// Number of publications merged since the last [`reset`].
+    runs: usize,
+}
 
 static PUBLISHED: OnceLock<Mutex<Published>> = OnceLock::new();
 
 fn slot() -> MutexGuard<'static, Published> {
     PUBLISHED
-        .get_or_init(|| Mutex::new(None))
+        .get_or_init(|| {
+            Mutex::new(Published {
+                canonical: None,
+                all_consistent: true,
+                runs: 0,
+            })
+        })
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Bit-level content key of one entry, for the canonical-run total order.
+fn entry_key(e: &LedgerEntry) -> (&str, Option<&str>, &str, u64, u64, &'static str) {
+    (
+        e.phase.as_str(),
+        e.sibling.as_deref(),
+        e.mechanism,
+        e.epsilon.to_bits(),
+        e.sensitivity.to_bits(),
+        e.kind.label(),
+    )
+}
+
+/// Total order on published runs by content, never by publication time:
+/// scalar check fields first (cheap), then the entry lists
+/// lexicographically. Using `to_bits` keeps the order total (no NaN holes)
+/// and exact.
+fn run_order(
+    a: &(Vec<LedgerEntry>, LedgerCheck),
+    b: &(Vec<LedgerEntry>, LedgerCheck),
+) -> std::cmp::Ordering {
+    let scalar = |(entries, check): &(Vec<LedgerEntry>, LedgerCheck)| {
+        (
+            entries.len(),
+            check.total.to_bits(),
+            check.replayed.to_bits(),
+            check.spent.to_bits(),
+        )
+    };
+    scalar(a)
+        .cmp(&scalar(b))
+        .then_with(|| a.0.iter().map(entry_key).cmp(b.0.iter().map(entry_key)))
+}
+
 /// Publish a run's finished ledger and its audit verdict for export.
-/// No-op when the gate is off. Last publication wins.
+/// No-op when the gate is off. Publications merge deterministically: the
+/// snapshot keeps the content-minimal run and ANDs all `consistent` flags,
+/// so concurrent runs yield the same export regardless of arrival order.
 pub fn publish_ledger(entries: Vec<LedgerEntry>, check: LedgerCheck) {
     if !crate::enabled() {
         return;
     }
-    *slot() = Some((entries, check));
+    let mut slot = slot();
+    slot.runs += 1;
+    slot.all_consistent &= check.consistent;
+    let candidate = (entries, check);
+    let replace = match &slot.canonical {
+        None => true,
+        Some(current) => run_order(&candidate, current) == std::cmp::Ordering::Less,
+    };
+    if replace {
+        slot.canonical = Some(candidate);
+    }
 }
 
-/// The most recently published ledger, if any.
+/// The canonical published ledger, if any. The returned check carries the
+/// merged verdict: `consistent` is true only if *every* published run was.
 pub fn ledger_snapshot() -> Option<(Vec<LedgerEntry>, LedgerCheck)> {
-    slot().clone()
+    let slot = slot();
+    slot.canonical.as_ref().map(|(entries, check)| {
+        (
+            entries.clone(),
+            LedgerCheck {
+                consistent: slot.all_consistent,
+                ..*check
+            },
+        )
+    })
 }
 
-/// Drop any published ledger.
+/// Number of publications merged since the last [`reset`].
+pub fn published_runs() -> usize {
+    slot().runs
+}
+
+/// Drop any published ledger and reset the merge state.
 pub fn reset() {
-    *slot() = None;
+    let mut slot = slot();
+    slot.canonical = None;
+    slot.all_consistent = true;
+    slot.runs = 0;
 }
 
 #[cfg(test)]
@@ -147,5 +230,40 @@ mod tests {
         assert_eq!(check.entries, 2);
         reset();
         assert!(ledger_snapshot().is_none());
+    }
+
+    #[test]
+    fn merge_is_publication_order_independent_and_ands_consistency() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let check = |eps: f64, ok: bool| LedgerCheck {
+            total: eps,
+            replayed: eps,
+            spent: eps,
+            entries: 1,
+            consistent: ok,
+        };
+        let a = (vec![entry("alpha", 0.25)], check(0.25, true));
+        let b = (vec![entry("beta", 0.5)], check(0.5, false));
+
+        reset();
+        publish_ledger(a.0.clone(), a.1);
+        publish_ledger(b.0.clone(), b.1);
+        assert_eq!(published_runs(), 2);
+        let forward = ledger_snapshot().expect("published");
+
+        reset();
+        publish_ledger(b.0.clone(), b.1);
+        publish_ledger(a.0.clone(), a.1);
+        let reversed = ledger_snapshot().expect("published");
+        crate::set_enabled(false);
+        reset();
+
+        // Same canonical run either way, and one bad run poisons the
+        // merged verdict.
+        assert_eq!(forward.0[0].phase, reversed.0[0].phase);
+        assert_eq!(forward.1.total.to_bits(), reversed.1.total.to_bits());
+        assert!(!forward.1.consistent);
+        assert!(!reversed.1.consistent);
     }
 }

@@ -12,6 +12,8 @@ pub mod metrics;
 pub mod prefix;
 pub mod query;
 
-pub use metrics::{default_rho, evaluate_workload, relative_error, WorkloadResult};
+pub use metrics::{
+    default_rho, evaluate_workload, evaluate_workload_with, relative_error, WorkloadResult,
+};
 pub use prefix::PrefixSum3D;
-pub use query::{generate_queries, QueryClass, RangeQuery};
+pub use query::{generate_queries, InvalidRangeQuery, QueryClass, RangeQuery};

@@ -3,6 +3,7 @@
 
 use crate::prefix::PrefixSum3D;
 use crate::query::RangeQuery;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use stpt_data::ConsumptionMatrix;
 
@@ -38,22 +39,44 @@ pub fn evaluate_workload(
     sanitized: &ConsumptionMatrix,
     queries: &[RangeQuery],
 ) -> WorkloadResult {
-    let _span = stpt_obs::span!("queries.evaluate");
-    QUERIES_EVALUATED.add(queries.len() as u64);
     assert_eq!(truth.shape(), sanitized.shape(), "matrix shapes differ");
     let ps_truth = PrefixSum3D::new(truth);
+    evaluate_workload_with(&ps_truth, default_rho(truth), sanitized, queries)
+}
+
+/// [`evaluate_workload`] against a prebuilt truth table.
+///
+/// The bench bins evaluate many sanitised matrices against one fixed
+/// truth; rebuilding the O(cells) truth prefix-sum table per evaluation
+/// dominated workload cost. Callers precompute `truth_ps` (and the
+/// denominator floor `rho`, normally [`default_rho`] of the truth matrix)
+/// once per instance and reuse them across evaluations.
+///
+/// Per-query errors are computed in parallel through the `rayon` seam;
+/// results are collected in query order and reduced sequentially, so the
+/// returned metrics are bit-identical at any `STPT_THREADS`.
+pub fn evaluate_workload_with(
+    truth_ps: &PrefixSum3D,
+    rho: f64,
+    sanitized: &ConsumptionMatrix,
+    queries: &[RangeQuery],
+) -> WorkloadResult {
+    let _span = stpt_obs::span!("queries.evaluate");
+    QUERIES_EVALUATED.add(queries.len() as u64);
+    assert_eq!(truth_ps.shape(), sanitized.shape(), "matrix shapes differ");
     let ps_noisy = PrefixSum3D::new(sanitized);
-    let rho = default_rho(truth);
     let mut errors: Vec<f64> = queries
-        .iter()
-        .map(|q| relative_error(ps_truth.range_sum(q), ps_noisy.range_sum(q), rho))
+        .par_iter()
+        .map(|q| relative_error(truth_ps.range_sum(q), ps_noisy.range_sum(q), rho))
         .collect();
     let mre = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
     errors.sort_by(f64::total_cmp);
-    let median_re = if errors.is_empty() {
-        0.0
-    } else {
-        errors[errors.len() / 2]
+    let median_re = match errors.len() {
+        0 => 0.0,
+        // Even length: the median is the mean of the two middle elements,
+        // not the upper-middle one.
+        n if n % 2 == 0 => (errors[n / 2 - 1] + errors[n / 2]) / 2.0,
+        n => errors[n / 2],
     };
     WorkloadResult {
         mre,
@@ -122,6 +145,39 @@ mod tests {
         let r_small = evaluate_workload(&m, &small_noise, &qs);
         let r_big = evaluate_workload(&m, &big_noise, &qs);
         assert!(r_small.mre < r_big.mre);
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // exact values are the point of these assertions
+    fn even_length_median_is_mean_of_middle_pair() {
+        // Regression: four queries with relative errors {0, 10, 20, 50}%.
+        // The median must be (10 + 20) / 2 = 15, not the upper-middle 20.
+        let m = ConsumptionMatrix::from_vec(4, 1, 1, vec![100.0, 100.0, 100.0, 100.0]);
+        let noisy = ConsumptionMatrix::from_vec(4, 1, 1, vec![100.0, 90.0, 80.0, 50.0]);
+        let shape = m.shape();
+        let qs: Vec<RangeQuery> = (0..4)
+            .map(|x| RangeQuery::new((x, x + 1), (0, 1), (0, 1), shape))
+            .collect();
+        let r = evaluate_workload(&m, &noisy, &qs);
+        assert_eq!(r.median_re, 15.0);
+        assert_eq!(r.mre, 20.0);
+        // Odd length keeps the true middle element.
+        let r3 = evaluate_workload(&m, &noisy, &qs[..3]);
+        assert_eq!(r3.median_re, 10.0);
+    }
+
+    #[test]
+    fn with_variant_matches_from_scratch_evaluation() {
+        let m = random_matrix(7);
+        let noisy = m.map(|v| v + 0.7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let qs = generate_queries(QueryClass::Random, 150, m.shape(), &mut rng);
+        let from_scratch = evaluate_workload(&m, &noisy, &qs);
+        let ps = PrefixSum3D::new(&m);
+        let reused = evaluate_workload_with(&ps, default_rho(&m), &noisy, &qs);
+        assert!(from_scratch.mre.to_bits() == reused.mre.to_bits());
+        assert!(from_scratch.median_re.to_bits() == reused.median_re.to_bits());
+        assert_eq!(from_scratch.queries, reused.queries);
     }
 
     #[test]

@@ -61,6 +61,16 @@ impl PrefixSum3D {
             x1 <= self.cx && y1 <= self.cy && t1 <= self.ct,
             "query out of bounds"
         );
+        // A hand-built query with an inverted range (lo > hi) would pass
+        // the upper-bound check yet make the inclusion–exclusion below
+        // return a wrong — possibly negative — "sum". Reject it loudly.
+        assert!(
+            x0 <= x1 && y0 <= y1 && t0 <= t1,
+            "inverted query range: x={:?} y={:?} t={:?}",
+            q.x,
+            q.y,
+            q.t
+        );
         self.at(x1, y1, t1) - self.at(x0, y1, t1) - self.at(x1, y0, t1) - self.at(x1, y1, t0)
             + self.at(x0, y0, t1)
             + self.at(x0, y1, t0)
@@ -117,6 +127,22 @@ mod tests {
         let ps = PrefixSum3D::new(&m);
         let q = RangeQuery::new((2, 3), (1, 2), (3, 4), m.shape());
         assert!((ps.range_sum(&q) - m.get(2, 1, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted query range")]
+    fn inverted_range_query_panics() {
+        let m = random_matrix(4, 4, 4, 6);
+        let ps = PrefixSum3D::new(&m);
+        // `x: (3, 1)` passes the upper-bound check (1 <= 4, 3 <= 4) but is
+        // inverted; before validation this silently returned a wrong
+        // (possibly negative) sum.
+        let q = RangeQuery {
+            x: (3, 1),
+            y: (0, 2),
+            t: (0, 2),
+        };
+        let _ = ps.range_sum(&q);
     }
 
     #[test]

@@ -17,6 +17,30 @@ pub struct RangeQuery {
     pub t: (usize, usize),
 }
 
+/// Error from [`RangeQuery::try_new`]: which axis failed validation and
+/// with what bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRangeQuery {
+    /// Failing axis: `'x'`, `'y'` or `'t'`.
+    pub axis: char,
+    /// The offending half-open range.
+    pub range: (usize, usize),
+    /// The matrix extent along that axis.
+    pub bound: usize,
+}
+
+impl std::fmt::Display for InvalidRangeQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {} range {:?} for c{}={}",
+            self.axis, self.range, self.axis, self.bound
+        )
+    }
+}
+
+impl std::error::Error for InvalidRangeQuery {}
+
 impl RangeQuery {
     /// Construct a query, validating that each range is non-empty and within
     /// a `cx × cy × ct` matrix.
@@ -30,6 +54,25 @@ impl RangeQuery {
         assert!(y.0 < y.1 && y.1 <= cy, "invalid y range {y:?} for cy={cy}");
         assert!(t.0 < t.1 && t.1 <= ct, "invalid t range {t:?} for ct={ct}");
         RangeQuery { x, y, t }
+    }
+
+    /// Non-panicking [`RangeQuery::new`]: rejects empty, inverted and
+    /// out-of-bounds ranges with a structured error. Use this wherever the
+    /// bounds come from data rather than from code (the public struct
+    /// fields make validation bypassable — going through `try_new` keeps
+    /// [`crate::PrefixSum3D::range_sum`]'s invariants intact).
+    pub fn try_new(
+        x: (usize, usize),
+        y: (usize, usize),
+        t: (usize, usize),
+        (cx, cy, ct): (usize, usize, usize),
+    ) -> Result<Self, InvalidRangeQuery> {
+        for (axis, range, bound) in [('x', x, cx), ('y', y, cy), ('t', t, ct)] {
+            if !(range.0 < range.1 && range.1 <= bound) {
+                return Err(InvalidRangeQuery { axis, range, bound });
+            }
+        }
+        Ok(RangeQuery { x, y, t })
     }
 
     /// Number of cells covered.
@@ -157,6 +200,23 @@ mod tests {
         let a = generate_queries(QueryClass::Random, 10, SHAPE, &mut StdRng::seed_from_u64(4));
         let b = generate_queries(QueryClass::Random, 10, SHAPE, &mut StdRng::seed_from_u64(4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_new_rejects_what_new_panics_on() {
+        let shape = (4, 4, 4);
+        assert!(RangeQuery::try_new((0, 2), (1, 3), (0, 4), shape).is_ok());
+        // Empty range.
+        let e = RangeQuery::try_new((3, 3), (0, 1), (0, 1), shape).unwrap_err();
+        assert_eq!(e.axis, 'x');
+        assert_eq!(e.to_string(), "invalid x range (3, 3) for cx=4");
+        // Inverted range — the case the public fields let bypass `new`.
+        let e = RangeQuery::try_new((0, 1), (3, 1), (0, 1), shape).unwrap_err();
+        assert_eq!(e.axis, 'y');
+        // Out of bounds.
+        let e = RangeQuery::try_new((0, 1), (0, 1), (0, 10), shape).unwrap_err();
+        assert_eq!(e.axis, 't');
+        assert_eq!(e.bound, 4);
     }
 
     #[test]

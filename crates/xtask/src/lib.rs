@@ -20,6 +20,7 @@
 //! | XT04 | panic-in-lib   | library code returns `Result`, never panics |
 //! | XT05 | budget-bypass  | budget spend results are never discarded |
 //! | XT06 | println-in-lib | library output flows through `stpt-obs`, not `println!` |
+//! | XT07 | raw-thread     | all fan-out goes through the `rayon` seam, never `std::thread` |
 //!
 //! Violations are suppressed per-site with `// xtask-allow(XTnn): reason`;
 //! the reason is mandatory. See `DESIGN.md` § "Privacy-invariant tooling".

@@ -18,7 +18,7 @@ const USAGE: &str = "\
 usage: cargo xtask <lint|baseline|regress> [options] [ROOT]
 
   lint [--json]
-      Run the DP-soundness static-analysis pass (rules XT01..XT06) over
+      Run the DP-soundness static-analysis pass (rules XT01..XT07) over
       every .rs file in the workspace (vendor/ and test fixtures excluded).
 
   baseline

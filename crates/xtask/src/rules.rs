@@ -1,6 +1,6 @@
 //! The DP-soundness rules.
 //!
-//! Each rule has a stable ID (`XT01`…`XT06`), a lexical detector over the
+//! Each rule has a stable ID (`XT01`…`XT07`), a lexical detector over the
 //! token stream produced by [`crate::lexer`], and a scope describing which
 //! parts of the workspace it applies to. Rules are deliberately lexical:
 //! they trade a small amount of precision for zero dependencies and
@@ -95,6 +95,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     xt04_panic_in_lib(file, &mut diags);
     xt05_budget_bypass(file, &mut diags);
     xt06_println_in_lib(file, &mut diags);
+    xt07_raw_thread(file, &mut diags);
 
     diags.retain(|d| {
         !file.lexed.allows.iter().any(|a| {
@@ -420,6 +421,53 @@ fn xt06_println_in_lib(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                  output choke point"
             ),
         ));
+    }
+}
+
+/// XT07 — raw threading outside the parallel seam. All fan-out must go
+/// through the vendored `rayon` shim, where the determinism policy
+/// (`STPT_THREADS` resolution, named workers, order-preserving collects,
+/// nested-parallelism inlining) is enforced in one place.
+/// `std::thread::{spawn, scope, Builder}` — and the scoped `spawn_scoped`
+/// — anywhere else creates threads the policy cannot see. The shim lives
+/// in `vendor/` (never scanned) and `crates/obs` is exempt (worker-name
+/// registry and trace-event tests exercise threads directly). Applies to
+/// all roles: a test that raw-threads around the seam proves nothing about
+/// the seam.
+fn xt07_raw_thread(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.rel_path.starts_with("crates/obs/") {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = ident(tok) else { continue };
+        let hit = match name {
+            // `thread::spawn` / `thread::scope` / `thread::Builder` — the
+            // path prefix keeps local fns called `spawn`/`scope` clean.
+            "spawn" | "scope" | "Builder" => {
+                i >= 3
+                    && ident(&toks[i - 3]) == Some("thread")
+                    && is_punct(toks.get(i - 2), ':')
+                    && is_punct(toks.get(i - 1), ':')
+            }
+            // Method on `std::thread::Scope` — no path prefix at the call
+            // site, but the name is unambiguous.
+            "spawn_scoped" => true,
+            _ => false,
+        };
+        if hit {
+            out.push(diag(
+                file,
+                "XT07",
+                tok.line,
+                format!(
+                    "`{name}` spawns a raw thread outside the rayon seam — fan out \
+                     through `rayon::prelude` (vendor/rayon) so STPT_THREADS, worker \
+                     naming and the determinism policy apply; justify exceptions with \
+                     `// xtask-allow(XT07): <reason>`"
+                ),
+            ));
+        }
     }
 }
 

@@ -1,0 +1,19 @@
+// Fixture: XT07 negative — parallelism through the rayon seam, plus
+// idents that merely resemble the banned paths.
+use rayon::prelude::*;
+
+fn through_the_seam(xs: &[f64]) -> Vec<f64> {
+    xs.par_iter().map(|v| v * 2.0).collect()
+}
+
+fn current_thread_name() -> Option<String> {
+    std::thread::current().name().map(str::to_owned)
+}
+
+fn spawn(task: u64) -> u64 {
+    task
+}
+
+fn local_calls() -> u64 {
+    spawn(3)
+}

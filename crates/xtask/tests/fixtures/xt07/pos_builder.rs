@@ -1,0 +1,6 @@
+// Fixture: XT07 positive — Builder-built threads and scoped spawns are
+// still raw threads.
+fn named(outer: &Scope) {
+    let builder = std::thread::Builder::new().name("worker".to_owned());
+    let _handle = outer.spawn_scoped(builder, || {});
+}

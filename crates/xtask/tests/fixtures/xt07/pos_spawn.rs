@@ -1,0 +1,6 @@
+// Fixture: XT07 positive — raw std::thread fan-out outside the seam.
+fn fan_out(xs: Vec<u64>) -> u64 {
+    let handle = std::thread::spawn(move || xs.iter().sum::<u64>());
+    std::thread::scope(|_s| {});
+    handle.join().unwrap_or(0)
+}

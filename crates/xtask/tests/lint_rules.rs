@@ -183,6 +183,41 @@ fn xt05_applies_to_bins_but_not_tests() {
     assert!(lint_as("crates/dp/tests/proptests.rs", src).is_empty());
 }
 
+// ---- XT07: raw-thread --------------------------------------------------
+
+#[test]
+fn xt07_flags_spawn_and_scope() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt07/pos_spawn.rs"));
+    assert_eq!(rules_of(&diags), vec!["XT07", "XT07"]);
+}
+
+#[test]
+fn xt07_flags_builder_and_spawn_scoped() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt07/pos_builder.rs"));
+    assert_eq!(rules_of(&diags), vec!["XT07", "XT07"]);
+}
+
+#[test]
+fn xt07_accepts_the_seam_and_lookalike_idents() {
+    let diags = lint_as(LIB_PATH, include_str!("fixtures/xt07/neg_seam.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn xt07_exempts_obs_but_applies_to_tests_and_bins() {
+    let pos = include_str!("fixtures/xt07/pos_spawn.rs");
+    assert!(lint_as("crates/obs/src/events.rs", pos).is_empty());
+    // Raw threads around the seam defeat it — tests and bins are in scope.
+    assert_eq!(
+        rules_of(&lint_as("tests/par_determinism.rs", pos)),
+        vec!["XT07", "XT07"]
+    );
+    assert_eq!(
+        rules_of(&lint_as("crates/bench/src/bin/fig6.rs", pos)),
+        vec!["XT07", "XT07"]
+    );
+}
+
 // ---- scanner + output --------------------------------------------------
 
 /// Build a scratch tree, scan it, and check skipping + JSON output.

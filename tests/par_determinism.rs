@@ -1,0 +1,151 @@
+//! Par == seq: thread count may change wall-clock, never bytes.
+//!
+//! The rayon seam promises order-preserving collects, and every hot path
+//! pre-forks its RNG children sequentially before fanning out, so the
+//! whole pipeline must produce bit-identical output whether it runs on
+//! one worker or many. These tests pin that contract at two levels: the
+//! full STPT pipeline (sanitised release + audit ledger) and the query
+//! workload metrics (parallel per-query evaluation + sequential float
+//! aggregation).
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use proptest::proptest;
+use rand::SeedableRng;
+use stpt_suite::core::{run_stpt_on_dataset, StptConfig};
+use stpt_suite::data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
+use stpt_suite::queries::{evaluate_workload, generate_queries, QueryClass, WorkloadResult};
+
+const GRID: usize = 8;
+const DAYS: usize = 48;
+const T_TRAIN: usize = 28;
+
+/// `rayon::set_num_threads` is process-global, so tests in this binary
+/// serialise around it and restore the env-driven default on drop (the
+/// same lock + reset-guard pattern the shim's own tests use).
+fn lock_threads() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+struct ResetThreads;
+impl Drop for ResetThreads {
+    fn drop(&mut self) {
+        rayon::set_num_threads(0);
+    }
+}
+
+fn test_dataset(seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut spec = DatasetSpec::CER;
+    spec.households = 300;
+    Dataset::generate_at(
+        spec,
+        SpatialDistribution::Uniform,
+        Granularity::Daily,
+        DAYS,
+        &mut rng,
+    )
+}
+
+fn test_config(ds: &Dataset) -> StptConfig {
+    let mut cfg = StptConfig::fast(ds.clip_bound());
+    cfg.t_train = T_TRAIN;
+    cfg.depth = 2;
+    cfg.net.embed_dim = 8;
+    cfg.net.hidden_dim = 8;
+    cfg.net.window = 4;
+    cfg.net.epochs = 3;
+    cfg
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Run the full pipeline + workload evaluation at a given worker count.
+fn pipeline_at(threads: usize, ds: &Dataset) -> (Vec<u64>, f64, u64, u64, WorkloadResult) {
+    rayon::set_num_threads(threads);
+    let cfg = test_config(ds);
+    let out = run_stpt_on_dataset(ds, GRID, GRID, &cfg).expect("pipeline runs");
+    let truth = ds.consumption_matrix(GRID, GRID, true);
+    let mut qrng = rand::rngs::StdRng::seed_from_u64(41);
+    let queries = generate_queries(QueryClass::Random, 120, truth.shape(), &mut qrng);
+    let wl = evaluate_workload(&truth, &out.sanitized, &queries);
+    (
+        bits(out.sanitized.data()),
+        out.epsilon_spent,
+        out.audit.replayed.to_bits(),
+        out.audit.spent.to_bits(),
+        wl,
+    )
+}
+
+/// The expensive anchor: the whole STPT pipeline — quadtree, pattern
+/// recognition, per-partition Laplace noise, audit ledger, query metrics
+/// — is bit-identical at one worker and at four.
+#[test]
+fn full_pipeline_is_bit_identical_across_thread_counts() {
+    let _lock = lock_threads();
+    let _reset = ResetThreads;
+    let ds = test_dataset(1234);
+    let (seq_data, seq_eps, seq_rep, seq_spent, seq_wl) = pipeline_at(1, &ds);
+    let (par_data, par_eps, par_rep, par_spent, par_wl) = pipeline_at(4, &ds);
+
+    assert_eq!(seq_data, par_data, "sanitised release diverged");
+    assert_eq!(seq_eps.to_bits(), par_eps.to_bits());
+    assert_eq!(
+        (seq_rep, seq_spent),
+        (par_rep, par_spent),
+        "audit ledger diverged"
+    );
+    assert_eq!(seq_wl.queries, par_wl.queries);
+    assert_eq!(seq_wl.mre.to_bits(), par_wl.mre.to_bits(), "MRE diverged");
+    assert_eq!(
+        seq_wl.median_re.to_bits(),
+        par_wl.median_re.to_bits(),
+        "median RE diverged"
+    );
+}
+
+/// Evaluate a synthetic workload at a given worker count. Small matrices
+/// keep each proptest case cheap; values come from a seeded RNG so the
+/// property explores many truth/release pairs.
+fn workload_at(threads: usize, seed: u64, n_queries: usize) -> WorkloadResult {
+    rayon::set_num_threads(threads);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (cx, cy, ct) = (6, 6, 24);
+    let cells = cx * cy * ct;
+    let truth: Vec<f64> = (0..cells)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0.0..50.0))
+        .collect();
+    let noisy: Vec<f64> = truth
+        .iter()
+        .map(|v| v + rand::Rng::gen_range(&mut rng, -3.0..3.0))
+        .collect();
+    let truth = ConsumptionMatrix::from_vec(cx, cy, ct, truth);
+    let noisy = ConsumptionMatrix::from_vec(cx, cy, ct, noisy);
+    let queries = generate_queries(QueryClass::Random, n_queries, truth.shape(), &mut rng);
+    evaluate_workload(&truth, &noisy, &queries)
+}
+
+proptest! {
+    /// The cheap sweep: per-query evaluation fans out through the seam,
+    /// and the mean/median aggregation is sequential over the ordered
+    /// collect — so the metrics are bit-identical at 1 and 4 workers for
+    /// arbitrary seeds and workload sizes (including odd/even lengths,
+    /// which take different median branches).
+    #[test]
+    fn workload_metrics_match_across_thread_counts(seed in 0u64..1024, extra in 0usize..8) {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        let n = 40 + extra; // crosses odd/even median lengths
+        let seq = workload_at(1, seed, n);
+        let par = workload_at(4, seed, n);
+        assert_eq!(seq.queries, par.queries);
+        assert_eq!(seq.mre.to_bits(), par.mre.to_bits());
+        assert_eq!(seq.median_re.to_bits(), par.median_re.to_bits());
+    }
+}

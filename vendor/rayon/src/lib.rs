@@ -1,42 +1,372 @@
-//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//! Hermetic stand-in for [rayon](https://crates.io/crates/rayon) backed by
+//! a real scoped thread pool.
 //!
-//! `par_iter()` here returns the ordinary sequential iterator: all rayon
-//! call sites compile and produce identical results, just without the
-//! parallel speed-up. The experiment harness is the only consumer; when a
-//! real thread-pool becomes worthwhile, this shim is the seam to implement
-//! it behind (std::thread::scope over chunks), without touching callers.
+//! Earlier revisions of this shim ran everything sequentially; it is now a
+//! genuine parallel engine built on `std::thread::scope`, implementing the
+//! API subset the workspace uses:
+//!
+//! * `.par_iter()` on slices and `Vec`s ([`prelude::IntoParallelRefIterator`]),
+//! * `.into_par_iter()` on `Vec`s and integer ranges
+//!   ([`prelude::IntoParallelIterator`]),
+//! * the `map` / `flat_map` adapters with `collect` and `for_each`.
+//!
+//! Guarantees, in order of importance:
+//!
+//! * **Order preservation.** `collect` returns results in input order no
+//!   matter how chunks interleave across workers: each chunk remembers its
+//!   start index and the results are reassembled by a post-join sort. A
+//!   parallel map therefore produces the *same `Vec`* as the sequential
+//!   map — callers may fold over it in a fixed order and obtain
+//!   bit-identical floating-point results at any thread count.
+//! * **Exact sequential fallback.** With one thread (or one item) the
+//!   closure runs inline on the calling thread — no pool, no channels —
+//!   so `STPT_THREADS=1` is *exactly* the old sequential shim.
+//! * **No unsafe.** Work distribution is an atomic chunk cursor; results
+//!   travel through a mutex-guarded vector; owned items are moved to
+//!   workers through per-slot `Mutex<Option<T>>` cells. `#![forbid(unsafe_code)]`
+//!   holds as everywhere else in the workspace.
+//! * **Observable fan-out.** Workers are named `stpt-worker-{i}` via
+//!   `thread::Builder`, so `stpt-obs` per-thread span tracks and the
+//!   Chrome-trace export show the parallel sections on named tracks.
+//!
+//! Thread-count resolution: [`set_num_threads`] override (for tests) >
+//! `STPT_THREADS` env var > `std::thread::available_parallelism()`.
+//! Nested calls (a `par_iter` inside a worker) run sequentially inline —
+//! one level of fan-out bounds the total thread count and keeps inner
+//! libraries deterministic regardless of where they are called from.
 
 #![forbid(unsafe_code)]
 
-/// The glob import mirroring `rayon::prelude::*`.
-pub mod prelude {
-    /// Sequential stand-in for rayon's `IntoParallelRefIterator`: provides
-    /// `.par_iter()` on slices and vectors.
-    pub trait IntoParallelRefIterator<'a> {
-        /// Element type.
-        type Item: 'a;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = &'a Self::Item>;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-        /// Iterate — sequentially in this shim.
-        fn par_iter(&'a self) -> Self::Iter;
+/// Worker threads are named `stpt-worker-{i}`; the prefix doubles as the
+/// nested-parallelism sentinel.
+const WORKER_PREFIX: &str = "stpt-worker-";
+
+/// How many chunks each worker should get on average: >1 so a slow chunk
+/// does not serialise the tail, small enough to keep per-chunk overhead
+/// negligible.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Programmatic thread-count override (`0` = none). Takes precedence over
+/// `STPT_THREADS`; exists so equivalence tests can flip thread counts
+/// within one process.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Parsed `STPT_THREADS` (`0` = unset/auto), read once per process.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Number of threads parallel operations will use.
+///
+/// Resolution order: [`set_num_threads`] override, then the `STPT_THREADS`
+/// environment variable, then `available_parallelism()`. Always ≥ 1.
+pub fn current_num_threads() -> usize {
+    let over = OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    let env = *ENV_THREADS.get_or_init(|| {
+        std::env::var("STPT_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    });
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Override the thread count for this process (`n = 0` restores the
+/// `STPT_THREADS`/auto resolution). Intended for tests that compare
+/// parallel against sequential execution in one process; experiments
+/// should use the `STPT_THREADS` environment variable instead.
+pub fn set_num_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// True on a pool worker thread — nested parallel calls run inline.
+fn on_worker_thread() -> bool {
+    std::thread::current()
+        .name()
+        .is_some_and(|n| n.starts_with(WORKER_PREFIX))
+}
+
+/// The engine: split `0..n` into chunks, run `run_chunk` on a scoped pool,
+/// reassemble the per-chunk outputs in input order.
+///
+/// `run_chunk(start..end)` must return one output `Vec` for its range;
+/// outputs are concatenated in range order, so the caller observes exactly
+/// the sequential result. The calling thread participates in the work loop
+/// (a failed spawn degrades throughput, never correctness or results).
+fn run_chunks<R, F>(n: usize, run_chunk: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || on_worker_thread() {
+        return run_chunk(0..n);
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Item = T;
-        type Iter = core::slice::Iter<'a, T>;
+    let step = (n / (threads * CHUNKS_PER_THREAD)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    let work = || loop {
+        let start = cursor.fetch_add(step, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + step).min(n);
+        let out = run_chunk(start..end);
+        lock(&parts).push((start, out));
+    };
+    std::thread::scope(|scope| {
+        for i in 1..threads {
+            // A failed spawn is tolerable: remaining chunks drain on the
+            // threads that did start (including the caller below).
+            let _ = std::thread::Builder::new()
+                .name(format!("{WORKER_PREFIX}{i}"))
+                .spawn_scoped(scope, work);
+        }
+        work();
+    });
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+    let mut parts = parts.into_inner().unwrap_or_else(|p| p.into_inner());
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    parts.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Parallel iterator over `&[T]`, produced by `par_iter()`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f`; results keep input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
         }
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Item = T;
-        type Iter = core::slice::Iter<'a, T>;
+    /// Map each element to an iterator and concatenate, preserving order.
+    pub fn flat_map<I, F>(self, f: F) -> ParFlatMap<'a, T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        ParFlatMap {
+            items: self.items,
+            f,
+        }
+    }
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+    /// Run `f` on every element (no output; side effects must be
+    /// order-independent — see DESIGN.md §12).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let items = self.items;
+        run_chunks::<(), _>(items.len(), |r| {
+            for item in &items[r] {
+                f(item);
+            }
+            Vec::new()
+        });
+    }
+}
+
+/// Lazy `par_iter().map(f)`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute in parallel, collecting results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let (items, f) = (self.items, self.f);
+        C::from(run_chunks(items.len(), |r| {
+            items[r].iter().map(&f).collect()
+        }))
+    }
+}
+
+/// Lazy `par_iter().flat_map(f)`.
+pub struct ParFlatMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, I, F> ParFlatMap<'a, T, F>
+where
+    T: Sync,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(&'a T) -> I + Sync,
+{
+    /// Execute in parallel, concatenating per-element outputs in input
+    /// order.
+    pub fn collect<C: From<Vec<I::Item>>>(self) -> C {
+        let (items, f) = (self.items, self.f);
+        C::from(run_chunks(items.len(), |r| {
+            let mut out = Vec::new();
+            for item in &items[r] {
+                out.extend(f(item));
+            }
+            out
+        }))
+    }
+}
+
+/// Owning parallel iterator, produced by `into_par_iter()`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Map each owned element through `f`; results keep input order.
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every owned element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+        .run();
+    }
+}
+
+/// Lazy `into_par_iter().map(f)`.
+pub struct IntoParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> IntoParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        // Owned items are handed to workers through per-slot cells; each
+        // slot is taken exactly once (disjoint chunks), so the `expect`
+        // is unreachable by construction.
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let f = self.f;
+        run_chunks(slots.len(), |r| {
+            slots[r]
+                .iter()
+                .map(|slot| f(lock(slot).take().expect("slot claimed once")))
+                .collect()
+        })
+    }
+
+    /// Execute in parallel, collecting results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+}
+
+/// The glob import mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParIter, ParIter};
+
+    /// `.par_iter()` on borrowing collections (slices, `Vec`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: Sync + 'a;
+
+        /// A parallel iterator over `&Self::Item`.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// `.into_par_iter()` on owning collections (`Vec`, integer ranges).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+
+        /// Consume `self` into a parallel iterator.
+        fn into_par_iter(self) -> IntoParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+
+        fn into_par_iter(self) -> IntoParIter<usize> {
+            IntoParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Item = u64;
+
+        fn into_par_iter(self) -> IntoParIter<u64> {
+            IntoParIter {
+                items: self.collect(),
+            }
         }
     }
 }
@@ -45,12 +375,148 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
 
+    /// Thread-count override is process-global; tests take turns.
+    fn lock_threads() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Restore auto thread resolution even if a test panics.
+    struct ResetThreads;
+    impl Drop for ResetThreads {
+        fn drop(&mut self) {
+            crate::set_num_threads(0);
+        }
+    }
+
     #[test]
     fn par_iter_matches_iter() {
-        let xs = vec![1u32, 2, 3, 4];
-        let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6, 8]);
-        let flat: Vec<u32> = xs[..2].par_iter().flat_map(|&x| vec![x; 2]).collect();
-        assert_eq!(flat, vec![1, 1, 2, 2]);
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        for threads in [1, 4] {
+            crate::set_num_threads(threads);
+            let xs = vec![1u32, 2, 3, 4];
+            let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
+            assert_eq!(doubled, vec![2, 4, 6, 8]);
+            let flat: Vec<u32> = xs[..2].par_iter().flat_map(|&x| vec![x; 2]).collect();
+            assert_eq!(flat, vec![1, 1, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn par_iter_preserves_order_under_real_threading() {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(4);
+        assert_eq!(crate::current_num_threads(), 4);
+        // Enough items for many chunks; uneven per-item work so chunk
+        // completion order genuinely scrambles across workers.
+        let items: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        let got: Vec<u64> = items
+            .par_iter()
+            .map(|&x| {
+                if x % 97 == 0 {
+                    std::thread::yield_now();
+                }
+                x * x
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn into_par_iter_moves_owned_items_in_order() {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(4);
+        let items: Vec<String> = (0..500).map(|i| format!("item-{i}")).collect();
+        let expected = items.clone();
+        let got: Vec<String> = items.into_par_iter().map(|s| s).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn ranges_are_parallel_iterable() {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(3);
+        let got: Vec<u64> = (0u64..100).into_par_iter().map(|x| x + 1).collect();
+        let expected: Vec<u64> = (1u64..=100).collect();
+        assert_eq!(got, expected);
+        let got: Vec<usize> = (0usize..7).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(got, vec![0, 3, 6, 9, 12, 15, 18]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(4);
+        let sum = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=1000).collect();
+        items.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn one_thread_is_exact_sequential_fallback() {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(1);
+        assert_eq!(crate::current_num_threads(), 1);
+        // On one thread the closure runs inline on the calling thread.
+        let caller = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = (0usize..64)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_on_workers() {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(4);
+        // The inner par_iter must not spawn a second generation of
+        // workers; inner work runs on the same thread as the outer item.
+        let ok: Vec<bool> = (0usize..8)
+            .into_par_iter()
+            .map(|_| {
+                let outer = std::thread::current().id();
+                let inner: Vec<std::thread::ThreadId> = (0usize..16)
+                    .into_par_iter()
+                    .map(|_| std::thread::current().id())
+                    .collect();
+                inner.iter().all(|&id| id == outer)
+            })
+            .collect();
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn workers_are_named_for_observability() {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(4);
+        let names: Vec<Option<String>> = (0usize..64)
+            .into_par_iter()
+            .map(|_| std::thread::current().name().map(str::to_owned))
+            .collect();
+        // The calling (test) thread participates too, so not every item
+        // lands on a named worker — but spawned workers carry the prefix.
+        assert!(names
+            .iter()
+            .flatten()
+            .all(|n| n.starts_with("stpt-worker-") || n.starts_with(&test_thread_prefix())));
+    }
+
+    fn test_thread_prefix() -> String {
+        // libtest names test threads after the test function.
+        std::thread::current().name().unwrap_or("main").to_owned()
     }
 }
