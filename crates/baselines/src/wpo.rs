@@ -46,6 +46,7 @@ impl Mechanism for Wpo {
         "WPO".to_string()
     }
 
+    // xtask-allow(XT09): comparison baseline outside the audited STPT path — it receives a pre-split eps_total directly instead of spending on the central accountant
     fn sanitize(
         &self,
         c: &ConsumptionMatrix,

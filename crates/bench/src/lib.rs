@@ -58,6 +58,7 @@ impl ExperimentEnv {
     pub fn from_env() -> Self {
         PROCESS_START.get_or_init(Instant::now);
         let get = |k: &str, d: usize| {
+            // xtask-allow(XT10): the one sanctioned scale-knob reader — every value read here is recorded in the result envelope, keeping runs attributable
             std::env::var(k)
                 .ok()
                 .and_then(|v| v.parse().ok())

@@ -35,6 +35,7 @@ pub struct LdpConfig {
 /// Returns the aggregated noisy matrix. Unlike the central pipeline there
 /// is no budget accountant: the guarantee is enforced per report, on the
 /// user's side.
+// xtask-allow(XT09): local model — every meter randomizes its own report client-side, so the per-report guarantee holds with no central accountant to spend against
 pub fn ldp_release(
     dataset: &Dataset,
     cx: usize,

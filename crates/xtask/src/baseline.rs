@@ -942,13 +942,11 @@ mod tests {
     use super::*;
 
     fn run_doc() -> RunDoc {
-        // xtask-allow(XT04): test fixture parse of a literal document
         let data: Value = serde_json::from_str(
             r#"{ "mre": { "STPT": { "mean": 5.0, "std": 0.2, "min": 4.8, "max": 5.2, "n": 3 },
                           "WPO": 60.0 } }"#,
         )
         .unwrap();
-        // xtask-allow(XT04): test fixture parse of a literal document
         let telemetry: Value = serde_json::from_str(
             r#"{ "counters": [ { "name": "dp.noise_draws.laplace", "value": 42 } ],
                  "spans": [ { "path": "stpt", "count": 1, "total_ms": 100.0 },
@@ -975,7 +973,6 @@ mod tests {
         let run = run_doc();
         let (doc, warnings) = match build(&run) {
             Ok(x) => x,
-            // xtask-allow(XT04): test assertion
             Err(e) => panic!("build failed: {e}"),
         };
         assert!(warnings.is_empty(), "{warnings:?}");
@@ -1000,13 +997,11 @@ mod tests {
         let run = run_doc();
         let (doc, _) = match build(&run) {
             Ok(x) => x,
-            // xtask-allow(XT04): test assertion
             Err(e) => panic!("build failed: {e}"),
         };
         let text = doc.to_json();
         let back = match BaselineDoc::from_json(&text) {
             Ok(b) => b,
-            // xtask-allow(XT04): test assertion
             Err(e) => panic!("round trip failed: {e}\n{text}"),
         };
         assert_eq!(back.name, doc.name);
@@ -1038,7 +1033,6 @@ mod tests {
                 assert_eq!(observed, "60");
                 assert!(delta.starts_with("+10"), "{delta}");
             }
-            // xtask-allow(XT04): test assertion
             other => panic!("expected Fail, got {other:?}"),
         }
 

@@ -100,7 +100,6 @@ mod tests {
     use super::*;
 
     fn doc() -> Value {
-        // xtask-allow(XT04): test fixture parse of a literal document
         serde_json::from_str(
             r#"{ "data": [ { "k": 8, "mre": { "Random": 4.5 } },
                            { "k": 40, "mre": { "Random": 5.1 } } ],

@@ -12,14 +12,21 @@ use xtask::baseline;
 use xtask::regress::{evaluate_workspace, RegressOpts};
 use xtask::report;
 use xtask::results::load_run;
-use xtask::scan::{lint_workspace, render_human, render_json};
+use xtask::scan::{
+    lint_workspace_report, render_allows_human, render_human, render_json, render_report_json,
+};
 
 const USAGE: &str = "\
 usage: cargo xtask <lint|baseline|regress> [options] [ROOT]
 
-  lint [--json]
-      Run the DP-soundness static-analysis pass (rules XT01..XT07) over
-      every .rs file in the workspace (vendor/ and test fixtures excluded).
+  lint [--json] [--allows]
+      Run the DP-soundness static-analysis pass — lexical rules XT01..XT07
+      plus the structural rules XT08..XT10 (call-graph budget dominance,
+      parallel-RNG determinism, env hermeticity) — over every .rs file in
+      the workspace (vendor/ except the first-party rayon shim, and test
+      fixtures, excluded). --allows additionally lists every xtask-allow
+      directive with its suppression count and fails on stale directives
+      that no longer suppress any finding.
 
   baseline
       Regenerate baselines/*.json from the result envelopes in results/.
@@ -42,10 +49,12 @@ fn main() -> ExitCode {
     match it.next() {
         Some("lint") => {
             let mut json = false;
+            let mut allows = false;
             let mut root: Option<PathBuf> = None;
             for arg in it {
                 match arg {
                     "--json" => json = true,
+                    "--allows" => allows = true,
                     "--help" | "-h" => {
                         print!("{USAGE}");
                         return ExitCode::SUCCESS;
@@ -60,14 +69,22 @@ fn main() -> ExitCode {
                 }
             }
             let root = root.unwrap_or_else(default_workspace_root);
-            match lint_workspace(&root) {
-                Ok(diags) => {
+            match lint_workspace_report(&root) {
+                Ok(report) => {
                     if json {
-                        print!("{}", render_json(&diags));
+                        if allows {
+                            print!("{}", render_report_json(&report));
+                        } else {
+                            print!("{}", render_json(&report.diags));
+                        }
                     } else {
-                        print!("{}", render_human(&diags));
+                        print!("{}", render_human(&report.diags));
+                        if allows {
+                            print!("{}", render_allows_human(&report.allows));
+                        }
                     }
-                    if diags.is_empty() {
+                    let stale = allows && report.allows.iter().any(|a| a.is_stale());
+                    if report.diags.is_empty() && !stale {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::from(1)

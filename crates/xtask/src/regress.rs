@@ -162,13 +162,9 @@ mod tests {
     fn fixture(dirname: &str, envelope: &str) -> (std::path::PathBuf, BaselineDoc) {
         let dir = std::env::temp_dir().join(dirname);
         let _ = std::fs::remove_dir_all(&dir);
-        // xtask-allow(XT04): test fixture I/O should abort the test on failure
         std::fs::create_dir_all(&dir).unwrap();
-        // xtask-allow(XT04): test fixture I/O should abort the test on failure
         std::fs::write(dir.join("unit.json"), envelope).unwrap();
-        // xtask-allow(XT04): test fixture parse of a known-good envelope
         let run = load_run(&dir, "unit").unwrap();
-        // xtask-allow(XT04): test fixture build of a known-good baseline
         let (doc, _) = build(&run).unwrap();
         (dir, doc)
     }
@@ -188,7 +184,6 @@ mod tests {
         let (dir, doc) = fixture("xtask_regress_perturbed", ENVELOPE);
         // Perturb one value far outside its band.
         let broken = ENVELOPE.replace("\"WPO\": 60.0", "\"WPO\": 600.0");
-        // xtask-allow(XT04): test fixture I/O should abort the test on failure
         std::fs::write(dir.join("unit.json"), broken).unwrap();
 
         let results = evaluate_baseline(&doc, &dir, RegressOpts::default());
@@ -208,7 +203,6 @@ mod tests {
                 assert!(expected.contains("60 ±"), "{expected}");
                 assert!(delta.starts_with("+540"), "{delta}");
             }
-            // xtask-allow(XT04): test assertion
             other => panic!("expected Fail, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -220,7 +214,6 @@ mod tests {
         let smoke = ENVELOPE
             .replace("\"reps\": 3", "\"reps\": 1")
             .replace("\"grid\": 32", "\"grid\": 8");
-        // xtask-allow(XT04): test fixture I/O should abort the test on failure
         std::fs::write(dir.join("unit.json"), smoke).unwrap();
 
         let results = evaluate_baseline(&doc, &dir, RegressOpts::default());
@@ -245,7 +238,6 @@ mod tests {
     #[test]
     fn legacy_results_fail_with_a_pointed_message() {
         let (dir, doc) = fixture("xtask_regress_legacy", ENVELOPE);
-        // xtask-allow(XT04): test fixture I/O should abort the test on failure
         std::fs::write(dir.join("unit.json"), "[ 1, 2, 3 ]").unwrap();
         let results = evaluate_baseline(&doc, &dir, RegressOpts::default());
         assert_eq!(results.len(), 1);
@@ -254,7 +246,6 @@ mod tests {
                 assert!(observed.contains("legacy"), "{observed}");
                 assert!(observed.contains("run_experiments.sh"), "{observed}");
             }
-            // xtask-allow(XT04): test assertion
             other => panic!("expected Fail, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -263,7 +254,6 @@ mod tests {
     #[test]
     fn missing_results_skip_and_missing_telemetry_escalates_on_request() {
         let (dir, doc) = fixture("xtask_regress_missing", ENVELOPE);
-        // xtask-allow(XT04): test fixture I/O should abort the test on failure
         std::fs::remove_file(dir.join("unit.json")).unwrap();
         let results = evaluate_baseline(&doc, &dir, RegressOpts::default());
         assert!(
@@ -274,7 +264,6 @@ mod tests {
         );
 
         let bare = ENVELOPE.replacen("\"telemetry\": {", "\"telemetry_\": {", 1);
-        // xtask-allow(XT04): test fixture I/O should abort the test on failure
         std::fs::write(dir.join("unit.json"), bare).unwrap();
         let lax = evaluate_baseline(&doc, &dir, RegressOpts::default());
         assert!(

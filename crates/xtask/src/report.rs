@@ -228,7 +228,6 @@ mod tests {
         let json = render_json(&results);
         let value: serde::Value = match serde_json::from_str(&json) {
             Ok(v) => v,
-            // xtask-allow(XT04): test assertion
             Err(e) => panic!("report JSON must parse: {e}"),
         };
         let checks = crate::jsonsel::select(&value, "checks");

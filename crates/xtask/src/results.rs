@@ -181,7 +181,6 @@ mod tests {
     use super::*;
 
     fn write(dir: &Path, name: &str, body: &str) {
-        // xtask-allow(XT04): test helper, I/O failure should abort the test
         std::fs::create_dir_all(dir).unwrap();
         std::fs::write(dir.join(name), body).unwrap();
     }
@@ -206,7 +205,6 @@ mod tests {
         let run = match run {
             Ok(r) => r,
             Err(e) => {
-                // xtask-allow(XT04): test assertion
                 panic!("good envelope should load: {e}")
             }
         };

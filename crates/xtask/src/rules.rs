@@ -84,10 +84,36 @@ impl SourceFile {
     }
 }
 
-/// Run every rule against one file, then drop findings covered by a
-/// well-formed `xtask-allow` on the same line or the line directly above.
-/// Malformed or reason-less directives are themselves reported.
-pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+/// One `xtask-allow` directive with its observed effect over a lint run —
+/// the raw material for `cargo xtask lint --allows` and stale-allow
+/// detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRecord {
+    /// Workspace-relative path of the file holding the directive.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: u32,
+    /// The rule id it targets, e.g. `XT04`.
+    pub rule: String,
+    /// The justification (empty reasons are reported separately as
+    /// `XTALLOW` diagnostics, not as stale allows).
+    pub reason: String,
+    /// How many findings the directive suppressed in this run. A
+    /// well-formed directive with `used == 0` is stale.
+    pub used: usize,
+}
+
+impl AllowRecord {
+    /// A reasoned directive that suppressed nothing — its justification
+    /// has outlived the finding it was written for.
+    pub fn is_stale(&self) -> bool {
+        self.used == 0 && !self.reason.is_empty()
+    }
+}
+
+/// Run the lexical rules (XT01–XT07) against one file, returning *raw*
+/// findings with no `xtask-allow` suppression applied.
+pub fn lexical_diags(file: &SourceFile) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     xt01_unseeded_rng(file, &mut diags);
     xt02_raw_noise(file, &mut diags);
@@ -96,11 +122,43 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     xt05_budget_bypass(file, &mut diags);
     xt06_println_in_lib(file, &mut diags);
     xt07_raw_thread(file, &mut diags);
+    diags
+}
+
+/// Drop findings covered by a well-formed `xtask-allow` on the same line
+/// or the line directly above, counting each directive's suppressions.
+/// Malformed or reason-less directives are themselves reported. Returns
+/// the surviving diagnostics (sorted) and one [`AllowRecord`] per
+/// directive.
+pub fn filter_allows(
+    file: &SourceFile,
+    mut diags: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, Vec<AllowRecord>) {
+    let mut records: Vec<AllowRecord> = file
+        .lexed
+        .allows
+        .iter()
+        .map(|a| AllowRecord {
+            file: file.rel_path.clone(),
+            line: a.line,
+            rule: a.rule.clone(),
+            reason: a.reason.clone(),
+            used: 0,
+        })
+        .collect();
 
     diags.retain(|d| {
-        !file.lexed.allows.iter().any(|a| {
-            a.rule == d.rule && !a.reason.is_empty() && (a.line == d.line || a.line + 1 == d.line)
-        })
+        let mut suppressed = false;
+        for r in &mut records {
+            if r.rule == d.rule
+                && !r.reason.is_empty()
+                && (r.line == d.line || r.line + 1 == d.line)
+            {
+                r.used += 1;
+                suppressed = true;
+            }
+        }
+        !suppressed
     });
 
     for a in &file.lexed.allows {
@@ -127,7 +185,14 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     }
 
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    diags
+    (diags, records)
+}
+
+/// Run the lexical rules against one file with allow suppression — the
+/// single-file entry point (the workspace scanner additionally runs the
+/// structural rules in [`crate::structural`]).
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    filter_allows(file, lexical_diags(file)).0
 }
 
 fn diag(file: &SourceFile, rule: &'static str, line: u32, message: String) -> Diagnostic {

@@ -4,32 +4,74 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::lex;
-use crate::rules::{check_file, Diagnostic, SourceFile};
+use crate::rules::{filter_allows, lexical_diags, AllowRecord, Diagnostic, SourceFile};
+use crate::structural;
 
 /// Directories never descended into. `vendor/` holds shims for external
 /// crates — dependencies are not ours to lint — and `tests/fixtures`
 /// holds deliberately-violating inputs for the lint's own tests.
-const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "node_modules"];
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
 
-/// Lint every `.rs` file under `root`, returning sorted diagnostics.
+/// Entries under `vendor/` that are first-party code and *are* linted.
+/// The rayon shim has been a real scoped thread pool (ours) since the
+/// parallel-seam rewrite; everything else in `vendor/` stays skipped.
+const VENDOR_LINTED: &[&str] = &["rayon"];
+
+/// Result of one full lint pass: surviving diagnostics plus the observed
+/// effect of every `xtask-allow` directive.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Sorted findings (lexical XT01–XT07 and structural XT08–XT10) that
+    /// survived allow suppression, plus `XTALLOW`/`XTIO` meta findings.
+    pub diags: Vec<Diagnostic>,
+    /// Every allow directive seen, with suppression counts (sorted by
+    /// file/line).
+    pub allows: Vec<AllowRecord>,
+}
+
+/// Lint a set of already-lexed files: lexical rules per file, structural
+/// rules across the set, then per-file allow suppression. Pure — no I/O —
+/// so tests can drive it with in-memory mini-workspaces.
+pub fn lint_files(files: &[SourceFile]) -> LintReport {
+    let mut per_file: Vec<Vec<Diagnostic>> = files.iter().map(lexical_diags).collect();
+    for d in structural::check_workspace(files) {
+        if let Some(i) = files.iter().position(|f| f.rel_path == d.file) {
+            per_file[i].push(d);
+        }
+    }
+
+    let mut report = LintReport::default();
+    for (file, diags) in files.iter().zip(per_file) {
+        let (kept, records) = filter_allows(file, diags);
+        report.diags.extend(kept);
+        report.allows.extend(records);
+    }
+    report
+        .diags
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// Lint every `.rs` file under `root`, returning the full report.
 ///
 /// Errors only on I/O failure (unreadable tree); individual files that
 /// fail to read are reported as diagnostics rather than aborting the run.
-pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)
+pub fn lint_workspace_report(root: &Path) -> Result<LintReport, String> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)
         .map_err(|e| format!("walking {}: {e}", root.display()))?;
-    files.sort();
+    paths.sort();
 
-    let mut diags = Vec::new();
-    for path in files {
+    let mut files = Vec::new();
+    let mut io_diags = Vec::new();
+    for path in paths {
         let rel = rel_path(root, &path);
         match fs::read_to_string(&path) {
-            Ok(src) => {
-                let file = SourceFile::new(rel, lex(&src));
-                diags.extend(check_file(&file));
-            }
-            Err(e) => diags.push(Diagnostic {
+            Ok(src) => files.push(SourceFile::new(rel, lex(&src))),
+            Err(e) => io_diags.push(Diagnostic {
                 rule: "XTIO",
                 file: rel,
                 line: 0,
@@ -37,8 +79,17 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
             }),
         }
     }
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(diags)
+    let mut report = lint_files(&files);
+    report.diags.extend(io_diags);
+    report
+        .diags
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Lint every `.rs` file under `root`, returning sorted diagnostics.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    lint_workspace_report(root).map(|r| r.diags)
 }
 
 fn rel_path(root: &Path, path: &Path) -> String {
@@ -60,8 +111,16 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io:
             if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
                 continue;
             }
-            if rel_path(root, &path).contains("tests/fixtures") {
+            let rel = rel_path(root, &path);
+            if rel.contains("tests/fixtures") {
                 continue;
+            }
+            // `vendor/` is skipped except for the first-party entries.
+            if let Some(entry) = rel.strip_prefix("vendor/") {
+                let top = entry.split('/').next().unwrap_or(entry);
+                if !VENDOR_LINTED.contains(&top) {
+                    continue;
+                }
             }
             collect_rs_files(root, &path, out)?;
         } else if name.ends_with(".rs") {
@@ -112,6 +171,80 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         s.push_str("\n  ");
     }
     s.push_str(&format!("],\n  \"count\": {}\n}}\n", diags.len()));
+    s
+}
+
+/// Render the allow inventory: every directive with file, line, rule and
+/// reason, flagging stale ones (reasoned directives that suppressed no
+/// finding in this run).
+pub fn render_allows_human(allows: &[AllowRecord]) -> String {
+    let mut s = String::new();
+    for a in allows {
+        let status = if a.reason.is_empty() {
+            "NO-REASON"
+        } else if a.is_stale() {
+            "STALE"
+        } else {
+            "used"
+        };
+        s.push_str(&format!(
+            "allow[{}] {}:{} ({status}, suppressed {}): {}\n",
+            a.rule,
+            a.file,
+            a.line,
+            a.used,
+            if a.reason.is_empty() {
+                "<missing reason>"
+            } else {
+                &a.reason
+            }
+        ));
+    }
+    let stale = allows.iter().filter(|a| a.is_stale()).count();
+    s.push_str(&format!(
+        "xtask lint --allows: {} directive{}, {} stale\n",
+        allows.len(),
+        if allows.len() == 1 { "" } else { "s" },
+        stale
+    ));
+    if stale > 0 {
+        s.push_str(
+            "stale allows suppress nothing — delete them or re-justify against a live finding\n",
+        );
+    }
+    s
+}
+
+/// Render the full report (diagnostics + allow inventory) as JSON.
+pub fn render_report_json(report: &LintReport) -> String {
+    let diags_doc = render_json(&report.diags);
+    // Splice the allows array into the diagnostics document: drop the
+    // closing `}` and append.
+    let mut s = diags_doc
+        .trim_end()
+        .trim_end_matches('}')
+        .trim_end()
+        .to_string();
+    s.push_str(",\n  \"allows\": [");
+    for (i, a) in report.allows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\", \"used\": {}, \"stale\": {}}}",
+            json_escape(&a.rule),
+            json_escape(&a.file),
+            a.line,
+            json_escape(&a.reason),
+            a.used,
+            a.is_stale()
+        ));
+    }
+    if !report.allows.is_empty() {
+        s.push_str("\n  ");
+    }
+    let stale = report.allows.iter().filter(|a| a.is_stale()).count();
+    s.push_str(&format!("],\n  \"stale_allows\": {stale}\n}}\n"));
     s
 }
 

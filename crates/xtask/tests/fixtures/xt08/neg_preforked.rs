@@ -1,0 +1,23 @@
+//! Clean: children are forked sequentially before fan-out and each worker
+//! closure only consumes the child RNG it was handed (the PR-5 policy).
+//! Sequential iterators may draw from the enclosing RNG freely.
+fn sanitize_rows(rows: Vec<Vec<f64>>, rng: &mut DpRng) -> Vec<f64> {
+    let jobs: Vec<(Vec<f64>, DpRng)> = rows.into_iter().map(|r| (r, fork(rng))).collect();
+    jobs.into_par_iter()
+        .map(|(row, mut child)| row.iter().sum::<f64>() + child.gen::<f64>())
+        .collect()
+}
+
+fn sequential_draws_are_fine(xs: &[f64], rng: &mut DpRng) -> Vec<f64> {
+    xs.iter().map(|x| x + rng.gen::<f64>()).collect()
+}
+
+fn locally_seeded_worker_rng(specs: &[u64]) -> Vec<f64> {
+    specs
+        .par_iter()
+        .map(|&seed| {
+            let mut rng = DpRng::seed_from_u64(seed);
+            rng.gen::<f64>()
+        })
+        .collect()
+}

@@ -1,0 +1,17 @@
+//! Violating: parallel-seam closures draw from randomness captured from
+//! the enclosing scope, so the draw order depends on worker scheduling.
+fn sanitize_rows(rows: &[Vec<f64>], rng: &mut DpRng) -> Vec<f64> {
+    rows.par_iter()
+        .map(|row| {
+            let noise = rng.gen::<f64>();
+            row.iter().sum::<f64>() + noise
+        })
+        .collect()
+}
+
+fn refork_on_worker(xs: &[u64], rng: &mut DpRng) {
+    xs.par_iter().for_each(|x| {
+        let mut child = fork(rng);
+        consume(*x, &mut child);
+    });
+}

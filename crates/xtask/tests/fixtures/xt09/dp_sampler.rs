@@ -1,0 +1,6 @@
+//! The `crates/dp` half of the XT09 mini-workspace: a fn with a direct
+//! RNG draw, classified as a noise sampler by the call-graph layer.
+pub fn laplace_sample(scale: f64, rng: &mut DpRng) -> f64 {
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}

@@ -1,0 +1,12 @@
+//! Clean: the entry point records the spend on the accountant before any
+//! path reaches the sampler, so every draw is budget-dominated.
+pub fn sanitize_partitions(
+    acc: &mut BudgetAccountant,
+    xs: &[f64],
+    rng: &mut DpRng,
+) -> Result<Vec<f64>, DpError> {
+    for part in xs {
+        acc.spend_sequential_with("tile", part_label(part), eps_of(part), info_of(part))?;
+    }
+    Ok(xs.iter().map(|x| x + laplace_sample(1.0, rng)).collect())
+}

@@ -1,0 +1,15 @@
+//! Clean: configuration arrives through an explicit struct, `env!` is a
+//! compile-time macro, and lookalike idents are not `std::env` reads.
+pub struct Config {
+    pub threads: usize,
+}
+
+pub fn with_config(cfg: &Config) -> usize {
+    cfg.threads
+}
+
+pub fn lookalikes(stats: &Stats) -> f64 {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let v = var(3);
+    stats.var_os() + v + manifest.len() as f64
+}

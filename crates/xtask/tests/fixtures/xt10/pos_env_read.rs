@@ -1,0 +1,12 @@
+//! Violating: an ambient env read outside the configuration choke points
+//! makes runs depend on invisible process state.
+pub fn hidden_knob() -> usize {
+    std::env::var("STPT_HIDDEN_KNOB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+pub fn hidden_os_knob() -> bool {
+    std::env::var_os("STPT_OTHER_KNOB").is_some()
+}

@@ -1,0 +1,111 @@
+//! Property tests for the lint lexer: whatever bytes it is fed — valid
+//! Rust, truncated literals, or raw noise — `lex` must return (never
+//! panic) and report sane, monotonically non-decreasing line numbers.
+//! The lexer fronts every rule, so its robustness bounds the whole tool's.
+
+use proptest::prelude::*;
+use xtask::lexer::lex;
+
+/// Known-hostile prefixes: unterminated raw strings, nested block
+/// comments, lone raw-string prefixes, dangling escapes, truncated
+/// numeric and byte literals.
+const NASTY_PREFIXES: &[&str] = &[
+    "r\"never closed",
+    "r##\"wrong close\"#",
+    "r#",
+    "r#\"",
+    "br#\"byte raw",
+    "/* outer /* inner */",
+    "/*/",
+    "// xtask-allow(",
+    "// xtask-allow(XT04)",
+    "\"dangling \\",
+    "'",
+    "'\\",
+    "b'",
+    "1e",
+    "0x",
+    "1.2e+",
+    "ident'streak",
+];
+
+fn assert_lines_sane(src: &str) -> Result<(), String> {
+    let lexed = lex(src);
+    let line_count = src.lines().count().max(1) as u32;
+    for t in &lexed.tokens {
+        if t.line < 1 || t.line > line_count + 1 {
+            return Err(format!(
+                "token {:?} has line {} outside 1..={} for {src:?}",
+                t.kind, t.line, line_count
+            ));
+        }
+    }
+    for w in lexed.tokens.windows(2) {
+        if w[0].line > w[1].line {
+            return Err(format!(
+                "line numbers went backwards: {:?}@{} then {:?}@{} for {src:?}",
+                w[0].kind, w[0].line, w[1].kind, w[1].line
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Arbitrary byte soup (lossily decoded) never panics the lexer and
+    /// always yields monotone line numbers.
+    #[test]
+    fn lex_survives_arbitrary_byte_soup(
+        bytes in prop::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(msg) = assert_lines_sane(&src) {
+            prop_assert!(false, "{msg}");
+        }
+    }
+
+    /// Hostile literal prefixes followed by random tails — the truncated
+    /// raw-string/comment/number states must all terminate cleanly.
+    #[test]
+    fn lex_survives_malformed_literal_prefixes(
+        idx in 0usize..17,
+        newline in 0u8..2,
+        bytes in prop::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let sep = if newline == 0 { "" } else { "\n" };
+        let src = format!(
+            "{}{sep}{}",
+            NASTY_PREFIXES[idx],
+            String::from_utf8_lossy(&bytes)
+        );
+        if let Err(msg) = assert_lines_sane(&src) {
+            prop_assert!(false, "{msg}");
+        }
+    }
+
+    /// Line numbers track newlines exactly on well-formed-ish input: a
+    /// token written on line `k` of a generated source reports line `k`.
+    #[test]
+    fn lex_tracks_lines_on_generated_ident_grids(
+        rows in prop::collection::vec(prop::collection::vec(0u8..26, 0..4), 1..8)
+    ) {
+        let src: String = rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|c| format!("w{}", (b'a' + c) as char))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let lexed = lex(&src);
+        let expected: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| std::iter::repeat_n((i + 1) as u32, row.len()))
+            .collect();
+        let got: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
