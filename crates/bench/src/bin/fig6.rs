@@ -63,9 +63,9 @@ fn main() {
                 ));
             }
             for mech in baseline_roster(&spec, env.hours) {
-                let (san, _) = run_baseline(mech.as_ref(), &inst, cfg.eps_total(), rep);
+                let (san, _) = run_baseline(&env, mech.as_ref(), &inst, cfg.eps_total(), rep);
                 for class in QueryClass::ALL {
-                    let mre = mre_of(&env, &inst, &san, class, rep);
+                    let mre = mre_of(&env, &inst, &san.data, class, rep);
                     out.push((
                         spec.name.to_string(),
                         dist.label().to_string(),

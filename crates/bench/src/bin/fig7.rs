@@ -34,14 +34,14 @@ fn main() {
             let inst = make_instance(&env, spec, SpatialDistribution::LaLike, rep);
             let cfg = stpt_config(&env, &spec, rep);
             let (stpt_out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
-            let (wpo_out, _) = run_baseline(wpo().as_ref(), &inst, cfg.eps_total(), rep);
-            let (id_out, _) = run_baseline(&Identity, &inst, cfg.eps_total(), rep);
+            let (wpo_out, _) = run_baseline(&env, wpo().as_ref(), &inst, cfg.eps_total(), rep);
+            let (id_out, _) = run_baseline(&env, &Identity, &inst, cfg.eps_total(), rep);
             let mut rows = Vec::new();
             for class in QueryClass::ALL {
                 for (name, matrix) in [
                     ("STPT", &stpt_out.sanitized),
-                    ("WPO", &wpo_out),
-                    ("Identity", &id_out),
+                    ("WPO", &wpo_out.data),
+                    ("Identity", &id_out.data),
                 ] {
                     rows.push((name, class.label(), mre_of(&env, &inst, matrix, class, rep)));
                 }

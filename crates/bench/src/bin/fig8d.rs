@@ -36,7 +36,7 @@ fn main() {
     let mut roster = baseline_roster(&spec, env.hours);
     roster.push(wpo());
     for mech in roster {
-        let (_, secs) = run_baseline(mech.as_ref(), &inst, cfg.eps_total(), 0);
+        let (_, secs) = run_baseline(&env, mech.as_ref(), &inst, cfg.eps_total(), 0);
         stpt_obs::report!("{}", row(&[mech.name(), format!("{secs:.2}")]));
         timings.push(Timing {
             algorithm: mech.name(),

@@ -1,0 +1,134 @@
+//! Post-processing ablation: raw vs consistency-projected MRE across the
+//! privacy budget sweep, for STPT and the Identity baseline.
+//!
+//! Each (ε, rep) job runs the mechanism **twice with the same seed** — once
+//! with the consistency stage off, once on — so both arms consume identical
+//! noise draws and the comparison is exactly paired: any MRE difference is
+//! attributable to the ε-free projection alone (Theorem 3 says the arms are
+//! equally private). `cargo xtask regress` enforces the ordering claim
+//! `postprocessed ≤ raw` on the committed baseline at every ε.
+
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use stpt_baselines::Identity;
+use stpt_bench::*;
+use stpt_data::{DatasetSpec, SpatialDistribution};
+use stpt_queries::QueryClass;
+
+/// The two release-stage arms of one mechanism at one ε.
+#[derive(Serialize)]
+struct Arm {
+    raw: Spread,
+    postprocessed: Spread,
+}
+
+#[derive(Serialize)]
+struct Point {
+    eps_total: f64,
+    /// mechanism -> paired raw / post-processed MRE (%).
+    mre: BTreeMap<String, Arm>,
+}
+
+const EPS_SWEEP: &[f64] = &[1.0, 2.0, 5.0, 10.0, 20.0, 30.0];
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    // The two arms are forced locally; the STPT_POSTPROCESS knob is what
+    // this figure ablates, so the ambient setting is deliberately ignored.
+    let mut env_raw = env;
+    env_raw.pp = false;
+    let mut env_pp = env;
+    env_pp.pp = true;
+    let spec = DatasetSpec::CER;
+    stpt_obs::report!("# Post-processing ablation — raw vs consistency-projected MRE (%)");
+    stpt_obs::report!(
+        "# CER, Uniform distribution, Random queries, {} reps\n",
+        env.reps
+    );
+
+    let jobs: Vec<(usize, u64)> = (0..EPS_SWEEP.len())
+        .flat_map(|ei| (0..env.reps).map(move |rep| (ei, rep)))
+        .collect();
+    // (stpt_raw, stpt_pp, id_raw, id_pp) per job; the ordered collect keeps
+    // downstream aggregation in deterministic (ε, rep) order.
+    let outs: Vec<(f64, f64, f64, f64)> = jobs
+        .into_par_iter()
+        .map(|(ei, rep)| {
+            let eps = EPS_SWEEP[ei];
+            let inst = make_instance(&env_raw, spec, SpatialDistribution::Uniform, rep);
+
+            let mut cfg = stpt_config(&env_raw, &spec, rep);
+            let factor = eps / cfg.eps_total();
+            cfg.eps_pattern *= factor;
+            cfg.eps_sanitize *= factor;
+            cfg.postprocess = false;
+            let (stpt_raw, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
+            // Same seed, same budgets — only the post-processing flag flips.
+            cfg.postprocess = true;
+            let (stpt_pp, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
+
+            let (id_raw, _) = run_baseline(&env_raw, &Identity, &inst, eps, rep);
+            let (id_pp, _) = run_baseline(&env_pp, &Identity, &inst, eps, rep);
+
+            (
+                mre_of(
+                    &env_raw,
+                    &inst,
+                    &stpt_raw.sanitized,
+                    QueryClass::Random,
+                    rep,
+                ),
+                mre_of(&env_raw, &inst, &stpt_pp.sanitized, QueryClass::Random, rep),
+                mre_of(&env_raw, &inst, &id_raw.data, QueryClass::Random, rep),
+                mre_of(&env_raw, &inst, &id_pp.data, QueryClass::Random, rep),
+            )
+        })
+        .collect();
+
+    stpt_obs::report!(
+        "{}",
+        row(&[
+            "eps_tot".into(),
+            "STPT raw".into(),
+            "STPT pp".into(),
+            "Identity raw".into(),
+            "Identity pp".into(),
+        ])
+    );
+    stpt_obs::report!("|---|---|---|---|---|");
+    let mut points = Vec::new();
+    for (ei, &eps) in EPS_SWEEP.iter().enumerate() {
+        let reps = env.reps as usize;
+        let col = |pick: fn(&(f64, f64, f64, f64)) -> f64| -> Vec<f64> {
+            (0..reps).map(|rep| pick(&outs[ei * reps + rep])).collect()
+        };
+        let stpt = Arm {
+            raw: Spread::of(&col(|o| o.0)),
+            postprocessed: Spread::of(&col(|o| o.1)),
+        };
+        let identity = Arm {
+            raw: Spread::of(&col(|o| o.2)),
+            postprocessed: Spread::of(&col(|o| o.3)),
+        };
+        stpt_obs::report!(
+            "{}",
+            row(&[
+                format!("{eps}"),
+                format!("{:.2}", stpt.raw.mean),
+                format!("{:.2}", stpt.postprocessed.mean),
+                format!("{:.2}", identity.raw.mean),
+                format!("{:.2}", identity.postprocessed.mean),
+            ])
+        );
+        let mut mre = BTreeMap::new();
+        mre.insert("STPT".to_string(), stpt);
+        mre.insert("Identity".to_string(), identity);
+        points.push(Point {
+            eps_total: eps,
+            mre,
+        });
+    }
+    emit_result("fig_pp", &env, &points);
+    stpt_obs::report!("(wrote results/fig_pp.json)");
+}

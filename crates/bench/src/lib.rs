@@ -20,7 +20,7 @@ use serde::Serialize;
 use std::sync::OnceLock;
 use std::time::Instant;
 use stpt_baselines::{Fast, Fourier, Identity, LganDp, Mechanism, Wavelet, Wpo};
-use stpt_core::{run_stpt, StptConfig, StptOutput};
+use stpt_core::{run_stpt, Presanitized, Release, ReleasePipeline, StptConfig, StptOutput};
 use stpt_data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
 use stpt_dp::rng::run_seed;
 use stpt_dp::{DpError, DpRng};
@@ -50,6 +50,8 @@ pub struct ExperimentEnv {
     pub hours: usize,
     /// Training prefix T_train.
     pub t_train: usize,
+    /// Run the ε-free consistency post-processing stage on every release.
+    pub pp: bool,
 }
 
 impl ExperimentEnv {
@@ -70,6 +72,7 @@ impl ExperimentEnv {
             grid: get("STPT_GRID", 32),
             hours: get("STPT_HOURS", 220),
             t_train: get("STPT_TRAIN", 100),
+            pp: get("STPT_POSTPROCESS", 0) != 0,
         }
     }
 }
@@ -208,18 +211,36 @@ pub fn wpo() -> Box<dyn Mechanism + Send + Sync> {
     Box::new(Wpo::default())
 }
 
-/// Run a baseline mechanism with a per-(mechanism, rep) seed; returns the
-/// sanitised matrix and the wall-clock seconds.
+/// Run a baseline mechanism with a per-(mechanism, rep) seed through the
+/// staged release pipeline; returns the [`Release`] and the wall-clock
+/// seconds. When `env.pp` is set, the unaudited pipeline runs the ε-free
+/// consistency stage on the baseline's output (and verifies its proof), so
+/// baselines and STPT are compared at the same release stage.
 pub fn run_baseline(
+    env: &ExperimentEnv,
     mech: &dyn Mechanism,
     inst: &Instance,
     eps_total: f64,
     rep: u64,
-) -> (ConsumptionMatrix, f64) {
-    let mut rng = DpRng::seed_from_u64(run_seed(hash_name(&mech.name()), rep));
+) -> (Release, f64) {
+    let seed = run_seed(hash_name(&mech.name()), rep);
+    let mut rng = DpRng::seed_from_u64(seed);
     let start = Instant::now();
-    let out = mech.sanitize(&inst.clipped, inst.clip, eps_total, &mut rng);
-    (out, start.elapsed().as_secs_f64())
+    let raw = mech.raw_release(&inst.clipped, inst.clip, eps_total, &mut rng);
+    let pipeline = ReleasePipeline {
+        eps_total,
+        seed,
+        postprocess: env.pp,
+        audited: false,
+    };
+    let release = pipeline
+        .run(
+            &mut Presanitized::new(raw.mechanism, raw.data),
+            &inst.clipped,
+        )
+        // xtask-allow(XT04): a pre-sanitized release spends nothing on the accountant, so its proofs always verify
+        .expect("a pre-sanitized release spends nothing, so its proofs verify");
+    (release, start.elapsed().as_secs_f64())
 }
 
 /// Default STPT configuration for an instance at this experiment scale
@@ -231,6 +252,7 @@ pub fn stpt_config(env: &ExperimentEnv, spec: &DatasetSpec, rep: u64) -> StptCon
     cfg.net.seed = cfg.seed ^ 0xabcd;
     // Depth must keep the grid divisible and leave windows in each segment.
     cfg.depth = cfg.depth.min(env.grid.trailing_zeros() as usize);
+    cfg.postprocess = env.pp;
     cfg
 }
 
@@ -329,6 +351,7 @@ mod tests {
             grid: 8,
             hours: 40,
             t_train: 25,
+            pp: false,
         }
     }
 
@@ -395,8 +418,8 @@ mod tests {
         cfg.net.epochs = 3;
         let (stpt_out, _) = run_stpt_timed(&inst, &cfg).expect("config budget is consistent");
         let stpt_mre = mre_of(&env, &inst, &stpt_out.sanitized, QueryClass::Random, 0);
-        let (id_out, _) = run_baseline(&Identity, &inst, cfg.eps_total(), 0);
-        let id_mre = mre_of(&env, &inst, &id_out, QueryClass::Random, 0);
+        let (id_out, _) = run_baseline(&env, &Identity, &inst, cfg.eps_total(), 0);
+        let id_mre = mre_of(&env, &inst, &id_out.data, QueryClass::Random, 0);
         assert!(
             stpt_mre < id_mre,
             "STPT MRE {stpt_mre} not below Identity {id_mre}"

@@ -23,7 +23,7 @@
 use crate::error::DpError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use stpt_obs::{Composition, LedgerCheck, LedgerEntry};
+use stpt_obs::{Composition, LedgerCheck, LedgerEntry, PostProcessProof};
 
 /// A strictly positive privacy budget ε.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
@@ -154,6 +154,23 @@ pub struct BudgetAccountant {
     parallel: BTreeMap<String, BTreeMap<String, f64>>,
     /// Append-only record of every accepted spend, in acceptance order.
     ledger: Vec<LedgerEntry>,
+    /// One ε-freeness proof per completed post-processing stage, in
+    /// completion order. See [`BudgetAccountant::begin_postprocess`].
+    proofs: Vec<PostProcessProof>,
+}
+
+/// Open bracket of a post-processing stage, returned by
+/// [`BudgetAccountant::begin_postprocess`] and consumed by
+/// [`BudgetAccountant::end_postprocess`]. Dropping it without closing the
+/// stage leaves no proof behind, which [`BudgetAccountant::audit`] treats
+/// the same as never claiming ε-freeness — stages must be closed to count.
+#[must_use = "a post-processing stage must be closed with end_postprocess to record its proof"]
+#[derive(Debug)]
+pub struct PostProcessToken {
+    /// Ledger length when the stage opened.
+    start: usize,
+    /// Stage label, carried into the proof.
+    stage: String,
 }
 
 /// Total spend of a (sequential, parallel) phase-map pair: sum over phases,
@@ -180,6 +197,7 @@ impl BudgetAccountant {
             sequential: BTreeMap::new(),
             parallel: BTreeMap::new(),
             ledger: Vec::new(),
+            proofs: Vec::new(),
         }
     }
 
@@ -202,6 +220,86 @@ impl BudgetAccountant {
     /// The audit ledger: one entry per accepted spend, in acceptance order.
     pub fn ledger(&self) -> &[LedgerEntry] {
         &self.ledger
+    }
+
+    /// The recorded post-processing proofs, in stage-completion order.
+    pub fn proofs(&self) -> &[PostProcessProof] {
+        &self.proofs
+    }
+
+    /// Open a post-processing stage: capture the current ledger length so
+    /// [`end_postprocess`](Self::end_postprocess) — and later the audit —
+    /// can prove that no budget was spent while the stage ran (the runtime
+    /// form of the post-processing theorem, Thm. 3).
+    pub fn begin_postprocess(&mut self, stage: &str) -> PostProcessToken {
+        PostProcessToken {
+            start: self.ledger.len(),
+            stage: stage.to_string(),
+        }
+    }
+
+    /// Close a post-processing stage and record its ε-freeness proof. The
+    /// proof captures how many spends (and how much ε) landed between
+    /// `begin` and `end`; a correct post-processing stage records zero of
+    /// both, and [`audit`](Self::audit) /
+    /// [`verify_postprocess`](Self::verify_postprocess) fail closed
+    /// otherwise.
+    pub fn end_postprocess(&mut self, token: PostProcessToken) {
+        let spends_during = self.ledger.len().saturating_sub(token.start);
+        // Fold from +0.0: `Iterator::sum` for f64 starts at -0.0, and the
+        // proof's ε must be bit-exactly +0.0 for an empty window.
+        let epsilon = self.ledger[token.start..]
+            .iter()
+            .fold(0.0f64, |acc, e| acc + e.epsilon);
+        self.proofs.push(PostProcessProof {
+            stage: token.stage,
+            epsilon,
+            spends_during,
+            ledger_at: token.start,
+        });
+    }
+
+    /// Replay every recorded [`PostProcessProof`] against the ledger and
+    /// fail closed unless each stage's window is empty: zero spends, zero
+    /// ε, and a recorded ε that bit-matches the window replay. Returns the
+    /// number of verified stages. Called from
+    /// [`audit`](Self::audit) and usable standalone on release paths that
+    /// do not run a full audit.
+    pub fn verify_postprocess(&self) -> Result<usize, DpError> {
+        for proof in &self.proofs {
+            let end = proof.ledger_at + proof.spends_during;
+            let window: f64 = self
+                .ledger
+                .get(proof.ledger_at..end)
+                .map(|w| w.iter().fold(0.0f64, |acc, e| acc + e.epsilon))
+                .unwrap_or(f64::NAN);
+            let replay_matches = window.to_bits() == proof.epsilon.to_bits();
+            // Bit patterns, not float compares: the proof's ε must be the
+            // canonical +0.0 (an empty-window fold), nothing else.
+            let zero_bits = 0.0f64.to_bits();
+            if proof.spends_during != 0 || proof.epsilon.to_bits() != zero_bits {
+                return Err(DpError::AuditFailed {
+                    expected: 0.0,
+                    replayed: proof.epsilon,
+                    detail: format!(
+                        "post-processing stage '{}' is not ε-free: {} spend(s) totalling \
+                         ε={} landed while it ran (Thm. 3 requires zero)",
+                        proof.stage, proof.spends_during, proof.epsilon
+                    ),
+                });
+            }
+            if !replay_matches {
+                return Err(DpError::AuditFailed {
+                    expected: proof.epsilon,
+                    replayed: window,
+                    detail: format!(
+                        "post-processing proof for stage '{}' does not match the ledger replay",
+                        proof.stage
+                    ),
+                });
+            }
+        }
+        Ok(self.proofs.len())
     }
 
     /// Spend `eps` sequentially in `phase` (touches the same records as all
@@ -345,6 +443,10 @@ impl BudgetAccountant {
             }
         }
 
+        // Post-processing stages must prove ε-freeness before anything is
+        // published (Thm. 3, checked at runtime).
+        let stages = self.verify_postprocess()?;
+
         let replayed = spent_of(&sequential, &parallel);
         let spent = self.spent();
         let maps_match = maps_bit_equal(&sequential, &self.sequential)
@@ -356,6 +458,7 @@ impl BudgetAccountant {
             replayed,
             spent,
             entries: self.ledger.len(),
+            postprocess_stages: stages,
             consistent: maps_match && total_matches,
         };
 
@@ -376,7 +479,7 @@ impl BudgetAccountant {
                 ),
             });
         }
-        stpt_obs::ledger::publish_ledger(self.ledger.clone(), check);
+        stpt_obs::ledger::publish_ledger(self.ledger.clone(), self.proofs.clone(), check);
         Ok(check)
     }
 
@@ -577,6 +680,54 @@ mod tests {
             DpError::AuditFailed { replayed, .. } => assert!((replayed - 4.0).abs() < 1e-12),
             other => panic!("expected AuditFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn clean_postprocess_stage_proves_epsilon_free() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(5.0));
+        acc.spend_sequential("sanitize", Epsilon::new(5.0)).unwrap();
+        let token = acc.begin_postprocess("consistency");
+        // A genuine post-processing stage touches no budget here.
+        acc.end_postprocess(token);
+        assert_eq!(acc.proofs().len(), 1);
+        assert_eq!(acc.proofs()[0].spends_during, 0);
+        assert_eq!(acc.proofs()[0].epsilon.to_bits(), 0.0f64.to_bits());
+        assert_eq!(acc.verify_postprocess().unwrap(), 1);
+        let check = acc.audit(5.0).expect("audit must pass");
+        assert!(check.consistent);
+        assert_eq!(check.postprocess_stages, 1);
+    }
+
+    #[test]
+    fn audit_fails_closed_on_spend_during_postprocess() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(5.0));
+        acc.spend_sequential("sanitize", Epsilon::new(4.0)).unwrap();
+        let token = acc.begin_postprocess("consistency");
+        // A stage that claims to be post-processing but draws budget.
+        acc.spend_sequential("sneaky", Epsilon::new(1.0)).unwrap();
+        acc.end_postprocess(token);
+        let err = acc.verify_postprocess().expect_err("stage spent budget");
+        assert!(matches!(err, DpError::AuditFailed { .. }));
+        // The full audit refuses too, even though the ledger telescopes.
+        let err = acc.audit(5.0).expect_err("audit must fail closed");
+        match err {
+            DpError::AuditFailed { detail, .. } => {
+                assert!(detail.contains("not ε-free"), "{detail}");
+            }
+            other => panic!("expected AuditFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_postprocess_proof_fails_replay() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(2.0));
+        acc.spend_sequential("a", Epsilon::new(1.0)).unwrap();
+        let token = acc.begin_postprocess("consistency");
+        acc.end_postprocess(token);
+        // Simulate a proof whose window points at real spends.
+        acc.proofs[0].ledger_at = 0;
+        acc.proofs[0].spends_during = 1;
+        assert!(acc.verify_postprocess().is_err());
     }
 
     #[test]

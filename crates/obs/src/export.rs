@@ -181,18 +181,39 @@ fn render_telemetry(run: &str, ledger_entries: bool) -> String {
 
     match published {
         None => out.push_str("  \"ledger\": null\n"),
-        Some((entries, check)) => {
+        Some((entries, proofs, check)) => {
             out.push_str("  \"ledger\": {\n");
             let _ = writeln!(
                 out,
                 "    \"check\": {{ \"total\": {}, \"replayed\": {}, \"spent\": {}, \
-                 \"entries\": {}, \"consistent\": {} }},",
+                 \"entries\": {}, \"postprocess\": {}, \"consistent\": {} }},",
                 json_f64(check.total),
                 json_f64(check.replayed),
                 json_f64(check.spent),
                 check.entries,
+                check.postprocess_stages,
                 check.consistent
             );
+            out.push_str("    \"proofs\": [");
+            for (i, p) in proofs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n      {{ \"stage\": \"{}\", \"epsilon\": {}, \"spends_during\": {}, \
+                     \"ledger_at\": {} }}",
+                    json_escape(&p.stage),
+                    json_f64(p.epsilon),
+                    p.spends_during,
+                    p.ledger_at
+                );
+            }
+            out.push_str(if proofs.is_empty() {
+                "],\n"
+            } else {
+                "\n    ],\n"
+            });
             let _ = writeln!(out, "    \"runs\": {},", ledger::published_runs());
             if ledger_entries {
                 out.push_str("    \"entries\": [");
@@ -432,7 +453,7 @@ pub fn write_chrome_trace(run: &str) -> Option<PathBuf> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ledger::{Composition, LedgerCheck, LedgerEntry};
+    use crate::ledger::{Composition, LedgerCheck, LedgerEntry, PostProcessProof};
 
     #[test]
     fn json_f64_handles_degenerate_values() {
@@ -465,11 +486,18 @@ mod tests {
                 sensitivity: 1.0,
                 kind: Composition::Parallel,
             }],
+            vec![PostProcessProof {
+                stage: "consistency".to_owned(),
+                epsilon: 0.0,
+                spends_during: 0,
+                ledger_at: 1,
+            }],
             LedgerCheck {
                 total: 0.5,
                 replayed: 0.5,
                 spent: 0.5,
                 entries: 1,
+                postprocess_stages: 1,
                 consistent: true,
             },
         );
@@ -480,6 +508,9 @@ mod tests {
         assert!(doc.contains("\"path\": \"export_test\""));
         assert!(doc.contains("\"consistent\": true"));
         assert!(doc.contains("\"kind\": \"parallel\""));
+        assert!(doc.contains("\"postprocess\": 1"));
+        assert!(doc.contains("\"stage\": \"consistency\""));
+        assert!(doc.contains("\"spends_during\": 0"));
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency-free crate.
         let opens = doc.matches('{').count();

@@ -51,6 +51,25 @@ pub struct LedgerEntry {
     pub kind: Composition,
 }
 
+/// Evidence that one post-processing stage spent no budget (the runtime
+/// form of the post-processing theorem, Thm. 3). The accountant records a
+/// proof per stage by bracketing it with ledger-length tokens; the audit
+/// replays each window and fails closed unless it is empty.
+#[derive(Debug, Clone)]
+pub struct PostProcessProof {
+    /// Stage label, e.g. `"consistency"`.
+    pub stage: String,
+    /// Sum of ε across spends recorded while the stage was open. Must be
+    /// exactly `0.0` for the audit to pass.
+    pub epsilon: f64,
+    /// Number of ledger entries recorded while the stage was open. Must
+    /// be `0` for the audit to pass.
+    pub spends_during: usize,
+    /// Ledger length when the stage opened (the start of the replay
+    /// window).
+    pub ledger_at: usize,
+}
+
 /// Result of replaying a ledger against the accountant's live state.
 #[derive(Debug, Clone, Copy)]
 pub struct LedgerCheck {
@@ -62,6 +81,9 @@ pub struct LedgerCheck {
     pub spent: f64,
     /// Number of ledger entries replayed.
     pub entries: usize,
+    /// Number of post-processing stages whose ε-freeness proofs the audit
+    /// replayed (all must be empty windows for `consistent` to hold).
+    pub postprocess_stages: usize,
     /// Whether the replay matched the live accountant bit-exactly and the
     /// total within tolerance.
     pub consistent: bool,
@@ -75,8 +97,8 @@ pub struct LedgerCheck {
 /// ([`run_order`]) — plus the AND of every run's `consistent` verdict, so
 /// the snapshot is identical at any `STPT_THREADS`.
 struct Published {
-    /// Entries + check of the canonical (order-minimal) run.
-    canonical: Option<(Vec<LedgerEntry>, LedgerCheck)>,
+    /// Entries + proofs + check of the canonical (order-minimal) run.
+    canonical: Option<PublishedRun>,
     /// AND of every published check's `consistent` flag.
     all_consistent: bool,
     /// Number of publications merged since the last [`reset`].
@@ -98,6 +120,10 @@ fn slot() -> MutexGuard<'static, Published> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// One published run: its ledger, its post-processing proofs, and the
+/// audit verdict.
+pub type PublishedRun = (Vec<LedgerEntry>, Vec<PostProcessProof>, LedgerCheck);
+
 /// Bit-level content key of one entry, for the canonical-run total order.
 fn entry_key(e: &LedgerEntry) -> (&str, Option<&str>, &str, u64, u64, &'static str) {
     (
@@ -110,17 +136,25 @@ fn entry_key(e: &LedgerEntry) -> (&str, Option<&str>, &str, u64, u64, &'static s
     )
 }
 
+/// Bit-level content key of one post-processing proof.
+fn proof_key(p: &PostProcessProof) -> (&str, u64, usize, usize) {
+    (
+        p.stage.as_str(),
+        p.epsilon.to_bits(),
+        p.spends_during,
+        p.ledger_at,
+    )
+}
+
 /// Total order on published runs by content, never by publication time:
-/// scalar check fields first (cheap), then the entry lists
+/// scalar check fields first (cheap), then the entry and proof lists
 /// lexicographically. Using `to_bits` keeps the order total (no NaN holes)
 /// and exact.
-fn run_order(
-    a: &(Vec<LedgerEntry>, LedgerCheck),
-    b: &(Vec<LedgerEntry>, LedgerCheck),
-) -> std::cmp::Ordering {
-    let scalar = |(entries, check): &(Vec<LedgerEntry>, LedgerCheck)| {
+fn run_order(a: &PublishedRun, b: &PublishedRun) -> std::cmp::Ordering {
+    let scalar = |(entries, proofs, check): &PublishedRun| {
         (
             entries.len(),
+            proofs.len(),
             check.total.to_bits(),
             check.replayed.to_bits(),
             check.spent.to_bits(),
@@ -129,20 +163,25 @@ fn run_order(
     scalar(a)
         .cmp(&scalar(b))
         .then_with(|| a.0.iter().map(entry_key).cmp(b.0.iter().map(entry_key)))
+        .then_with(|| a.1.iter().map(proof_key).cmp(b.1.iter().map(proof_key)))
 }
 
 /// Publish a run's finished ledger and its audit verdict for export.
 /// No-op when the gate is off. Publications merge deterministically: the
 /// snapshot keeps the content-minimal run and ANDs all `consistent` flags,
 /// so concurrent runs yield the same export regardless of arrival order.
-pub fn publish_ledger(entries: Vec<LedgerEntry>, check: LedgerCheck) {
+pub fn publish_ledger(
+    entries: Vec<LedgerEntry>,
+    proofs: Vec<PostProcessProof>,
+    check: LedgerCheck,
+) {
     if !crate::enabled() {
         return;
     }
     let mut slot = slot();
     slot.runs += 1;
     slot.all_consistent &= check.consistent;
-    let candidate = (entries, check);
+    let candidate = (entries, proofs, check);
     let replace = match &slot.canonical {
         None => true,
         Some(current) => run_order(&candidate, current) == std::cmp::Ordering::Less,
@@ -154,11 +193,12 @@ pub fn publish_ledger(entries: Vec<LedgerEntry>, check: LedgerCheck) {
 
 /// The canonical published ledger, if any. The returned check carries the
 /// merged verdict: `consistent` is true only if *every* published run was.
-pub fn ledger_snapshot() -> Option<(Vec<LedgerEntry>, LedgerCheck)> {
+pub fn ledger_snapshot() -> Option<PublishedRun> {
     let slot = slot();
-    slot.canonical.as_ref().map(|(entries, check)| {
+    slot.canonical.as_ref().map(|(entries, proofs, check)| {
         (
             entries.clone(),
+            proofs.clone(),
             LedgerCheck {
                 consistent: slot.all_consistent,
                 ..*check
@@ -202,11 +242,13 @@ mod tests {
         reset();
         publish_ledger(
             vec![entry("ghost", 1.0)],
+            Vec::new(),
             LedgerCheck {
                 total: 1.0,
                 replayed: 1.0,
                 spent: 1.0,
                 entries: 1,
+                postprocess_stages: 0,
                 consistent: true,
             },
         );
@@ -215,19 +257,30 @@ mod tests {
         crate::set_enabled(true);
         publish_ledger(
             vec![entry("pattern", 0.5), entry("sanitize", 0.5)],
+            vec![PostProcessProof {
+                stage: "consistency".to_owned(),
+                epsilon: 0.0,
+                spends_during: 0,
+                ledger_at: 2,
+            }],
             LedgerCheck {
                 total: 1.0,
                 replayed: 1.0,
                 spent: 1.0,
                 entries: 2,
+                postprocess_stages: 1,
                 consistent: true,
             },
         );
         crate::set_enabled(false);
-        let (entries, check) = ledger_snapshot().expect("published");
+        let (entries, proofs, check) = ledger_snapshot().expect("published");
         assert_eq!(entries.len(), 2);
         assert!(check.consistent);
         assert_eq!(check.entries, 2);
+        assert_eq!(check.postprocess_stages, 1);
+        assert_eq!(proofs.len(), 1);
+        assert_eq!(proofs[0].stage, "consistency");
+        assert_eq!(proofs[0].spends_during, 0);
         reset();
         assert!(ledger_snapshot().is_none());
     }
@@ -241,20 +294,21 @@ mod tests {
             replayed: eps,
             spent: eps,
             entries: 1,
+            postprocess_stages: 0,
             consistent: ok,
         };
         let a = (vec![entry("alpha", 0.25)], check(0.25, true));
         let b = (vec![entry("beta", 0.5)], check(0.5, false));
 
         reset();
-        publish_ledger(a.0.clone(), a.1);
-        publish_ledger(b.0.clone(), b.1);
+        publish_ledger(a.0.clone(), Vec::new(), a.1);
+        publish_ledger(b.0.clone(), Vec::new(), b.1);
         assert_eq!(published_runs(), 2);
         let forward = ledger_snapshot().expect("published");
 
         reset();
-        publish_ledger(b.0.clone(), b.1);
-        publish_ledger(a.0.clone(), a.1);
+        publish_ledger(b.0.clone(), Vec::new(), b.1);
+        publish_ledger(a.0.clone(), Vec::new(), a.1);
         let reversed = ledger_snapshot().expect("published");
         crate::set_enabled(false);
         reset();
@@ -262,8 +316,8 @@ mod tests {
         // Same canonical run either way, and one bad run poisons the
         // merged verdict.
         assert_eq!(forward.0[0].phase, reversed.0[0].phase);
-        assert_eq!(forward.1.total.to_bits(), reversed.1.total.to_bits());
-        assert!(!forward.1.consistent);
-        assert!(!reversed.1.consistent);
+        assert_eq!(forward.2.total.to_bits(), reversed.2.total.to_bits());
+        assert!(!forward.2.consistent);
+        assert!(!reversed.2.consistent);
     }
 }

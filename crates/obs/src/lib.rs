@@ -41,7 +41,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use events::{EventPhase, TraceEvent};
-pub use ledger::{Composition, LedgerCheck, LedgerEntry};
+pub use ledger::{Composition, LedgerCheck, LedgerEntry, PostProcessProof};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use trace::SpanGuard;
 

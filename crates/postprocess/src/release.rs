@@ -1,0 +1,95 @@
+//! The common `Release` value every mechanism's output flows through.
+//!
+//! A [`Release`] bundles the sanitized data with everything needed to
+//! audit it after the fact: the budget trail (`LedgerEntry` list and total
+//! spend), the auditor's verdict when the producing path was audited, and
+//! the optional [`PostProcessRecord`] when the consistency stage ran. The
+//! `ReleasePipeline` in `stpt-core` is the only producer of post-processed
+//! releases; mechanisms that bypass it publish [`ReleaseStage::Raw`].
+
+use crate::project::PostProcessRecord;
+use stpt_data::ConsumptionMatrix;
+use stpt_obs::{LedgerCheck, LedgerEntry};
+
+/// Ledger stage label under which the consistency projection is proven
+/// ε-free (`PostProcessProof.stage`).
+pub const POSTPROCESS_STAGE: &str = "consistency";
+
+/// Which stage of the pipeline produced the released data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseStage {
+    /// Straight out of the sanitizer; no post-processing applied.
+    Raw,
+    /// Projected onto the consistency polytope after sanitization.
+    PostProcessed,
+}
+
+impl ReleaseStage {
+    /// Stable label used in result envelopes and telemetry. (The vendored
+    /// serde shim has no enum-representation attributes, so envelopes
+    /// carry this string rather than a derived variant encoding.)
+    pub fn label(self) -> &'static str {
+        match self {
+            ReleaseStage::Raw => "raw",
+            ReleaseStage::PostProcessed => "postprocessed",
+        }
+    }
+}
+
+/// A sanitized release with its provenance and audit trail.
+#[derive(Debug, Clone)]
+pub struct Release {
+    /// Name of the producing mechanism (e.g. `"STPT"`, `"Identity"`).
+    pub mechanism: String,
+    /// Raw vs. post-processed provenance of `data`.
+    pub stage: ReleaseStage,
+    /// The released consumption matrix.
+    pub data: ConsumptionMatrix,
+    /// Budget spends that produced `data`, in spend order.
+    pub ledger: Vec<LedgerEntry>,
+    /// Total ε spent across `ledger`.
+    pub epsilon_spent: f64,
+    /// Auditor verdict, present when the producing path ran a full audit.
+    pub audit: Option<LedgerCheck>,
+    /// Evidence of the consistency projection, present iff
+    /// `stage == ReleaseStage::PostProcessed`.
+    pub post: Option<PostProcessRecord>,
+}
+
+impl Release {
+    /// A raw release with no ledger trail — the shape mechanisms outside
+    /// the audited pipeline produce before the pipeline decorates it.
+    pub fn raw(mechanism: impl Into<String>, data: ConsumptionMatrix) -> Release {
+        Release {
+            mechanism: mechanism.into(),
+            stage: ReleaseStage::Raw,
+            data,
+            ledger: Vec::new(),
+            epsilon_spent: 0.0,
+            audit: None,
+            post: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_release_has_no_trail() {
+        let r = Release::raw("Identity", ConsumptionMatrix::zeros(1, 1, 2));
+        assert_eq!(r.stage, ReleaseStage::Raw);
+        assert_eq!(r.stage.label(), "raw");
+        assert!(r.ledger.is_empty());
+        assert!(r.audit.is_none());
+        assert!(r.post.is_none());
+        assert!(r.epsilon_spent.to_bits() == 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn stage_labels_are_stable() {
+        assert_eq!(ReleaseStage::PostProcessed.label(), "postprocessed");
+        assert_eq!(POSTPROCESS_STAGE, "consistency");
+    }
+}

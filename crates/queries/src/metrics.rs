@@ -6,6 +6,7 @@ use crate::query::RangeQuery;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use stpt_data::ConsumptionMatrix;
+use stpt_postprocess::Release;
 
 /// Telemetry: total range queries evaluated across all workloads.
 static QUERIES_EVALUATED: stpt_obs::Counter = stpt_obs::Counter::new("queries.evaluated");
@@ -83,6 +84,20 @@ pub fn evaluate_workload_with(
         median_re,
         queries: queries.len(),
     }
+}
+
+/// [`evaluate_workload_with`] over a staged-pipeline [`Release`]: the
+/// evaluate stage of the release pipeline. Metrics are computed on the
+/// release's data regardless of stage — the `Release` value carries the
+/// stage tag so callers can attribute results to raw vs post-processed
+/// runs without re-deriving it.
+pub fn evaluate_release(
+    truth_ps: &PrefixSum3D,
+    rho: f64,
+    release: &Release,
+    queries: &[RangeQuery],
+) -> WorkloadResult {
+    evaluate_workload_with(truth_ps, rho, &release.data, queries)
 }
 
 /// Denominator floor: 0.1% of the matrix's total mass — the standard

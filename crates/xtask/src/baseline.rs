@@ -53,9 +53,9 @@ use crate::report::Outcome;
 use crate::results::{EnvScale, RunDoc};
 
 /// Every result document the experiment suite produces, in run order.
-pub const EXPERIMENTS: [&str; 13] = [
+pub const EXPERIMENTS: [&str; 14] = [
     "table2", "fig6", "fig7", "fig8ab", "fig8c", "fig8d", "fig8ef", "fig8g", "fig8h", "fig8i",
-    "fig9", "ldp_gap", "ablate",
+    "fig9", "ldp_gap", "ablate", "fig_pp",
 ];
 
 /// Baseline file schema version.
@@ -830,6 +830,30 @@ fn claims_for(run: &RunDoc) -> Vec<Check> {
                 1.0,
             ));
         }
+        "fig_pp" => {
+            // Paired-seed ablation: both arms consume identical noise, so
+            // the ε-free consistency projection must never worsen MRE. The
+            // claims are scale-free (the pairing holds at any experiment
+            // scale), so the CI smoke run checks them too; the 1.0001
+            // factor admits the bitwise-equal case at high ε where the
+            // projection is the identity.
+            for eps in ["1", "2", "5", "10", "20", "30"] {
+                for alg in ["STPT", "Identity"] {
+                    c.push(Check {
+                        id: format!("fig_pp-{alg}-pp-not-worse-eps{eps}"),
+                        note: format!(
+                            "ε={eps}: {alg} post-processed MRE ≤ raw (paired noise draws)"
+                        ),
+                        scale_bound: false,
+                        kind: CheckKind::Less {
+                            lhs: vec![format!("data/[eps_total={eps}]/mre/{alg}/postprocessed")],
+                            rhs: vec![format!("data/[eps_total={eps}]/mre/{alg}/raw")],
+                            factor: 1.0001,
+                        },
+                    });
+                }
+            }
+        }
         "ablate" => {
             for dist in ["Uniform", "Normal", "LA"] {
                 let base = format!("distribution={dist}&depth=3&k=16");
@@ -962,6 +986,7 @@ mod tests {
                 grid: 32,
                 hours: 220,
                 t_train: 100,
+                pp: false,
             },
             data,
             telemetry: Some(telemetry),

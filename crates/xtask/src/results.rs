@@ -31,23 +31,33 @@ pub struct EnvScale {
     pub hours: u64,
     /// Training prefix (`STPT_TRAIN`).
     pub t_train: u64,
+    /// Consistency post-processing stage enabled (`STPT_POSTPROCESS`).
+    /// Release-stage provenance: a baseline recorded with one setting must
+    /// never be compared against a run at the other.
+    pub pp: bool,
 }
 
 impl EnvScale {
     /// Compact `reps=3 queries=300 …` rendering for reports.
     pub fn render(&self) -> String {
         format!(
-            "reps={} queries={} grid={} hours={} t_train={}",
-            self.reps, self.queries, self.grid, self.hours, self.t_train
+            "reps={} queries={} grid={} hours={} t_train={} pp={}",
+            self.reps, self.queries, self.grid, self.hours, self.t_train, self.pp
         )
     }
 
-    /// Parse from the envelope's `env` object.
+    /// Parse from the envelope's `env` object. `pp` is optional (envelopes
+    /// written before the post-processing stage existed lack it) and
+    /// defaults to false — those runs were all raw-stage.
     pub fn from_value(v: &Value) -> Result<EnvScale, String> {
         let get = |k: &str| -> Result<u64, String> {
             crate::jsonsel::select(v, k)
                 .and_then(crate::jsonsel::scalar_of)
                 .map(|f| f as u64)
+        };
+        let pp = match crate::jsonsel::select(v, "pp") {
+            Ok(Value::Bool(b)) => *b,
+            _ => false,
         };
         Ok(EnvScale {
             reps: get("reps")?,
@@ -55,6 +65,7 @@ impl EnvScale {
             grid: get("grid")?,
             hours: get("hours")?,
             t_train: get("t_train")?,
+            pp,
         })
     }
 
@@ -66,6 +77,7 @@ impl EnvScale {
             ("grid".to_owned(), Value::Number(self.grid as f64)),
             ("hours".to_owned(), Value::Number(self.hours as f64)),
             ("t_train".to_owned(), Value::Number(self.t_train as f64)),
+            ("pp".to_owned(), Value::Bool(self.pp)),
         ])
     }
 }

@@ -50,6 +50,17 @@ const XT09_ENTRIES: &[&str] = &[
     "sanitize",
 ];
 
+/// Qualified (`Type::method`) XT09 entry points — methods whose bare name
+/// is too generic to match on (`run` would pull in every `run` in the
+/// workspace).
+const XT09_QUALIFIED_ENTRIES: &[&str] = &["ReleasePipeline::run"];
+
+/// File prefix of the post-processing crate: code here transforms released
+/// (already-noisy) data and must be sampler-free *unconditionally* —
+/// Theorem 3's ε-freeness holds only for functions of the release, so even
+/// a budget-dominated draw is a bug, not an accounting question.
+const XT09_POSTPROCESS_PREFIX: &str = "crates/postprocess/";
+
 /// File prefixes where `std::env::var` is the sanctioned configuration
 /// choke point.
 const XT10_CHOKE_POINTS: &[&str] = &["crates/obs/", "vendor/rayon/"];
@@ -66,6 +77,7 @@ pub fn check_workspace(files: &[SourceFile]) -> Vec<Diagnostic> {
         xt10_hermeticity(file, &mut diags);
     }
     xt09_budget_dominance(&graph, &mut diags);
+    xt09_postprocess_purity(&graph, &mut diags);
 
     diags.sort_by(|a, b| {
         (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
@@ -372,7 +384,10 @@ fn xt09_budget_dominance(graph: &CallGraph, out: &mut Vec<Diagnostic>) {
         .nodes
         .iter()
         .enumerate()
-        .filter(|(_, n)| XT09_ENTRIES.contains(&n.name.as_str()))
+        .filter(|(_, n)| {
+            XT09_ENTRIES.contains(&n.name.as_str())
+                || XT09_QUALIFIED_ENTRIES.contains(&n.qualified.as_str())
+        })
         .map(|(i, _)| i)
         .collect();
 
@@ -422,6 +437,94 @@ fn xt09_budget_dominance(graph: &CallGraph, out: &mut Vec<Diagnostic>) {
                         let mut next = path.clone();
                         next.push(target);
                         queue.push_back((target, edge_dominated, next));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unconditional sampler reachability from the post-processing crate.
+/// Unlike the dominance pass, a budget spend on the path does NOT clear the
+/// diagnostic: post-processing must be a pure function of the release
+/// (Theorem 3), so *any* reachable noise sampler — and any draw performed
+/// directly by a postprocess-crate function — is flagged.
+fn xt09_postprocess_purity(graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let samplers: HashSet<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.file_path.starts_with("crates/dp/") && n.direct_draw)
+        .map(|(i, _)| i)
+        .collect();
+
+    for (entry, e) in graph.nodes.iter().enumerate() {
+        if !e.file_path.starts_with(XT09_POSTPROCESS_PREFIX) {
+            continue;
+        }
+        if e.direct_draw {
+            out.push(Diagnostic {
+                rule: "XT09",
+                file: e.file_path.clone(),
+                line: e.line,
+                message: format!(
+                    "`{}` draws randomness inside {XT09_POSTPROCESS_PREFIX} — \
+                     post-processing must be a deterministic function of the \
+                     released data for its ε = 0 proof (Theorem 3) to hold; \
+                     move the draw behind the accountant in crates/dp",
+                    e.qualified
+                ),
+            });
+        }
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut reported: HashSet<usize> = HashSet::new();
+        let mut queue: VecDeque<(usize, Vec<usize>)> = VecDeque::new();
+        seen.insert(entry);
+        queue.push_back((entry, vec![entry]));
+        while let Some((node, path)) = queue.pop_front() {
+            for call in &graph.nodes[node].calls {
+                for &target in &call.targets {
+                    if target == node {
+                        continue;
+                    }
+                    // Do not traverse the vendored shims: their ubiquitous
+                    // method names (`collect`, `run`, `new`) resolve by
+                    // bare-name fan-out to half the workspace, creating
+                    // phantom paths. Release dataflow never routes through
+                    // vendor code, and the samplers themselves live in
+                    // crates/dp, which stays fully visible.
+                    if graph.nodes[target].file_path.starts_with("vendor/") {
+                        continue;
+                    }
+                    if samplers.contains(&target) && reported.insert(target) {
+                        let chain: Vec<String> = path
+                            .iter()
+                            .chain(std::iter::once(&target))
+                            .map(|&n| graph.nodes[n].qualified.clone())
+                            .collect();
+                        let s = &graph.nodes[target];
+                        out.push(Diagnostic {
+                            rule: "XT09",
+                            file: e.file_path.clone(),
+                            line: e.line,
+                            message: format!(
+                                "noise sampler reachable from the post-processing \
+                                 crate: {} (sampler `{}` at {}:{}) — post-processing \
+                                 is ε-free only as a function of the release \
+                                 (Theorem 3), so no path from \
+                                 {XT09_POSTPROCESS_PREFIX} may reach a crates/dp \
+                                 sampler, budget-dominated or not",
+                                chain.join(" -> "),
+                                s.qualified,
+                                s.file_path,
+                                s.line
+                            ),
+                        });
+                    }
+                    if seen.insert(target) {
+                        let mut next = path.clone();
+                        next.push(target);
+                        queue.push_back((target, next));
                     }
                 }
             }
@@ -620,6 +723,77 @@ mod tests {
             ),
         ]);
         assert_eq!(rules_of(&diags), vec!["XT09"], "{diags:?}");
+    }
+
+    #[test]
+    fn xt09_qualified_entry_covers_pipeline_run() {
+        // `run` is too generic for the bare-name entry list; the qualified
+        // entry must still treat `ReleasePipeline::run` as release surface.
+        let diags = check(&[
+            (
+                "crates/core/src/pipeline.rs",
+                "impl ReleasePipeline {
+                     pub fn run(&self, rng: &mut DpRng) -> f64 { laplace_sample(1.0, rng) }
+                 }",
+            ),
+            (
+                "crates/dp/src/mechanism.rs",
+                "pub fn laplace_sample(scale: f64, rng: &mut DpRng) -> f64 { rng.gen::<f64>() * scale }",
+            ),
+        ]);
+        assert_eq!(rules_of(&diags), vec!["XT09"], "{diags:?}");
+        assert!(
+            diags[0]
+                .message
+                .contains("ReleasePipeline::run -> laplace_sample"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn xt09_flags_sampler_reachable_from_postprocess_even_after_spend() {
+        // A dominating budget spend clears the release-entry rule but NOT
+        // the post-processing purity rule: ε-freeness (Theorem 3) requires
+        // the stage to be a deterministic function of the release, so the
+        // sampler is flagged regardless of accounting.
+        let diags = check(&[
+            (
+                "crates/postprocess/src/project.rs",
+                "pub fn project(acc: &mut A, rng: &mut DpRng) -> f64 {
+                     acc.spend_sequential(eps);
+                     laplace_sample(1.0, rng)
+                 }",
+            ),
+            (
+                "crates/dp/src/mechanism.rs",
+                "pub fn laplace_sample(scale: f64, rng: &mut DpRng) -> f64 { rng.gen::<f64>() * scale }",
+            ),
+        ]);
+        assert_eq!(rules_of(&diags), vec!["XT09"], "{diags:?}");
+        let d = &diags[0];
+        assert_eq!(d.file, "crates/postprocess/src/project.rs");
+        assert!(
+            d.message.contains("project -> laplace_sample") && d.message.contains("Theorem 3"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn xt09_flags_direct_draw_inside_postprocess() {
+        let diags = check(&[(
+            "crates/postprocess/src/jitter.rs",
+            "pub fn jitter(v: &mut [f64], rng: &mut DpRng) {
+                 for x in v { *x += rng.gen::<f64>(); }
+             }",
+        )]);
+        assert_eq!(rules_of(&diags), vec!["XT09"], "{diags:?}");
+        assert!(
+            diags[0].message.contains("draws randomness inside"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ export STPT_TRACE="${STPT_TRACE:-}"
 export STPT_TRACE_EVENTS="${STPT_TRACE_EVENTS:-}"
 echo "=== scale: reps=${STPT_REPS:-3} queries=${STPT_QUERIES:-300}" \
      "grid=${STPT_GRID:-32} hours=${STPT_HOURS:-220} train=${STPT_TRAIN:-100}" \
+     "postprocess=${STPT_POSTPROCESS:-0}" \
      "trace=${STPT_TRACE:-0} trace_events=${STPT_TRACE_EVENTS:-0} ==="
 
 # The workspace root is a package of its own, so a bare `cargo build` would
@@ -20,7 +21,7 @@ echo "=== scale: reps=${STPT_REPS:-3} queries=${STPT_QUERIES:-300}" \
 cargo build --release -p stpt-bench -p xtask
 
 mkdir -p results/logs
-for exp in table2 fig9 fig8d fig7 fig8ab fig8ef fig8c fig8g fig8h fig6 ablate fig8i ldp_gap; do
+for exp in table2 fig9 fig8d fig7 fig8ab fig8ef fig8c fig8g fig8h fig6 ablate fig8i ldp_gap fig_pp; do
   echo "=== $exp start $(date +%T) ==="
   rc=0
   timeout 3000 ./target/release/"$exp" > results/logs/"$exp".txt 2>&1 || rc=$?

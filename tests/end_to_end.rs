@@ -3,7 +3,7 @@
 
 use rand::SeedableRng;
 use stpt_suite::baselines::{Fast, Fourier, Identity, LganDp, Mechanism, Wavelet, Wpo};
-use stpt_suite::core::{run_stpt, run_stpt_on_dataset, StptConfig};
+use stpt_suite::core::{run_stpt, run_stpt_on_dataset, ReleaseStage, StptConfig};
 use stpt_suite::data::{Dataset, DatasetSpec, Granularity, SpatialDistribution};
 use stpt_suite::dp::DpRng;
 use stpt_suite::queries::{evaluate_workload, generate_queries, PrefixSum3D, QueryClass};
@@ -78,6 +78,31 @@ fn audit_holds_under_an_uneven_budget_split() {
     assert_eq!(out.audit.replayed.to_bits(), out.audit.spent.to_bits());
     assert!((out.audit.total - 30.0).abs() < 1e-9);
     assert!(out.audit.entries > 0);
+}
+
+#[test]
+fn postprocessed_release_carries_an_epsilon_free_proof() {
+    // The consistency stage costs no budget: the audit still telescopes to
+    // ε_tot, the release carries stage provenance plus a projection record
+    // whose ε is bitwise +0.0, and the output is non-negative.
+    let ds = test_dataset(DatasetSpec::CA, 200, SpatialDistribution::Normal);
+    let mut cfg = test_config(&ds);
+    cfg.postprocess = true;
+    let out = run_stpt_on_dataset(&ds, GRID, GRID, &cfg).unwrap();
+    assert_eq!(out.stage, ReleaseStage::PostProcessed);
+    assert!((out.epsilon_spent - cfg.eps_total()).abs() < 1e-6);
+    assert!(out.audit.consistent);
+    assert_eq!(out.audit.postprocess_stages, 1);
+    let rec = out.post.expect("post-processing record");
+    assert_eq!(rec.epsilon.to_bits(), 0.0f64.to_bits());
+    assert!(out.sanitized.data().iter().all(|&v| v >= 0.0));
+
+    // The raw run of the same config differs only in the stage.
+    cfg.postprocess = false;
+    let raw = run_stpt_on_dataset(&ds, GRID, GRID, &cfg).unwrap();
+    assert_eq!(raw.stage, ReleaseStage::Raw);
+    assert!(raw.post.is_none());
+    assert_eq!(raw.audit.postprocess_stages, 0);
 }
 
 #[test]

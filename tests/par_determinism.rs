@@ -12,7 +12,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use proptest::proptest;
 use rand::SeedableRng;
-use stpt_suite::core::{run_stpt_on_dataset, StptConfig};
+use stpt_suite::core::{run_stpt_on_dataset, ReleaseStage, StptConfig};
 use stpt_suite::data::{ConsumptionMatrix, Dataset, DatasetSpec, Granularity, SpatialDistribution};
 use stpt_suite::queries::{evaluate_workload, generate_queries, QueryClass, WorkloadResult};
 
@@ -66,10 +66,21 @@ fn bits(xs: &[f64]) -> Vec<u64> {
 }
 
 /// Run the full pipeline + workload evaluation at a given worker count.
-fn pipeline_at(threads: usize, ds: &Dataset) -> (Vec<u64>, f64, u64, u64, WorkloadResult) {
+fn pipeline_at(
+    threads: usize,
+    ds: &Dataset,
+    postprocess: bool,
+) -> (Vec<u64>, f64, u64, u64, WorkloadResult) {
     rayon::set_num_threads(threads);
-    let cfg = test_config(ds);
+    let mut cfg = test_config(ds);
+    cfg.postprocess = postprocess;
     let out = run_stpt_on_dataset(ds, GRID, GRID, &cfg).expect("pipeline runs");
+    let want = if postprocess {
+        ReleaseStage::PostProcessed
+    } else {
+        ReleaseStage::Raw
+    };
+    assert_eq!(out.stage, want, "release-stage provenance mismatch");
     let truth = ds.consumption_matrix(GRID, GRID, true);
     let mut qrng = rand::rngs::StdRng::seed_from_u64(41);
     let queries = generate_queries(QueryClass::Random, 120, truth.shape(), &mut qrng);
@@ -91,8 +102,8 @@ fn full_pipeline_is_bit_identical_across_thread_counts() {
     let _lock = lock_threads();
     let _reset = ResetThreads;
     let ds = test_dataset(1234);
-    let (seq_data, seq_eps, seq_rep, seq_spent, seq_wl) = pipeline_at(1, &ds);
-    let (par_data, par_eps, par_rep, par_spent, par_wl) = pipeline_at(4, &ds);
+    let (seq_data, seq_eps, seq_rep, seq_spent, seq_wl) = pipeline_at(1, &ds, false);
+    let (par_data, par_eps, par_rep, par_spent, par_wl) = pipeline_at(4, &ds, false);
 
     assert_eq!(seq_data, par_data, "sanitised release diverged");
     assert_eq!(seq_eps.to_bits(), par_eps.to_bits());
@@ -108,6 +119,32 @@ fn full_pipeline_is_bit_identical_across_thread_counts() {
         par_wl.median_re.to_bits(),
         "median RE diverged"
     );
+}
+
+/// Same anchor with the consistency projection enabled: the stage is pure
+/// deterministic arithmetic over an already-deterministic release, so the
+/// post-processed output (and the ledger that proves the stage spent
+/// ε = 0) must also be byte-identical across worker counts.
+#[test]
+fn postprocessed_pipeline_is_bit_identical_across_thread_counts() {
+    let _lock = lock_threads();
+    let _reset = ResetThreads;
+    let ds = test_dataset(1234);
+    let (seq_data, seq_eps, seq_rep, seq_spent, seq_wl) = pipeline_at(1, &ds, true);
+    let (par_data, par_eps, par_rep, par_spent, par_wl) = pipeline_at(4, &ds, true);
+
+    assert_eq!(seq_data, par_data, "post-processed release diverged");
+    assert_eq!(seq_eps.to_bits(), par_eps.to_bits());
+    assert_eq!(
+        (seq_rep, seq_spent),
+        (par_rep, par_spent),
+        "audit ledger diverged"
+    );
+    assert_eq!(seq_wl.queries, par_wl.queries);
+    assert_eq!(seq_wl.mre.to_bits(), par_wl.mre.to_bits(), "MRE diverged");
+    // Projection output is non-negative by construction.
+    let zero_neg = seq_data.iter().all(|&b| f64::from_bits(b) >= 0.0);
+    assert!(zero_neg, "projection left a negative cell");
 }
 
 /// Evaluate a synthetic workload at a given worker count. Small matrices

@@ -169,6 +169,41 @@ fn overspent_or_mismatched_accountant_fails_closed() {
     assert!(matches!(acc.audit(2.5), Err(DpError::AuditFailed { .. })));
 }
 
+/// Theorem 3 as a runtime check: a "post-processing" stage that actually
+/// spends budget must fail the audit closed — the proof of ε-freeness is
+/// verified, not assumed.
+#[test]
+fn budget_spent_inside_postprocess_bracket_fails_closed() {
+    stpt_suite::obs::reset_for_tests();
+    let mut acc = BudgetAccountant::new(Epsilon::new(3.0));
+    acc.spend_sequential_with("sanitize", Epsilon::new(1.0), SpendInfo::laplace(1.0))
+        .unwrap();
+    let token = acc.begin_postprocess("consistency");
+    acc.spend_sequential_with("sneaky", Epsilon::new(1.0), SpendInfo::laplace(1.0))
+        .unwrap();
+    acc.end_postprocess(token);
+    // Both the standalone proof check and the full audit reject the run.
+    let err = acc.verify_postprocess().unwrap_err();
+    match &err {
+        DpError::AuditFailed { detail, .. } => {
+            assert!(detail.contains("not ε-free"), "{detail}")
+        }
+        other => panic!("expected AuditFailed, got {other:?}"),
+    }
+    assert!(matches!(acc.audit(2.0), Err(DpError::AuditFailed { .. })));
+
+    // A clean bracket, by contrast, verifies and audits fine.
+    let mut clean = BudgetAccountant::new(Epsilon::new(3.0));
+    clean
+        .spend_sequential_with("sanitize", Epsilon::new(1.0), SpendInfo::laplace(1.0))
+        .unwrap();
+    let token = clean.begin_postprocess("consistency");
+    clean.end_postprocess(token);
+    assert_eq!(clean.verify_postprocess().unwrap(), 1);
+    let check = clean.audit(1.0).unwrap();
+    assert_eq!(check.postprocess_stages, 1);
+}
+
 #[test]
 fn clipping_bounds_every_cell_contribution() {
     // Generate with an absurdly low clip and verify the clipped matrix is
