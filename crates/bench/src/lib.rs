@@ -59,6 +59,11 @@ impl ExperimentEnv {
     /// starts the process wall-clock used by the `bench.wall_secs` gauge.
     pub fn from_env() -> Self {
         PROCESS_START.get_or_init(Instant::now);
+        // Live telemetry (STPT_METRICS_ADDR / STPT_METRICS_PERIOD): starts
+        // the collector ring and the Prometheus scrape listener when asked.
+        // Strictly read-only over results — envelopes are byte-identical
+        // with the exporter on or off (checked in CI).
+        stpt_obs::init_live_from_env();
         let get = |k: &str, d: usize| {
             // xtask-allow(XT10): the one sanctioned scale-knob reader — every value read here is recorded in the result envelope, keeping runs attributable
             std::env::var(k)
@@ -328,6 +333,9 @@ pub fn emit_result<T: Serialize>(name: &str, env: &ExperimentEnv, value: &T) {
         stpt_obs::diag!("telemetry: wrote {}", tpath.display());
     }
     if let Some(tpath) = stpt_obs::export::write_chrome_trace(name) {
+        stpt_obs::diag!("telemetry: wrote {}", tpath.display());
+    }
+    if let Some(tpath) = stpt_obs::export::write_flamegraph(name) {
         stpt_obs::diag!("telemetry: wrote {}", tpath.display());
     }
 }

@@ -453,6 +453,11 @@ impl BudgetAccountant {
             && nested_maps_bit_equal(&parallel, &self.parallel);
         let tol = 1e-9 * self.total.value().max(1.0);
         let total_matches = (replayed - expected_total).abs() <= tol;
+        // Statistical noise self-check: with debug tracing on, the draws
+        // recorded for each ledger scale must look like the calibrated
+        // Laplace(b) (see `crate::noisecheck`). `Unchecked` when tracing is
+        // off or samples are too few — never a pass masquerading.
+        let (noise_status, noise_findings) = crate::noisecheck::verify_ledger_noise(&self.ledger);
         let check = LedgerCheck {
             total: expected_total,
             replayed,
@@ -460,6 +465,7 @@ impl BudgetAccountant {
             entries: self.ledger.len(),
             postprocess_stages: stages,
             consistent: maps_match && total_matches,
+            noise: noise_status,
         };
 
         if !maps_match {
@@ -476,6 +482,19 @@ impl BudgetAccountant {
                 replayed,
                 detail: format!(
                     "ledger telescopes to ε={replayed}, expected ε={expected_total} (tol {tol})"
+                ),
+            });
+        }
+        if noise_status == stpt_obs::NoiseStatus::Inconsistent {
+            // Fail closed *before* publication: a release whose noise does
+            // not match its ledger must not ship a "verified" telemetry
+            // document. Published verdicts are only Consistent/Unchecked.
+            return Err(DpError::AuditFailed {
+                expected: expected_total,
+                replayed,
+                detail: format!(
+                    "noise self-check failed: {}",
+                    crate::noisecheck::findings_summary(&noise_findings)
                 ),
             });
         }

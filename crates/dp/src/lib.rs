@@ -29,6 +29,7 @@
 pub mod budget;
 pub mod error;
 pub mod mechanism;
+pub mod noisecheck;
 pub mod rng;
 pub mod sensitivity;
 

@@ -38,7 +38,11 @@ pub fn laplace_sample(scale: f64, rng: &mut DpRng) -> f64 {
     LAPLACE_DRAWS.add(1);
     // gen::<f64>() is in [0, 1); shift to (-1/2, 1/2].
     let u: f64 = 0.5 - rng.gen::<f64>();
-    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    let x = -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln();
+    // Debug-only (STPT_TRACE-gated) moment accumulator feeding the audit's
+    // statistical noise self-check; never serialised, never in envelopes.
+    stpt_obs::noise::record_laplace(scale, x);
+    x
 }
 
 /// The Laplace mechanism (Equation 4): adds `Lap(s/ε)` noise to a real-valued

@@ -1,0 +1,291 @@
+//! Statistical noise self-check: does the noise we *drew* match the noise
+//! the ledger *claims*?
+//!
+//! Budget accounting proves the right ε was spent, but not that the
+//! sampler actually produced Laplace(b) noise — a broken RNG, a dropped
+//! factor in the scale, or unit drift between sensitivity and ε would leave
+//! the ledger pristine while silently under- (or over-) protecting the
+//! release. When debug tracing (`STPT_TRACE`) is on, `crates/obs` records
+//! the empirical moments and a prefix reservoir of every Laplace draw keyed
+//! by scale (see `stpt_obs::noise`); at audit time this module compares
+//! them, per distinct ledger scale, against the calibrated distribution:
+//!
+//! * **mean**: `|mean| ≤ 6·b·√(2/n)` — six standard errors of the sample
+//!   mean of Laplace(b) (variance `2b²`);
+//! * **variance**: `|var − 2b²| ≤ 6·b²·√(20/n)` — six standard errors of
+//!   the sample variance (`Var(s²) ≈ (κ−1)σ⁴/n` with Laplace kurtosis
+//!   `κ = 6`, i.e. `20b⁴/n`);
+//! * **KS**: the Kolmogorov–Smirnov distance of the retained draws from
+//!   the Laplace(b) CDF must satisfy `D ≤ 3.5/√m`.
+//!
+//! The 6σ / 3.5-critical-value bounds are deliberately loose: at the draw
+//! counts of a default-scale run the false-alarm probability is
+//! astronomically small, while a mis-calibrated scale (off by 2× with a few
+//! hundred draws) fails by a wide margin. Scales with fewer than
+//! [`MIN_SAMPLES`] recorded draws are skipped (verdict stays `Unchecked`
+//! if nothing qualifies); geometric-mechanism entries are not checked.
+//! The audit fails closed on `Inconsistent` *before* publishing the
+//! ledger, so published verdicts are only ever `Consistent`/`Unchecked`.
+
+use stpt_obs::ledger::LedgerEntry;
+use stpt_obs::NoiseStatus;
+
+/// Minimum recorded draws at a scale before the check has any power.
+pub const MIN_SAMPLES: u64 = 200;
+
+/// One scale that failed (or could not complete) its comparison.
+#[derive(Debug, Clone)]
+pub struct NoiseFinding {
+    /// The calibrated Laplace scale `b` under test.
+    pub scale: f64,
+    /// Draws recorded at that scale.
+    pub count: u64,
+    /// Human-readable description of the violated bound.
+    pub detail: String,
+}
+
+/// Laplace(0, b) CDF.
+fn laplace_cdf(x: f64, b: f64) -> f64 {
+    if x < 0.0 {
+        0.5 * (x / b).exp()
+    } else {
+        1.0 - 0.5 * (-x / b).exp()
+    }
+}
+
+/// Two-sided KS distance of `samples` from Laplace(0, b). `None` when
+/// empty.
+fn ks_distance(samples: &mut [f64], b: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(f64::total_cmp);
+    let m = samples.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in samples.iter().enumerate() {
+        let f = laplace_cdf(x, b);
+        let hi = (i + 1) as f64 / m - f;
+        let lo = f - i as f64 / m;
+        d = d.max(hi.abs()).max(lo.abs());
+    }
+    Some(d)
+}
+
+/// The distinct Laplace scales a ledger claims, deduplicated at the bit
+/// level (the same exactness the recorder keys by — rule XT03 bans
+/// tolerance-free float comparison, so dedup goes through `to_bits`).
+fn ledger_scales(ledger: &[LedgerEntry]) -> Vec<f64> {
+    let mut bits: Vec<u64> = ledger
+        .iter()
+        .filter(|e| e.mechanism == "laplace")
+        .map(|e| e.sensitivity / e.epsilon)
+        .filter(|b| b.is_finite() && *b > 0.0)
+        .map(f64::to_bits)
+        .collect();
+    bits.sort_unstable();
+    bits.dedup();
+    bits.into_iter().map(f64::from_bits).collect()
+}
+
+/// Check every sufficiently-sampled ledger scale against its recorded
+/// draws. Returns the overall verdict plus one finding per violated bound.
+///
+/// `Unchecked` when tracing is off or no scale reached [`MIN_SAMPLES`];
+/// the check can only ever *add* failure modes, never mask one.
+pub fn verify_ledger_noise(ledger: &[LedgerEntry]) -> (NoiseStatus, Vec<NoiseFinding>) {
+    if !stpt_obs::enabled() {
+        return (NoiseStatus::Unchecked, Vec::new());
+    }
+    let mut findings = Vec::new();
+    let mut checked_any = false;
+    for b in ledger_scales(ledger) {
+        let Some(stats) = stpt_obs::noise::stats_for(b) else {
+            continue;
+        };
+        if stats.count < MIN_SAMPLES {
+            continue;
+        }
+        checked_any = true;
+        let n = stats.count as f64;
+        let mean_bound = 6.0 * b * (2.0 / n).sqrt();
+        if stats.mean.abs() > mean_bound {
+            findings.push(NoiseFinding {
+                scale: b,
+                count: stats.count,
+                detail: format!(
+                    "mean {:.6} exceeds ±{mean_bound:.6} for Laplace(b={b}) over {} draws",
+                    stats.mean, stats.count
+                ),
+            });
+        }
+        let expect_var = 2.0 * b * b;
+        let var_bound = 6.0 * b * b * (20.0 / n).sqrt();
+        if (stats.variance - expect_var).abs() > var_bound {
+            findings.push(NoiseFinding {
+                scale: b,
+                count: stats.count,
+                detail: format!(
+                    "variance {:.6} vs expected 2b²={expect_var:.6} (tol ±{var_bound:.6}) \
+                     for Laplace(b={b}) over {} draws",
+                    stats.variance, stats.count
+                ),
+            });
+        }
+        let mut samples = stats.samples.clone();
+        if let Some(d) = ks_distance(&mut samples, b) {
+            let m = samples.len() as f64;
+            let ks_bound = 3.5 / m.sqrt();
+            if d > ks_bound {
+                findings.push(NoiseFinding {
+                    scale: b,
+                    count: stats.count,
+                    detail: format!(
+                        "KS distance {d:.4} exceeds {ks_bound:.4} vs Laplace(b={b}) \
+                         over {} retained draws",
+                        samples.len()
+                    ),
+                });
+            }
+        }
+    }
+    let status = if !findings.is_empty() {
+        NoiseStatus::Inconsistent
+    } else if checked_any {
+        NoiseStatus::Consistent
+    } else {
+        NoiseStatus::Unchecked
+    };
+    (status, findings)
+}
+
+/// Render findings as one audit-failure detail line.
+pub fn findings_summary(findings: &[NoiseFinding]) -> String {
+    findings
+        .iter()
+        .map(|f| f.detail.as_str())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::laplace_sample;
+    use crate::rng::DpRng;
+    use rand::SeedableRng;
+    use stpt_obs::ledger::Composition;
+
+    /// Serialises tests that toggle the global obs gate / noise tables.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn entry(scale: f64) -> LedgerEntry {
+        LedgerEntry {
+            phase: "test".to_owned(),
+            sibling: None,
+            mechanism: "laplace",
+            // Any (sensitivity, epsilon) pair with sensitivity/epsilon ==
+            // scale; the checker only looks at the ratio.
+            epsilon: 1.0,
+            sensitivity: scale,
+            kind: Composition::Sequential,
+        }
+    }
+
+    #[test]
+    fn laplace_cdf_is_pinned() {
+        assert!((laplace_cdf(0.0, 1.0) - 0.5).abs() < 1e-15);
+        assert!((laplace_cdf(f64::ln(2.0), 1.0) - 0.75).abs() < 1e-12);
+        assert!((laplace_cdf(-f64::ln(2.0), 1.0) - 0.25).abs() < 1e-12);
+        assert!(laplace_cdf(-20.0, 1.0) < 1e-8);
+        assert!(laplace_cdf(20.0, 1.0) > 1.0 - 1e-8);
+    }
+
+    #[test]
+    fn genuine_draws_pass_the_check() {
+        let _lock = lock();
+        stpt_obs::noise::reset();
+        stpt_obs::set_enabled(true);
+        // Odd scale no other test in this binary uses.
+        let b = 0.37109375;
+        let mut rng = DpRng::seed_from_u64(2024);
+        for _ in 0..4000 {
+            let _ = laplace_sample(b, &mut rng);
+        }
+        let (status, findings) = verify_ledger_noise(&[entry(b)]);
+        stpt_obs::set_enabled(false);
+        stpt_obs::noise::reset();
+        assert!(findings.is_empty(), "{}", findings_summary(&findings));
+        assert_eq!(status, NoiseStatus::Consistent);
+    }
+
+    #[test]
+    fn perturbed_draws_fail_closed() {
+        let _lock = lock();
+        stpt_obs::noise::reset();
+        stpt_obs::set_enabled(true);
+        // The ledger claims scale b, but the recorded draws came from
+        // Laplace(2b) — the classic dropped-factor calibration bug.
+        let b = 0.7265625;
+        let mut rng = DpRng::seed_from_u64(77);
+        for _ in 0..4000 {
+            let x = laplace_sample(2.0 * b, &mut rng);
+            // Re-key the (honest Laplace(2b)) draw under the claimed scale.
+            stpt_obs::noise::record_laplace(b, x);
+        }
+        let (status, findings) = verify_ledger_noise(&[entry(b)]);
+        stpt_obs::set_enabled(false);
+        stpt_obs::noise::reset();
+        assert_eq!(status, NoiseStatus::Inconsistent);
+        assert!(!findings.is_empty());
+        // Variance off by 4× must trip the moment bound; the KS distance
+        // of Laplace(2b) vs Laplace(b) (~0.16) must trip the KS bound.
+        let summary = findings_summary(&findings);
+        assert!(summary.contains("variance"), "{summary}");
+        assert!(summary.contains("KS distance"), "{summary}");
+    }
+
+    #[test]
+    fn shifted_draws_fail_the_mean_bound() {
+        let _lock = lock();
+        stpt_obs::noise::reset();
+        stpt_obs::set_enabled(true);
+        let b = 0.5703125;
+        let mut rng = DpRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let x = laplace_sample(b, &mut rng);
+            stpt_obs::noise::record_laplace(b, x); // double-keying shifts nothing
+        }
+        // Now contaminate with a systematic bias.
+        for _ in 0..2000 {
+            stpt_obs::noise::record_laplace(b, 0.5 * b);
+        }
+        let (status, findings) = verify_ledger_noise(&[entry(b)]);
+        stpt_obs::set_enabled(false);
+        stpt_obs::noise::reset();
+        assert_eq!(status, NoiseStatus::Inconsistent);
+        assert!(findings_summary(&findings).contains("mean"));
+    }
+
+    #[test]
+    fn under_sampled_or_untraced_scales_stay_unchecked() {
+        let _lock = lock();
+        stpt_obs::noise::reset();
+        stpt_obs::set_enabled(true);
+        let b = 0.3203125;
+        let mut rng = DpRng::seed_from_u64(9);
+        for _ in 0..(MIN_SAMPLES / 2) {
+            let _ = laplace_sample(b, &mut rng);
+        }
+        let (status, findings) = verify_ledger_noise(&[entry(b)]);
+        assert_eq!(status, NoiseStatus::Unchecked);
+        assert!(findings.is_empty());
+        stpt_obs::set_enabled(false);
+        // Gate off → always unchecked, even with data present.
+        let (status, _) = verify_ledger_noise(&[entry(b)]);
+        assert_eq!(status, NoiseStatus::Unchecked);
+        stpt_obs::noise::reset();
+    }
+}

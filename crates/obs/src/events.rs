@@ -68,7 +68,9 @@ fn buffer() -> MutexGuard<'static, Vec<TraceEvent>> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-fn capacity() -> usize {
+/// Ring capacity in events (`STPT_TRACE_EVENT_CAP`, default 2^16). Public
+/// so diagnostics about dropped events can name the limit to raise.
+pub fn capacity() -> usize {
     *CAPACITY.get_or_init(|| {
         std::env::var("STPT_TRACE_EVENT_CAP")
             .ok()

@@ -157,10 +157,13 @@ fn render_telemetry(run: &str, ledger_entries: bool) -> String {
         let _ = write!(
             out,
             "\n    {{ \"name\": \"{}\", \"count\": {}, \"sum\": {}, \
+             \"min\": {}, \"max\": {}, \
              \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
             json_escape(h.name),
             h.count,
             json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
             quant(0.5),
             quant(0.95),
             quant(0.99)
@@ -179,6 +182,16 @@ fn render_telemetry(run: &str, ledger_entries: bool) -> String {
         "\n  ],\n"
     });
 
+    // Span-event ring health: a monitoring consumer (and `cargo xtask
+    // regress --require-telemetry`) must be able to see lossy traces.
+    let _ = writeln!(
+        out,
+        "  \"events\": {{ \"recorded\": {}, \"dropped\": {}, \"capacity\": {} }},",
+        crate::events::snapshot().len(),
+        crate::events::dropped(),
+        crate::events::capacity()
+    );
+
     match published {
         None => out.push_str("  \"ledger\": null\n"),
         Some((entries, proofs, check)) => {
@@ -186,13 +199,15 @@ fn render_telemetry(run: &str, ledger_entries: bool) -> String {
             let _ = writeln!(
                 out,
                 "    \"check\": {{ \"total\": {}, \"replayed\": {}, \"spent\": {}, \
-                 \"entries\": {}, \"postprocess\": {}, \"consistent\": {} }},",
+                 \"entries\": {}, \"postprocess\": {}, \"consistent\": {}, \
+                 \"noise\": \"{}\" }},",
                 json_f64(check.total),
                 json_f64(check.replayed),
                 json_f64(check.spent),
                 check.entries,
                 check.postprocess_stages,
-                check.consistent
+                check.consistent,
+                check.noise.label()
             );
             out.push_str("    \"proofs\": [");
             for (i, p) in proofs.iter().enumerate() {
@@ -450,6 +465,71 @@ pub fn write_chrome_trace(run: &str) -> Option<PathBuf> {
     }
 }
 
+/// Collapse the recorded span events into folded-stack lines — the input
+/// format of standard flamegraph tooling (`flamegraph.pl`, inferno,
+/// speedscope): one `path;to;frame <weight>` line per distinct stack.
+///
+/// The weight of a stack is its **completion count**, not wall time: span
+/// durations vary run-to-run, and the acceptance bar for this export is
+/// byte-identical output across same-seed runs (at `STPT_THREADS=1`).
+/// Counts are schedule-independent as long as the ring did not drop
+/// events; begins left unmatched (still-open spans, ends lost to the ring
+/// cap) are closed synthetically and counted once. Lines are emitted in
+/// lexicographic stack order, so the document is deterministic
+/// independently of thread interleaving.
+pub fn folded_stacks() -> String {
+    let events = crate::events::snapshot();
+    let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut open: std::collections::HashMap<u64, Vec<&str>> = std::collections::HashMap::new();
+    for e in &events {
+        match e.phase {
+            crate::events::EventPhase::Begin => {
+                open.entry(e.tid).or_default().push(e.path.as_str());
+            }
+            crate::events::EventPhase::End => {
+                open.entry(e.tid).or_default().pop();
+                *counts.entry(e.path.replace('/', ";")).or_insert(0) += 1;
+            }
+        }
+    }
+    // Synthetic closes for unmatched begins, innermost-first.
+    for (_, stack) in open {
+        for path in stack.iter().rev() {
+            *counts.entry(path.replace('/', ";")).or_insert(0) += 1;
+        }
+    }
+    let mut out = String::with_capacity(counts.len() * 48);
+    for (stack, count) in &counts {
+        let _ = writeln!(out, "{stack} {count}");
+    }
+    out
+}
+
+/// Write the folded flamegraph for `run` into `dir` as `<run>.folded`.
+pub fn write_flamegraph_to(dir: &Path, run: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.folded", file_stem(run)));
+    std::fs::write(&path, folded_stacks())?;
+    Ok(path)
+}
+
+/// Write the folded flamegraph for `run` under `STPT_TELEMETRY_DIR` (or
+/// [`DEFAULT_DIR`]). Returns `None` when the events gate is off or the
+/// write fails — export must never take down the run it observes.
+pub fn write_flamegraph(run: &str) -> Option<PathBuf> {
+    if !crate::events_enabled() {
+        return None;
+    }
+    let dir = std::env::var("STPT_TELEMETRY_DIR").unwrap_or_else(|_| DEFAULT_DIR.to_owned());
+    match write_flamegraph_to(Path::new(&dir), run) {
+        Ok(path) => Some(path),
+        Err(err) => {
+            crate::diag!("telemetry: failed to write {dir}/{run}.folded: {err}");
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +579,7 @@ mod tests {
                 entries: 1,
                 postprocess_stages: 1,
                 consistent: true,
+                noise: crate::NoiseStatus::Consistent,
             },
         );
         let doc = telemetry_json("unit/test");
@@ -507,6 +588,9 @@ mod tests {
         assert!(doc.contains("\"run\": \"unit/test\""));
         assert!(doc.contains("\"path\": \"export_test\""));
         assert!(doc.contains("\"consistent\": true"));
+        assert!(doc.contains("\"noise\": \"consistent\""));
+        assert!(doc.contains("\"events\": { \"recorded\": "));
+        assert!(doc.contains("\"capacity\": "));
         assert!(doc.contains("\"kind\": \"parallel\""));
         assert!(doc.contains("\"postprocess\": 1"));
         assert!(doc.contains("\"stage\": \"consistency\""));
@@ -517,6 +601,35 @@ mod tests {
         let closes = doc.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn folded_stacks_collapse_deterministically() {
+        let _lock = crate::test_lock();
+        crate::reset_for_tests();
+        crate::set_events_enabled(true);
+        {
+            let _a = crate::span!("outer");
+            {
+                let _b = crate::span!("inner");
+            }
+            {
+                let _b = crate::span!("inner");
+            }
+        }
+        let _open = crate::span!("dangling"); // closed synthetically
+        let folded = folded_stacks();
+        crate::set_events_enabled(false);
+        drop(_open);
+        assert!(folded.contains("outer 1\n"), "{folded}");
+        assert!(folded.contains("outer;inner 2\n"), "{folded}");
+        assert!(folded.contains("dangling 1\n"), "{folded}");
+        // Lines are emitted in sorted order (determinism by construction).
+        let lines: Vec<&str> = folded.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        crate::reset_for_tests();
     }
 
     #[test]

@@ -87,6 +87,10 @@ pub struct LedgerCheck {
     /// Whether the replay matched the live accountant bit-exactly and the
     /// total within tolerance.
     pub consistent: bool,
+    /// Verdict of the statistical noise self-check (empirical draw moments
+    /// and KS distance vs. the calibrated Laplace per ledger scale).
+    /// `Unchecked` unless debug tracing recorded enough draws.
+    pub noise: crate::NoiseStatus,
 }
 
 /// Deterministically merged state over every publication of the process
@@ -250,6 +254,7 @@ mod tests {
                 entries: 1,
                 postprocess_stages: 0,
                 consistent: true,
+                noise: crate::NoiseStatus::Unchecked,
             },
         );
         assert!(ledger_snapshot().is_none());
@@ -270,6 +275,7 @@ mod tests {
                 entries: 2,
                 postprocess_stages: 1,
                 consistent: true,
+                noise: crate::NoiseStatus::Unchecked,
             },
         );
         crate::set_enabled(false);
@@ -296,6 +302,7 @@ mod tests {
             entries: 1,
             postprocess_stages: 0,
             consistent: ok,
+            noise: crate::NoiseStatus::Unchecked,
         };
         let a = (vec![entry("alpha", 0.25)], check(0.25, true));
         let b = (vec![entry("beta", 0.5)], check(0.5, false));

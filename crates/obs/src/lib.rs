@@ -38,11 +38,15 @@ pub mod events;
 pub mod export;
 pub mod ledger;
 pub mod metrics;
+pub mod noise;
+pub mod prometheus;
+pub mod timeseries;
 pub mod trace;
 
 pub use events::{EventPhase, TraceEvent};
 pub use ledger::{Composition, LedgerCheck, LedgerEntry, PostProcessProof};
 pub use metrics::{Counter, Gauge, Histogram};
+pub use noise::NoiseStatus;
 pub use trace::SpanGuard;
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -52,6 +56,13 @@ static STATE: AtomicU8 = AtomicU8::new(0);
 
 /// Tri-state gate for timestamped span events (`STPT_TRACE_EVENTS`).
 static EVENTS_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Live-monitoring gate: 0/1 = off, 2 = on. Unlike the other gates it is
+/// never initialised from the environment lazily — only
+/// [`init_live_from_env`] (called once by the bench harness) or
+/// [`set_live_enabled`] turn it on, so library code paths cannot
+/// accidentally spawn background threads.
+static LIVE_STATE: AtomicU8 = AtomicU8::new(0);
 
 /// Whether tracing/metrics collection is enabled. First call reads the
 /// `STPT_TRACE` environment variable; later calls are one relaxed atomic
@@ -108,6 +119,70 @@ pub fn set_events_enabled(on: bool) {
     EVENTS_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
+/// Whether live monitoring (time-series collection / Prometheus scrape) is
+/// enabled. One relaxed atomic load; off unless [`init_live_from_env`] or
+/// [`set_live_enabled`] switched it on.
+#[inline]
+pub fn live_enabled() -> bool {
+    LIVE_STATE.load(Ordering::Relaxed) == 2
+}
+
+/// Force the live-monitoring gate on or off.
+pub fn set_live_enabled(on: bool) {
+    LIVE_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Whether metric/span recording should happen at all: post-mortem tracing
+/// (`STPT_TRACE`) *or* live monitoring. Recording sites check this; export
+/// surfaces stay gated on the switch they serve ([`enabled`] for the
+/// envelope/telemetry files, [`live_enabled`] for the scrape endpoint), so
+/// turning the exporter on never changes what a result envelope contains.
+#[inline]
+pub fn collecting() -> bool {
+    enabled() || live_enabled()
+}
+
+/// Wire up live monitoring from the environment, once per process:
+///
+/// * `STPT_METRICS_PERIOD` — sampling period of the background time-series
+///   collector (`250ms`, `2s`, or a bare integer in milliseconds);
+/// * `STPT_METRICS_ADDR` — bind address (`127.0.0.1:9184`) for the
+///   Prometheus text-exposition scrape listener.
+///
+/// Either variable alone switches [`live_enabled`] on (the scrape listener
+/// implies collection at a default period; a period alone records the ring
+/// for post-mortem inspection). Failures — unparseable period, busy port —
+/// are reported on stderr and never take down the run. Subsequent calls
+/// are no-ops.
+pub fn init_live_from_env() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        // crates/obs is the sanctioned XT10 choke point for the
+        // STPT_METRICS_* live-telemetry toggles.
+        let period = std::env::var("STPT_METRICS_PERIOD").ok();
+        let addr = std::env::var("STPT_METRICS_ADDR").ok();
+        if period.is_none() && addr.is_none() {
+            return;
+        }
+        let period = match period.as_deref().map(timeseries::parse_period) {
+            Some(Ok(p)) => p,
+            Some(Err(err)) => {
+                diag!("live telemetry: bad STPT_METRICS_PERIOD ({err}); using 1s");
+                timeseries::DEFAULT_PERIOD
+            }
+            None => timeseries::DEFAULT_PERIOD,
+        };
+        set_live_enabled(true);
+        timeseries::start_collector(period);
+        if let Some(addr) = addr {
+            match prometheus::serve(&addr) {
+                Ok(bound) => diag!("live telemetry: serving /metrics on http://{bound}/metrics"),
+                Err(err) => diag!("live telemetry: could not bind {addr}: {err}"),
+            }
+        }
+    });
+}
+
 /// Clear all collected state (spans, metric values, ledger, span events).
 /// Metric *registrations* survive — statics stay registered; their values
 /// reset to zero. Intended for tests and for harnesses that export one
@@ -117,6 +192,8 @@ pub fn reset() {
     metrics::reset();
     ledger::reset();
     events::reset();
+    timeseries::reset();
+    noise::reset();
 }
 
 /// Reset every process-global table this crate owns — the span aggregate

@@ -42,10 +42,10 @@ impl Counter {
         }
     }
 
-    /// Add `n`. No-op when the gate is off.
+    /// Add `n`. No-op when both the trace and live gates are off.
     #[inline]
     pub fn add(&'static self, n: u64) {
-        if !crate::enabled() {
+        if !crate::collecting() {
             return;
         }
         self.reg
@@ -81,10 +81,10 @@ impl Gauge {
         }
     }
 
-    /// Set the gauge. No-op when the gate is off.
+    /// Set the gauge. No-op when both the trace and live gates are off.
     #[inline]
     pub fn set(&'static self, v: f64) {
-        if !crate::enabled() {
+        if !crate::collecting() {
             return;
         }
         self.reg
@@ -110,8 +110,16 @@ pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
     reg: Once,
 }
+
+/// Bit pattern of `f64::INFINITY` (the `const` initialiser for the min
+/// cell; `f64::to_bits` is not usable in a `const fn` on this toolchain).
+const F64_INF_BITS: u64 = 0x7ff0_0000_0000_0000;
+/// Bit pattern of `f64::NEG_INFINITY` (initialiser for the max cell).
+const F64_NEG_INF_BITS: u64 = 0xfff0_0000_0000_0000;
 
 impl Histogram {
     /// Declare a histogram (const — use in `static` items).
@@ -121,15 +129,17 @@ impl Histogram {
             buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(F64_INF_BITS),
+            max_bits: AtomicU64::new(F64_NEG_INF_BITS),
             reg: Once::new(),
         }
     }
 
-    /// Record one observation. No-op when the gate is off; lock- and
-    /// allocation-free otherwise (the sum is a CAS loop on raw bits).
+    /// Record one observation. No-op when both gates are off; lock- and
+    /// allocation-free otherwise (sum/min/max are CAS loops on raw bits).
     #[inline]
     pub fn observe(&'static self, v: f64) {
-        if !crate::enabled() {
+        if !crate::collecting() {
             return;
         }
         self.reg
@@ -149,6 +159,11 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+        // Exact tail tracking: quantile reports are otherwise truncated to
+        // log2-bucket bounds. NaN observations never update either cell
+        // (the comparisons below are false for NaN).
+        cas_extremum(&self.min_bits, v, |candidate, current| candidate < current);
+        cas_extremum(&self.max_bits, v, |candidate, current| candidate > current);
     }
 
     /// Bucket index for a value (non-positive and non-finite values clamp
@@ -185,6 +200,26 @@ impl Histogram {
         out
     }
 
+    /// Exact minimum observation, `NaN` when nothing was recorded.
+    pub fn min(&self) -> f64 {
+        let bits = self.min_bits.load(Ordering::Relaxed);
+        if bits == F64_INF_BITS {
+            f64::NAN
+        } else {
+            f64::from_bits(bits)
+        }
+    }
+
+    /// Exact maximum observation, `NaN` when nothing was recorded.
+    pub fn max(&self) -> f64 {
+        let bits = self.max_bits.load(Ordering::Relaxed);
+        if bits == F64_NEG_INF_BITS {
+            f64::NAN
+        } else {
+            f64::from_bits(bits)
+        }
+    }
+
     /// Metric name.
     pub fn name(&self) -> &'static str {
         self.name
@@ -196,6 +231,26 @@ impl Histogram {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits.store(F64_INF_BITS, Ordering::Relaxed);
+        self.max_bits.store(F64_NEG_INF_BITS, Ordering::Relaxed);
+    }
+}
+
+/// CAS loop updating an `f64`-bits cell towards an extremum; `wins` says
+/// whether `candidate` should replace `current`.
+#[inline]
+fn cas_extremum(cell: &AtomicU64, candidate: f64, wins: impl Fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while wins(candidate, f64::from_bits(cur)) {
+        match cell.compare_exchange_weak(
+            cur,
+            candidate.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
     }
 }
 
@@ -228,6 +283,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Observation sum.
     pub sum: f64,
+    /// Exact minimum observation (`NaN` when unknown, e.g. empty).
+    pub min: f64,
+    /// Exact maximum observation (`NaN` when unknown, e.g. empty).
+    pub max: f64,
     /// Non-empty buckets as `(lower_bound, count)` pairs.
     pub buckets: Vec<(f64, u64)>,
 }
@@ -239,25 +298,46 @@ impl HistogramSnapshot {
     /// The target rank is `q * count` (continuous); the bucket holding that
     /// rank is found by cumulative count and the value interpolated
     /// linearly between the bucket's lower bound `2^(i-20)` and upper bound
-    /// `2^(i+1-20)`. Worst-case error is therefore one octave. Returns
+    /// `2^(i+1-20)`. When the exact [`min`](Self::min) / [`max`](Self::max)
+    /// are known they replace the first bucket's lower bound and the last
+    /// bucket's upper bound, so tail quantiles (`q → 1`, in particular
+    /// `q = 1.0`) are exact rather than truncated to a bucket edge;
+    /// interior buckets keep the one-octave worst-case error. Returns
     /// `None` for an empty histogram or a `q` outside `(0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 || !(q > 0.0 && q <= 1.0) {
             return None;
         }
+        let last = self.buckets.len().wrapping_sub(1);
         let target = q * self.count as f64;
         let mut cum = 0.0;
-        for &(lb, n) in &self.buckets {
+        for (idx, &(lb, n)) in self.buckets.iter().enumerate() {
             let next = cum + n as f64;
             if target <= next {
+                let lo = if idx == 0 && self.min.is_finite() {
+                    self.min
+                } else {
+                    lb
+                };
+                let hi = if idx == last && self.max.is_finite() {
+                    self.max
+                } else {
+                    2.0 * lb // log2 buckets: ub == 2·lb
+                };
                 let frac = (target - cum) / n as f64;
-                return Some(lb + frac * lb); // ub - lb == lb for log2 buckets
+                return Some(lo + frac * (hi - lo));
             }
             cum = next;
         }
         // Rounding left the target just past the last bucket: clamp to its
-        // upper bound.
-        self.buckets.last().map(|&(lb, _)| 2.0 * lb)
+        // upper bound (the exact max when known).
+        self.buckets.last().map(|&(lb, _)| {
+            if self.max.is_finite() {
+                self.max
+            } else {
+                2.0 * lb
+            }
+        })
     }
 }
 
@@ -286,6 +366,8 @@ pub fn snapshot() -> MetricsSnapshot {
             name: h.0.name,
             count: h.0.count(),
             sum: h.0.sum(),
+            min: h.0.min(),
+            max: h.0.max(),
             buckets: h
                 .0
                 .bucket_counts()
@@ -377,6 +459,8 @@ mod tests {
             name: "test.quantile",
             count: 8,
             sum: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
             buckets: vec![(0.25, 2), (1.0, 6)],
         };
         // q=0.25 → rank 2 = exactly the end of bucket 0 → its upper bound.
@@ -392,11 +476,75 @@ mod tests {
             name: "test.quantile_empty",
             count: 0,
             sum: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
             buckets: Vec::new(),
         };
         assert!(empty.quantile(0.5).is_none());
         assert!(snap.quantile(0.0).is_none());
         assert!(snap.quantile(1.5).is_none());
+    }
+
+    #[test]
+    fn quantile_tails_are_exact_with_min_max() {
+        // Same shape as above but with the exact extrema known: 2
+        // observations in [0.25, 0.5) with true min 0.3, 6 in [1.0, 2.0)
+        // with true max 1.75.
+        let snap = HistogramSnapshot {
+            name: "test.quantile_tails",
+            count: 8,
+            sum: 0.0,
+            min: 0.3,
+            max: 1.75,
+            buckets: vec![(0.25, 2), (1.0, 6)],
+        };
+        // q=1.0 → the exact max, not the bucket upper bound 2.0.
+        assert!((snap.quantile(1.0).unwrap() - 1.75).abs() < 1e-12);
+        // q=0.25 → end of bucket 0; interpolation now runs min → ub.
+        assert!((snap.quantile(0.25).unwrap() - 0.5).abs() < 1e-12);
+        // q=0.5 → 2 of 6 into the last bucket; upper bound is max.
+        assert!((snap.quantile(0.5).unwrap() - (1.0 + (2.0 / 6.0) * 0.75)).abs() < 1e-12);
+        // Tiny q → interpolates up from the exact min, not the bucket edge.
+        let q_eps = snap.quantile(1e-9).unwrap();
+        assert!((0.3..0.31).contains(&q_eps), "{q_eps}");
+
+        // A single-bucket histogram applies both replacements at once.
+        let one = HistogramSnapshot {
+            name: "test.quantile_one_bucket",
+            count: 4,
+            sum: 0.0,
+            min: 1.1,
+            max: 1.9,
+            buckets: vec![(1.0, 4)],
+        };
+        assert!((one.quantile(1.0).unwrap() - 1.9).abs() < 1e-12);
+        assert!((one.quantile(0.5).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_min_max() {
+        static MINMAX_HIST: Histogram = Histogram::new("test.minmax_hist");
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        assert!(MINMAX_HIST.min().is_nan());
+        assert!(MINMAX_HIST.max().is_nan());
+        MINMAX_HIST.observe(0.7);
+        MINMAX_HIST.observe(3.2);
+        MINMAX_HIST.observe(1.5);
+        crate::set_enabled(false);
+        assert!((MINMAX_HIST.min() - 0.7).abs() < 1e-15);
+        assert!((MINMAX_HIST.max() - 3.2).abs() < 1e-15);
+        let snap = snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.minmax_hist")
+            .unwrap();
+        assert!((h.min - 0.7).abs() < 1e-15);
+        assert!((h.max - 3.2).abs() < 1e-15);
+        MINMAX_HIST.reset_values();
+        assert!(MINMAX_HIST.min().is_nan());
+        assert!(MINMAX_HIST.max().is_nan());
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub struct SpanGuard {
 impl SpanGuard {
     /// Open a span named `name` nested under the thread's live spans.
     pub fn enter(name: &'static str) -> SpanGuard {
-        let aggregate = crate::enabled();
+        let aggregate = crate::collecting();
         let events = crate::events_enabled();
         if !aggregate && !events {
             return SpanGuard {

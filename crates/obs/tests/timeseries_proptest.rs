@@ -1,0 +1,138 @@
+//! Property tests for the live time-series ring: under arbitrary
+//! interleavings of counter writes, collector ticks and snapshot reads —
+//! including runs long enough to wrap the fixed-capacity ring several
+//! times — every snapshot stays internally consistent (strictly
+//! increasing tick numbers, non-decreasing timestamps) and no counted
+//! event is ever lost: the evicted totals plus the retained deltas always
+//! reconstruct the cumulative counter value.
+
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+use stpt_obs::timeseries;
+
+/// The obs tables and gates are process-global; property cases (and any
+/// future tests in this binary) must take turns.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Guard restoring the live gate even if a case panics.
+struct LiveOff;
+impl Drop for LiveOff {
+    fn drop(&mut self) {
+        stpt_obs::set_live_enabled(false);
+    }
+}
+
+static PROP_EVENTS: stpt_obs::Counter = stpt_obs::Counter::new("proptest.timeseries.events");
+
+/// One step of the interleaving the strategy explores.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Writer: bump the counter by `n`.
+    Add(u64),
+    /// Collector: take one delta sample (possibly evicting the oldest).
+    Tick,
+    /// Snapshotter: read the ring back and check its invariants.
+    Snapshot,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // Weighted choice (the vendored proptest shim has no `prop_oneof!`):
+    // 3/8 writer, 4/8 collector tick, 1/8 snapshotter.
+    (0u8..8, 1u64..500).prop_map(|(k, n)| match k {
+        0..=2 => Op::Add(n),
+        3..=6 => Op::Tick,
+        _ => Op::Snapshot,
+    })
+}
+
+/// Assert the read-side invariants of one snapshot and return the summed
+/// per-tick deltas of the property counter.
+fn check_snapshot(samples: &[timeseries::Sample]) -> u64 {
+    let mut retained = 0u64;
+    let mut prev_seq = 0u64;
+    let mut prev_ms = 0u64;
+    for s in samples {
+        assert!(
+            s.seq > prev_seq,
+            "tick numbers must be strictly increasing: {} after {prev_seq}",
+            s.seq
+        );
+        assert!(
+            s.at_ms >= prev_ms,
+            "timestamps must be non-decreasing: {} after {prev_ms}",
+            s.at_ms
+        );
+        prev_seq = s.seq;
+        prev_ms = s.at_ms;
+        retained += s
+            .counters
+            .iter()
+            .find(|(n, _)| *n == PROP_EVENTS.name())
+            .map(|&(_, d)| d)
+            .unwrap_or(0);
+    }
+    assert!(
+        samples.len() <= timeseries::RING_CAPACITY,
+        "a snapshot can never hold more than the ring capacity"
+    );
+    retained
+}
+
+proptest! {
+    #[test]
+    fn wraparound_preserves_order_and_conserves_counter_totals(
+        ops in proptest::collection::vec(op(), 1..220),
+        // Extra unconditional ticks appended so a fair share of cases
+        // wraps the 120-slot ring at least once.
+        extra_ticks in 0usize..180,
+    ) {
+        let _lock = lock();
+        let _off = LiveOff;
+        stpt_obs::reset_for_tests();
+        stpt_obs::set_live_enabled(true);
+
+        let mut expected_total = 0u64;
+        for op in &ops {
+            match op {
+                Op::Add(n) => {
+                    PROP_EVENTS.add(*n);
+                    expected_total += n;
+                }
+                Op::Tick => timeseries::collect_now(),
+                Op::Snapshot => {
+                    let retained = check_snapshot(&timeseries::samples());
+                    prop_assert!(
+                        retained <= expected_total,
+                        "retained deltas {retained} exceed events written {expected_total}"
+                    );
+                }
+            }
+        }
+        for _ in 0..extra_ticks {
+            PROP_EVENTS.add(1);
+            expected_total += 1;
+            timeseries::collect_now();
+        }
+
+        // Flush whatever the last Add left uncollected, then audit: the
+        // writer-locked evicted + retained totals must equal the counter's
+        // cumulative value exactly, no matter how often the ring wrapped.
+        timeseries::collect_now();
+        check_snapshot(&timeseries::samples());
+        let audited = timeseries::audit_counter_totals()
+            .into_iter()
+            .find(|(n, _)| *n == PROP_EVENTS.name())
+            .map(|(_, t)| t);
+        if expected_total > 0 {
+            // Any mismatch here means wraparound lost or invented events.
+            prop_assert_eq!(audited, Some(expected_total));
+        }
+
+        stpt_obs::set_live_enabled(false);
+        stpt_obs::reset_for_tests();
+    }
+}

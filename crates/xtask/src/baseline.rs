@@ -32,6 +32,11 @@
 //! * `counter` — a telemetry counter equals `expect` exactly.
 //! * `ledger_consistent` — the exported budget-audit ledger replays
 //!   consistently.
+//! * `noise_consistent` — the statistical noise self-check (empirical
+//!   Laplace moments vs the calibrated scales the ledger claims) reported
+//!   `consistent`. Generated only when the reference run was traced and
+//!   reached the sample floor; evaluation skips runs whose verdict is
+//!   `unchecked` and fails on `inconsistent`.
 //! * `span_share` — `span`'s share of `parent`'s wall time stays within
 //!   [share/3, 3·share] (a coarse phase-profile invariant).
 //!
@@ -100,6 +105,10 @@ pub enum CheckKind {
     },
     /// The exported budget ledger replays consistently.
     LedgerConsistent,
+    /// The statistical noise self-check verdict is `consistent` (or at
+    /// worst `unchecked`, which skips — reduced-scale runs may not reach
+    /// the sample floor).
+    NoiseConsistent,
     /// `span`'s share of `parent` wall time is within [share/3, 3·share].
     SpanShare {
         /// Child span path.
@@ -273,6 +282,24 @@ impl Check {
                 },
                 None => fail_shape("no ledger in telemetry", "consistent: true"),
             },
+            CheckKind::NoiseConsistent => match run.noise_status().as_deref() {
+                Some("consistent") => Outcome::Pass,
+                Some("inconsistent") => Outcome::Fail {
+                    observed: "noise: inconsistent".to_owned(),
+                    expected: "noise: consistent".to_owned(),
+                    delta: "empirical noise moments diverge from ledger scales".to_owned(),
+                },
+                Some("unchecked") => Outcome::Skip {
+                    reason: "noise self-check did not run (untraced or under-sampled)".to_owned(),
+                },
+                Some(other) => fail_shape(
+                    &format!("unknown noise verdict `{other}`"),
+                    "noise: consistent",
+                ),
+                None => Outcome::Skip {
+                    reason: "telemetry predates the noise self-check verdict".to_owned(),
+                },
+            },
             CheckKind::SpanShare {
                 span,
                 parent,
@@ -306,7 +333,10 @@ impl Check {
     fn needs_telemetry(&self) -> bool {
         matches!(
             self.kind,
-            CheckKind::Counter { .. } | CheckKind::LedgerConsistent | CheckKind::SpanShare { .. }
+            CheckKind::Counter { .. }
+                | CheckKind::LedgerConsistent
+                | CheckKind::NoiseConsistent
+                | CheckKind::SpanShare { .. }
         )
     }
 }
@@ -373,6 +403,9 @@ impl Check {
             CheckKind::LedgerConsistent => {
                 fields.push(("kind".to_owned(), s("ledger_consistent")));
             }
+            CheckKind::NoiseConsistent => {
+                fields.push(("kind".to_owned(), s("noise_consistent")));
+            }
             CheckKind::SpanShare {
                 span,
                 parent,
@@ -431,6 +464,7 @@ impl Check {
                 expect: number("expect")? as u64,
             },
             "ledger_consistent" => CheckKind::LedgerConsistent,
+            "noise_consistent" => CheckKind::NoiseConsistent,
             "span_share" => CheckKind::SpanShare {
                 span: text("span")?,
                 parent: text("parent")?,
@@ -892,6 +926,18 @@ fn telemetry_checks(run: &RunDoc) -> Vec<Check> {
         });
     }
 
+    // Only commit the noise check when the reference run actually reached a
+    // `consistent` verdict; `unchecked` reference runs would pin a check
+    // that can never be stronger than a skip.
+    if run.noise_status().as_deref() == Some("consistent") {
+        out.push(Check {
+            id: "noise".to_owned(),
+            note: "empirical Laplace noise matches the ledger's calibrated scales".to_owned(),
+            scale_bound: false,
+            kind: CheckKind::NoiseConsistent,
+        });
+    }
+
     if let Ok(Value::Array(counters)) = select(t, "counters") {
         for counter in counters {
             let Some(fields) = counter.as_object() else {
@@ -975,7 +1021,7 @@ mod tests {
             r#"{ "counters": [ { "name": "dp.noise_draws.laplace", "value": 42 } ],
                  "spans": [ { "path": "stpt", "count": 1, "total_ms": 100.0 },
                             { "path": "stpt/pattern", "count": 1, "total_ms": 40.0 } ],
-                 "ledger": { "check": { "consistent": true } } }"#,
+                 "ledger": { "check": { "consistent": true, "noise": "consistent" } } }"#,
         )
         .unwrap();
         RunDoc {
@@ -1005,6 +1051,7 @@ mod tests {
         assert!(ids.contains(&"band:data/mre/STPT"), "{ids:?}");
         assert!(ids.contains(&"band:data/mre/WPO"), "{ids:?}");
         assert!(ids.contains(&"ledger"), "{ids:?}");
+        assert!(ids.contains(&"noise"), "{ids:?}");
         assert!(ids.contains(&"counter:dp.noise_draws.laplace"), "{ids:?}");
         assert!(ids.contains(&"share:stpt/pattern"), "{ids:?}");
 

@@ -123,6 +123,59 @@ pub fn evaluate_baseline(
         })
         .collect();
 
+    // Implicit telemetry-health rows — not committed in the baseline (old
+    // baselines predate them), derived from the run document itself.
+    //
+    // Dropped span events mean the flamegraph and span-share profile are
+    // incomplete: under `--require-telemetry` that is a hard failure naming
+    // the ring capacity to raise; otherwise it surfaces as a skip so local
+    // runs stay green but visible.
+    if let Some(dropped) = run.events_dropped() {
+        let outcome = if dropped == 0 {
+            Outcome::Pass
+        } else {
+            let cap = run
+                .events_capacity()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "unknown".to_owned());
+            let msg = format!(
+                "{dropped} span events dropped by the fixed-capacity event ring \
+                 (capacity {cap}) — raise STPT_TRACE_EVENT_CAP or shorten the run"
+            );
+            if opts.require_telemetry {
+                Outcome::Fail {
+                    observed: msg,
+                    expected: "0 dropped events".to_owned(),
+                    delta: format!("+{dropped}"),
+                }
+            } else {
+                Outcome::Skip { reason: msg }
+            }
+        };
+        out.push(CheckResult {
+            baseline: doc.name.clone(),
+            id: "events-dropped".to_owned(),
+            note: "span event ring kept every recorded event".to_owned(),
+            outcome,
+        });
+    }
+
+    // An `inconsistent` noise verdict should never reach a published
+    // telemetry document (the audit fails closed first) — if one does, the
+    // export path was bypassed and the gate must say so.
+    if run.noise_status().as_deref() == Some("inconsistent") {
+        out.push(CheckResult {
+            baseline: doc.name.clone(),
+            id: "noise-verdict".to_owned(),
+            note: "published noise self-check verdict".to_owned(),
+            outcome: Outcome::Fail {
+                observed: "noise: inconsistent".to_owned(),
+                expected: "noise: consistent or unchecked".to_owned(),
+                delta: "empirical noise moments diverge from ledger scales".to_owned(),
+            },
+        });
+    }
+
     // Make the scale skip legible once per baseline instead of per check.
     if !ctx.env_matches {
         out.insert(
@@ -157,7 +210,9 @@ mod tests {
         "telemetry": { "counters": [ { "name": "dp.noise_draws.laplace", "value": 42 } ],
                        "spans": [ { "path": "stpt", "count": 1, "total_ms": 100.0 },
                                   { "path": "stpt/pattern", "count": 1, "total_ms": 40.0 } ],
-                       "ledger": { "check": { "consistent": true } } } }"#;
+                       "events": { "recorded": 4, "dropped": 0, "capacity": 65536 },
+                       "ledger": { "check": { "consistent": true,
+                                              "noise": "consistent" } } } }"#;
 
     fn fixture(dirname: &str, envelope: &str) -> (std::path::PathBuf, BaselineDoc) {
         let dir = std::env::temp_dir().join(dirname);
@@ -176,6 +231,82 @@ mod tests {
         let t = totals(&results);
         assert_eq!(t.failed, 0, "{results:?}");
         assert!(t.passed >= 4, "{results:?}");
+        assert!(
+            results
+                .iter()
+                .any(|r| r.id == "noise" && r.outcome == Outcome::Pass),
+            "{results:?}"
+        );
+        assert!(
+            results
+                .iter()
+                .any(|r| r.id == "events-dropped" && r.outcome == Outcome::Pass),
+            "{results:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_events_skip_locally_and_fail_under_require_telemetry() {
+        let (dir, doc) = fixture("xtask_regress_dropped", ENVELOPE);
+        let lossy = ENVELOPE.replace("\"dropped\": 0", "\"dropped\": 1234");
+        std::fs::write(dir.join("unit.json"), lossy).unwrap();
+
+        let lax = evaluate_baseline(&doc, &dir, RegressOpts::default());
+        let row = lax
+            .iter()
+            .find(|r| r.id == "events-dropped")
+            .unwrap_or_else(|| panic!("no events-dropped row: {lax:?}"));
+        match &row.outcome {
+            Outcome::Skip { reason } => {
+                assert!(reason.contains("1234"), "{reason}");
+                assert!(reason.contains("65536"), "{reason}");
+                assert!(reason.contains("STPT_TRACE_EVENT_CAP"), "{reason}");
+            }
+            other => panic!("expected Skip, got {other:?}"),
+        }
+
+        let strict = evaluate_baseline(
+            &doc,
+            &dir,
+            RegressOpts {
+                require_telemetry: true,
+            },
+        );
+        let row = strict
+            .iter()
+            .find(|r| r.id == "events-dropped")
+            .unwrap_or_else(|| panic!("no events-dropped row: {strict:?}"));
+        match &row.outcome {
+            Outcome::Fail { observed, .. } => {
+                assert!(observed.contains("capacity 65536"), "{observed}");
+                assert!(observed.contains("STPT_TRACE_EVENT_CAP"), "{observed}");
+            }
+            other => panic!("expected Fail, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_inconsistent_noise_verdict_fails_the_gate() {
+        let (dir, doc) = fixture("xtask_regress_noise", ENVELOPE);
+        let bad = ENVELOPE.replace("\"noise\": \"consistent\"", "\"noise\": \"inconsistent\"");
+        std::fs::write(dir.join("unit.json"), bad).unwrap();
+
+        let results = evaluate_baseline(&doc, &dir, RegressOpts::default());
+        // Both the committed `noise` check and the implicit verdict row fire.
+        assert!(
+            results
+                .iter()
+                .any(|r| r.id == "noise" && matches!(r.outcome, Outcome::Fail { .. })),
+            "{results:?}"
+        );
+        assert!(
+            results
+                .iter()
+                .any(|r| r.id == "noise-verdict" && matches!(r.outcome, Outcome::Fail { .. })),
+            "{results:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

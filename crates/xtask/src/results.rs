@@ -136,6 +136,34 @@ impl RunDoc {
             _ => None,
         }
     }
+
+    /// The noise self-check verdict label (`"consistent"`, `"unchecked"`,
+    /// `"inconsistent"`), if a ledger was exported with one.
+    pub fn noise_status(&self) -> Option<String> {
+        let t = self.telemetry.as_ref()?;
+        match crate::jsonsel::select(t, "ledger/check/noise").ok()? {
+            Value::String(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of span events dropped by the fixed-capacity event ring.
+    pub fn events_dropped(&self) -> Option<u64> {
+        let t = self.telemetry.as_ref()?;
+        crate::jsonsel::select(t, "events/dropped")
+            .ok()
+            .and_then(Value::as_f64)
+            .map(|v| v as u64)
+    }
+
+    /// The event ring's capacity, as recorded in the telemetry document.
+    pub fn events_capacity(&self) -> Option<u64> {
+        let t = self.telemetry.as_ref()?;
+        crate::jsonsel::select(t, "events/capacity")
+            .ok()
+            .and_then(Value::as_f64)
+            .map(|v| v as u64)
+    }
 }
 
 /// Load and validate the envelope for `name` from `results_dir`.

@@ -11,8 +11,8 @@
 //!   offending call chain.
 //! * **XT10 — hermeticity.** `std::env::var`/`var_os` outside the
 //!   designated choke points (`vendor/rayon`'s `STPT_THREADS` resolution,
-//!   `crates/obs`'s trace/telemetry toggles) makes runs depend on ambient
-//!   process state.
+//!   `crates/obs`'s trace/telemetry/live-metrics toggles) makes runs
+//!   depend on ambient process state.
 
 use std::collections::{HashSet, VecDeque};
 
@@ -567,7 +567,8 @@ fn xt10_hermeticity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 line: tok.line,
                 message: format!(
                     "`env::{name}` outside the configuration choke points \
-                     (vendor/rayon STPT_THREADS, crates/obs STPT_TRACE*/telemetry) \
+                     (vendor/rayon STPT_THREADS, crates/obs \
+                     STPT_TRACE*/STPT_METRICS_*/telemetry) \
                      — ambient env reads make runs non-hermetic; plumb the value \
                      through explicit config or justify with \
                      `// xtask-allow(XT10): <reason>`"

@@ -1,0 +1,11 @@
+//! Violating: the live-metrics env vars (`STPT_METRICS_ADDR`,
+//! `STPT_METRICS_PERIOD`) are sanctioned only inside `crates/obs` —
+//! reading them anywhere else would fork the exporter's configuration
+//! surface and break hermeticity.
+pub fn rogue_scrape_addr() -> Option<String> {
+    std::env::var("STPT_METRICS_ADDR").ok()
+}
+
+pub fn rogue_period() -> bool {
+    std::env::var_os("STPT_METRICS_PERIOD").is_some()
+}

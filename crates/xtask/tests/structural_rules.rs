@@ -138,6 +138,27 @@ fn xt10_choke_points_and_tests_are_exempt() {
 }
 
 #[test]
+fn xt10_covers_the_live_metrics_env_vars() {
+    // STPT_METRICS_ADDR / STPT_METRICS_PERIOD are sanctioned only inside
+    // the `crates/obs` choke point; reads elsewhere are flagged with a
+    // message that names the metrics surface.
+    let src = include_str!("fixtures/xt10/pos_metrics_env.rs");
+    let report = lint(&[(LIB_PATH, src)]);
+    assert_eq!(
+        rules_of(&report),
+        vec!["XT10", "XT10"],
+        "{:?}",
+        report.diags
+    );
+    assert!(
+        report.diags[0].message.contains("STPT_METRICS_"),
+        "{}",
+        report.diags[0].message
+    );
+    assert!(lint(&[("crates/obs/src/lib.rs", src)]).diags.is_empty());
+}
+
+#[test]
 fn xt10_ignores_plumbed_config_and_lookalikes() {
     let report = lint(&[(LIB_PATH, include_str!("fixtures/xt10/neg_plumbed.rs"))]);
     assert!(report.diags.is_empty(), "{:?}", report.diags);
