@@ -312,6 +312,10 @@ pub fn emit_result<T: Serialize>(name: &str, env: &ExperimentEnv, value: &T) {
     if let Some(start) = PROCESS_START.get() {
         BENCH_WALL_SECS.set(start.elapsed().as_secs_f64());
     }
+    // One final resource sample before the summary is rendered: a short
+    // traced run without phase spans may never hit a collector tick or a
+    // phase boundary, and would otherwise ship no process gauges at all.
+    stpt_obs::resources::sample();
     // The telemetry document is produced by stpt-obs's dependency-free
     // writer, so it is spliced in as a pre-rendered JSON fragment.
     // The per-draw ledger audit trail is megabytes at experiment scale, so
@@ -336,6 +340,14 @@ pub fn emit_result<T: Serialize>(name: &str, env: &ExperimentEnv, value: &T) {
         stpt_obs::diag!("telemetry: wrote {}", tpath.display());
     }
     if let Some(tpath) = stpt_obs::export::write_flamegraph(name) {
+        stpt_obs::diag!("telemetry: wrote {}", tpath.display());
+    }
+    if stpt_obs::live_enabled() {
+        // Final collector tick so the exported ring includes activity since
+        // the last periodic sample (short runs may have seen none at all).
+        stpt_obs::timeseries::collect_now();
+    }
+    if let Some(tpath) = stpt_obs::export::write_timeseries(name) {
         stpt_obs::diag!("telemetry: wrote {}", tpath.display());
     }
 }

@@ -172,7 +172,7 @@ impl ReleasePipeline {
             sanitizer.sanitize_into(c_cons_clipped, &mut accountant, &mut rng)?;
 
         let post = if self.postprocess {
-            let _pp_span = stpt_obs::span!("postprocess");
+            let _pp_span = stpt_obs::phase_span!("postprocess");
             let token = accountant.begin_postprocess(POSTPROCESS_STAGE);
             let record = match &grouped {
                 Some(g) => {

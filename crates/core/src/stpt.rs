@@ -138,7 +138,7 @@ pub fn run_stpt(
     c_cons_clipped: &ConsumptionMatrix,
     config: &StptConfig,
 ) -> Result<StptOutput, DpError> {
-    let _stpt_span = stpt_obs::span!("stpt");
+    let _stpt_span = stpt_obs::phase_span!("stpt");
     let pipeline = ReleasePipeline {
         eps_total: config.eps_total(),
         seed: config.seed,
@@ -220,13 +220,13 @@ impl Sanitize for StptSanitizer<'_> {
             depth: config.depth,
             net: config.net.clone(),
         };
-        let pattern_span = stpt_obs::span!("pattern");
+        let pattern_span = stpt_obs::phase_span!("pattern");
         let pattern = recognize_patterns(&c_norm, &pattern_cfg, accountant, rng)?;
         let (pattern_mae, pattern_rmse) =
             prediction_error(&c_norm, &pattern.pattern, config.t_train);
         drop(pattern_span);
 
-        let partition_span = stpt_obs::span!("partition");
+        let partition_span = stpt_obs::phase_span!("partition");
         let scheme = match (config.partition_block, config.partition_t_block) {
             (Some(block), Some(t_block)) => PartitionScheme::Local {
                 block,
@@ -247,7 +247,7 @@ impl Sanitize for StptSanitizer<'_> {
             clip: config.clip,
             allocation: config.allocation,
         };
-        let sanitize_span = stpt_obs::span!("sanitize");
+        let sanitize_span = stpt_obs::phase_span!("sanitize");
         let (sanitized, releases) =
             sanitize_partitions(c_cons_clipped, &partitions, &sanitize_cfg, accountant, rng)?;
         drop(sanitize_span);

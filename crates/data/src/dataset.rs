@@ -228,7 +228,9 @@ impl Dataset {
         n_granules: usize,
         rng: &mut impl Rng,
     ) -> Dataset {
-        let _span = stpt_obs::span!("data.generate");
+        // A phase span: dataset synthesis is a coarse pipeline stage, so it
+        // gets CPU/RSS attribution alongside the `run_stpt` phases.
+        let _span = stpt_obs::phase_span!("data.generate");
         let positions = distribution.sample_positions(spec.households, rng);
         let (mu_base, sigma_base, sigma_noise) = spec.lognormal_params();
         // xtask-allow(XT04): lognormal_params derives finite mu/sigma from the positive Table 2 statistics

@@ -90,6 +90,16 @@ fn render_telemetry(run: &str, ledger_entries: bool) -> String {
     } = metrics::snapshot();
     let published = ledger::ledger_snapshot();
 
+    // Pool width for CPU-efficiency attribution: the vendored pool
+    // publishes a `pool.threads` gauge; absent (no parallel region ran, or
+    // collection started late) it defaults to one.
+    let pool_threads = gauges
+        .iter()
+        .find(|&&(n, _)| n == "pool.threads")
+        .map(|&(_, v)| v)
+        .filter(|&v| v >= 1.0)
+        .unwrap_or(1.0);
+
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
     let _ = writeln!(out, "  \"run\": \"{}\",", json_escape(run));
@@ -101,11 +111,29 @@ fn render_telemetry(run: &str, ledger_entries: bool) -> String {
         }
         let _ = write!(
             out,
-            "\n    {{ \"path\": \"{}\", \"count\": {}, \"total_ms\": {} }}",
+            "\n    {{ \"path\": \"{}\", \"count\": {}, \"total_ms\": {}",
             json_escape(path),
             stat.count,
             json_f64(stat.total_ms())
         );
+        // Resource attribution rides only on phase spans that completed
+        // with `/proc` readable; degraded runs keep the plain shape.
+        if stat.resourced > 0 {
+            let wall_secs = stat.total_ns as f64 / 1e9;
+            let efficiency = if wall_secs > 0.0 {
+                stat.cpu_secs / wall_secs / pool_threads
+            } else {
+                f64::NAN
+            };
+            let _ = write!(
+                out,
+                ", \"cpu_secs\": {}, \"cpu_efficiency\": {}, \"peak_rss_bytes\": {}",
+                json_f64(stat.cpu_secs),
+                json_f64(efficiency),
+                stat.peak_rss_bytes
+            );
+        }
+        out.push_str(" }");
     }
     out.push_str(if spans.is_empty() { "],\n" } else { "\n  ],\n" });
 
@@ -530,6 +558,92 @@ pub fn write_flamegraph(run: &str) -> Option<PathBuf> {
     }
 }
 
+/// Render the retained time-series ring ([`crate::timeseries`]) as JSON:
+/// one object per delta sample (counter deltas, point-in-time gauges,
+/// histogram delta counts/sums) plus the series-table overflow tallies.
+/// This is the post-mortem artifact of a live run — RSS and CPU-time
+/// history at the collector cadence, which the cumulative telemetry
+/// document cannot show.
+pub fn timeseries_json(run: &str) -> String {
+    let samples = crate::timeseries::samples();
+    let (counter_overflow, hist_overflow) = crate::timeseries::series_overflow();
+    let gauge_overflow = crate::timeseries::gauge_series_overflow();
+
+    let mut out = String::with_capacity(samples.len() * 128 + 256);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"run\": \"{}\",", json_escape(run));
+    let _ = writeln!(
+        out,
+        "  \"overflow\": {{ \"counters\": {counter_overflow}, \"gauges\": {gauge_overflow}, \
+         \"histograms\": {hist_overflow} }},"
+    );
+    out.push_str("  \"samples\": [");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {{ \"seq\": {}, \"at_ms\": {}", s.seq, s.at_ms);
+        out.push_str(", \"counters\": [");
+        for (j, (name, delta)) in s.counters.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[\"{}\", {}]", json_escape(name), delta);
+        }
+        out.push_str("], \"gauges\": [");
+        for (j, (name, value)) in s.gauges.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[\"{}\", {}]", json_escape(name), json_f64(*value));
+        }
+        out.push_str("], \"histograms\": [");
+        for (j, h) in s.histograms.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{ \"name\": \"{}\", \"count\": {}, \"sum\": {} }}",
+                json_escape(h.name),
+                h.count,
+                json_f64(h.sum)
+            );
+        }
+        out.push_str("] }");
+    }
+    out.push_str(if samples.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Write the time-series document for `run` into `dir` as
+/// `<run>.timeseries.json`.
+pub fn write_timeseries_to(dir: &Path, run: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.timeseries.json", file_stem(run)));
+    std::fs::write(&path, timeseries_json(run))?;
+    Ok(path)
+}
+
+/// Write the time-series document for `run` under `STPT_TELEMETRY_DIR`
+/// (or [`DEFAULT_DIR`]). Returns `None` when live monitoring is off (no
+/// collector ran, so the ring is empty) or the write fails — export must
+/// never take down the run it observes.
+pub fn write_timeseries(run: &str) -> Option<PathBuf> {
+    if !crate::live_enabled() {
+        return None;
+    }
+    let dir = std::env::var("STPT_TELEMETRY_DIR").unwrap_or_else(|_| DEFAULT_DIR.to_owned());
+    match write_timeseries_to(Path::new(&dir), run) {
+        Ok(path) => Some(path),
+        Err(err) => {
+            crate::diag!("telemetry: failed to write {dir}/{run}.timeseries.json: {err}");
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,6 +744,46 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(lines, sorted);
         crate::reset_for_tests();
+    }
+
+    #[test]
+    fn phase_span_resource_fields_ride_the_telemetry_doc() {
+        let _lock = crate::test_lock();
+        crate::reset_for_tests();
+        crate::resources::set_proc_root_override(None);
+        if !crate::resources::available() {
+            return; // degraded host: the fields are (correctly) absent
+        }
+        crate::set_enabled(true);
+        {
+            let _p = crate::phase_span!("resourced_phase");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let doc = telemetry_json("resource test");
+        crate::set_enabled(false);
+        crate::reset_for_tests();
+        assert!(doc.contains("\"path\": \"resourced_phase\""), "{doc}");
+        assert!(doc.contains("\"cpu_secs\": "), "{doc}");
+        assert!(doc.contains("\"cpu_efficiency\": "), "{doc}");
+        assert!(doc.contains("\"peak_rss_bytes\": "), "{doc}");
+    }
+
+    #[test]
+    fn timeseries_document_round_trips_the_ring() {
+        let _lock = crate::test_lock();
+        crate::reset_for_tests();
+        static EXPORT_TS: crate::Counter = crate::Counter::new("test.export.ts");
+        crate::set_enabled(true);
+        EXPORT_TS.add(3);
+        crate::timeseries::collect_now();
+        crate::set_enabled(false);
+        let doc = timeseries_json("ts run");
+        crate::reset_for_tests();
+        assert!(doc.contains("\"run\": \"ts run\""), "{doc}");
+        assert!(doc.contains("[\"test.export.ts\", 3]"), "{doc}");
+        assert!(doc.contains("\"overflow\": { \"counters\": 0, \"gauges\": 0, \"histograms\": 0 }"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod ledger;
 pub mod metrics;
 pub mod noise;
 pub mod prometheus;
+pub mod resources;
 pub mod timeseries;
 pub mod trace;
 
@@ -194,6 +195,7 @@ pub fn reset() {
     events::reset();
     timeseries::reset();
     noise::reset();
+    resources::reset();
 }
 
 /// Reset every process-global table this crate owns — the span aggregate
@@ -231,6 +233,17 @@ pub fn diag_line(line: &str) {
 macro_rules! span {
     ($name:expr) => {
         $crate::trace::SpanGuard::enter($name)
+    };
+}
+
+/// Open a timed *phase* span: like [`span!`], but the guard also captures
+/// process CPU time and RSS from `/proc` at its boundaries, so the span
+/// table attributes `cpu_secs`, CPU efficiency and peak RSS to the path
+/// (see [`resources`]). Use for coarse pipeline phases, not hot loops.
+#[macro_export]
+macro_rules! phase_span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter_phase($name)
     };
 }
 

@@ -48,22 +48,55 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Rewrite a sanitized duration-counter name to base units: internal
+/// counters accumulate integer `_ms`/`_us` ticks (the registry is u64),
+/// but exposition follows the Prometheus convention of seconds. Returns
+/// the exposed family stem and the divisor (`worker_busy_us` →
+/// `worker_busy_seconds`, 1e6).
+fn seconds_family(sanitized: &str) -> Option<(String, f64)> {
+    if let Some(stem) = sanitized.strip_suffix("_ms") {
+        return Some((format!("{stem}_seconds"), 1e3));
+    }
+    if let Some(stem) = sanitized.strip_suffix("_us") {
+        return Some((format!("{stem}_seconds"), 1e6));
+    }
+    None
+}
+
+/// Append one `# HELP` line. The text format wants HELP before TYPE for
+/// every family; the registry carries no free-text docs, so the help
+/// string names the internal dotted metric the family is derived from.
+fn push_help(out: &mut String, family: &str, source: &str, kind: &str) {
+    out.push_str(&format!("# HELP {family} STPT {kind} metric `{source}`.\n"));
+}
+
 /// Render the current metrics snapshot in Prometheus text format 0.0.4.
 pub fn render() -> String {
     let snap = metrics::snapshot();
     let mut out = String::with_capacity(4096);
     for (name, value) in &snap.counters {
         let n = sanitize(name);
-        out.push_str(&format!("# TYPE {PREFIX}{n}_total counter\n"));
-        out.push_str(&format!("{PREFIX}{n}_total {value}\n"));
+        if let Some((stem, divisor)) = seconds_family(&n) {
+            let family = format!("{PREFIX}{stem}_total");
+            push_help(&mut out, &family, name, "cumulative-seconds counter");
+            out.push_str(&format!("# TYPE {family} counter\n"));
+            out.push_str(&format!("{family} {}\n", fmt_f64(*value as f64 / divisor)));
+        } else {
+            let family = format!("{PREFIX}{n}_total");
+            push_help(&mut out, &family, name, "counter");
+            out.push_str(&format!("# TYPE {family} counter\n"));
+            out.push_str(&format!("{family} {value}\n"));
+        }
     }
     for (name, value) in &snap.gauges {
         let n = sanitize(name);
+        push_help(&mut out, &format!("{PREFIX}{n}"), name, "gauge");
         out.push_str(&format!("# TYPE {PREFIX}{n} gauge\n"));
         out.push_str(&format!("{PREFIX}{n} {}\n", fmt_f64(*value)));
     }
     for h in &snap.histograms {
         let n = sanitize(h.name);
+        push_help(&mut out, &format!("{PREFIX}{n}"), h.name, "log2 histogram");
         out.push_str(&format!("# TYPE {PREFIX}{n} histogram\n"));
         let mut cum = 0u64;
         for &(lb, count) in &h.buckets {
@@ -78,10 +111,22 @@ pub fn render() -> String {
         out.push_str(&format!("{PREFIX}{n}_sum {}\n", fmt_f64(h.sum)));
         out.push_str(&format!("{PREFIX}{n}_count {}\n", h.count));
         if h.min.is_finite() {
+            push_help(
+                &mut out,
+                &format!("{PREFIX}{n}_min"),
+                h.name,
+                "exact-minimum gauge",
+            );
             out.push_str(&format!("# TYPE {PREFIX}{n}_min gauge\n"));
             out.push_str(&format!("{PREFIX}{n}_min {}\n", fmt_f64(h.min)));
         }
         if h.max.is_finite() {
+            push_help(
+                &mut out,
+                &format!("{PREFIX}{n}_max"),
+                h.name,
+                "exact-maximum gauge",
+            );
             out.push_str(&format!("# TYPE {PREFIX}{n}_max gauge\n"));
             out.push_str(&format!("{PREFIX}{n}_max {}\n", fmt_f64(h.max)));
         }
@@ -89,11 +134,11 @@ pub fn render() -> String {
     // Observability meta-signals: span-event ring drops and the number of
     // budget-audited runs published so far.
     out.push_str(&format!(
-        "# TYPE {PREFIX}obs_events_dropped_total counter\n{PREFIX}obs_events_dropped_total {}\n",
+        "# HELP {PREFIX}obs_events_dropped_total Span events dropped by the fixed-capacity event ring.\n# TYPE {PREFIX}obs_events_dropped_total counter\n{PREFIX}obs_events_dropped_total {}\n",
         crate::events::dropped()
     ));
     out.push_str(&format!(
-        "# TYPE {PREFIX}obs_ledger_published_runs gauge\n{PREFIX}obs_ledger_published_runs {}\n",
+        "# HELP {PREFIX}obs_ledger_published_runs Budget-audited runs published to the DP ledger.\n# TYPE {PREFIX}obs_ledger_published_runs gauge\n{PREFIX}obs_ledger_published_runs {}\n",
         crate::ledger::published_runs()
     ));
     out
@@ -182,6 +227,19 @@ mod tests {
     }
 
     #[test]
+    fn duration_counters_expose_as_seconds() {
+        assert_eq!(
+            seconds_family("process_cpu_ms"),
+            Some(("process_cpu_seconds".into(), 1e3))
+        );
+        assert_eq!(
+            seconds_family("worker_busy_us"),
+            Some(("worker_busy_seconds".into(), 1e6))
+        );
+        assert_eq!(seconds_family("queries_evaluated"), None);
+    }
+
+    #[test]
     fn render_emits_valid_families() {
         let _lock = crate::test_lock();
         crate::reset_for_tests();
@@ -193,6 +251,7 @@ mod tests {
         PROM_HIST.observe(3.0);
         crate::set_enabled(false);
         let text = render();
+        assert!(text.contains("# HELP stpt_test_prom_counter_total "));
         assert!(text.contains("# TYPE stpt_test_prom_counter_total counter"));
         assert!(text.contains("stpt_test_prom_counter_total 7"));
         assert!(text.contains("# TYPE stpt_test_prom_gauge gauge"));

@@ -52,6 +52,11 @@ pub const MAX_COUNTER_SERIES: usize = 48;
 /// Maximum number of distinct histogram series tracked.
 pub const MAX_HISTOGRAM_SERIES: usize = 8;
 
+/// Maximum number of distinct gauge series tracked. Gauges are sampled
+/// point-in-time (no delta/eviction accounting — a gauge has no
+/// conservation invariant), giving the ring an RSS/utilization history.
+pub const MAX_GAUGE_SERIES: usize = 16;
+
 /// Collector period when `STPT_METRICS_PERIOD` is unset but live telemetry
 /// is on (scrape address given).
 pub const DEFAULT_PERIOD: Duration = Duration::from_secs(1);
@@ -65,6 +70,8 @@ struct Slot {
     /// Milliseconds since the first collection.
     at_ms: AtomicU64,
     counters: [AtomicU64; MAX_COUNTER_SERIES],
+    /// Point-in-time gauge values as f64 bits.
+    gauges: [AtomicU64; MAX_GAUGE_SERIES],
     hist_count: [AtomicU64; MAX_HISTOGRAM_SERIES],
     hist_sum_bits: [AtomicU64; MAX_HISTOGRAM_SERIES],
     hist_buckets: [[AtomicU64; HISTOGRAM_BUCKETS]; MAX_HISTOGRAM_SERIES],
@@ -77,6 +84,7 @@ impl Slot {
             seq: AtomicU64::new(0),
             at_ms: AtomicU64::new(0),
             counters: [const { AtomicU64::new(0) }; MAX_COUNTER_SERIES],
+            gauges: [const { AtomicU64::new(0) }; MAX_GAUGE_SERIES],
             hist_count: [const { AtomicU64::new(0) }; MAX_HISTOGRAM_SERIES],
             hist_sum_bits: [const { AtomicU64::new(0) }; MAX_HISTOGRAM_SERIES],
             hist_buckets: [const { [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS] };
@@ -114,8 +122,12 @@ struct WriterState {
     epoch: Option<Instant>,
     last_ms: u64,
     counters: Vec<CounterSeries>,
+    /// Tracked gauge series names (point-in-time; no writer bookkeeping
+    /// beyond the name).
+    gauges: Vec<&'static str>,
     hists: Vec<HistSeries>,
     counter_overflow: u64,
+    gauge_overflow: u64,
     hist_overflow: u64,
 }
 
@@ -173,6 +185,10 @@ pub fn start_collector(period: Duration) {
 /// accounting for — the oldest sample once the ring is full). Serialised
 /// with other writers; never blocks readers.
 pub fn collect_now() {
+    // Fold an OS resource sample (RSS, CPU time, per-worker CPU) into the
+    // registry first so this tick's snapshot carries it; a no-op when the
+    // resource layer is gated off or `/proc` is unavailable.
+    crate::resources::sample();
     let snap = metrics::snapshot();
     let mut w = writer();
     let epoch = *w.epoch.get_or_insert_with(Instant::now);
@@ -188,6 +204,13 @@ pub fn collect_now() {
                 w.counters[i].prev = cum;
             }
             None => w.counter_overflow += 1,
+        }
+    }
+    let mut gauge_values = [0u64; MAX_GAUGE_SERIES];
+    for &(name, value) in &snap.gauges {
+        match gauge_index_for(&mut w, name) {
+            Some(i) => gauge_values[i] = value.to_bits(),
+            None => w.gauge_overflow += 1,
         }
     }
     let mut hist_count_deltas = [0u64; MAX_HISTOGRAM_SERIES];
@@ -233,6 +256,9 @@ pub fn collect_now() {
     for (cell, &d) in slot.counters.iter().zip(&counter_deltas) {
         cell.store(d, Ordering::SeqCst);
     }
+    for (cell, &bits) in slot.gauges.iter().zip(&gauge_values) {
+        cell.store(bits, Ordering::SeqCst);
+    }
     for i in 0..MAX_HISTOGRAM_SERIES {
         slot.hist_count[i].store(hist_count_deltas[i], Ordering::SeqCst);
         slot.hist_sum_bits[i].store(hist_sum_deltas[i].to_bits(), Ordering::SeqCst);
@@ -258,6 +284,17 @@ fn series_index_for(w: &mut WriterState, name: &'static str) -> Option<usize> {
         evicted: 0,
     });
     Some(w.counters.len() - 1)
+}
+
+fn gauge_index_for(w: &mut WriterState, name: &'static str) -> Option<usize> {
+    if let Some(i) = w.gauges.iter().position(|&n| n == name) {
+        return Some(i);
+    }
+    if w.gauges.len() >= MAX_GAUGE_SERIES {
+        return None;
+    }
+    w.gauges.push(name);
+    Some(w.gauges.len() - 1)
 }
 
 fn hist_index_for(w: &mut WriterState, name: &'static str) -> Option<usize> {
@@ -308,6 +345,9 @@ pub struct Sample {
     pub at_ms: u64,
     /// `(name, delta)` per tracked counter series.
     pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per tracked gauge series — point-in-time at this
+    /// tick, not a delta.
+    pub gauges: Vec<(&'static str, f64)>,
     /// Per-histogram deltas.
     pub histograms: Vec<HistSample>,
 }
@@ -317,16 +357,17 @@ pub struct Sample {
 /// so a returned vector only ever contains internally consistent samples
 /// with strictly increasing `seq` and non-decreasing `at_ms`.
 pub fn samples() -> Vec<Sample> {
-    let (counter_names, hist_names) = {
+    let (counter_names, gauge_names, hist_names) = {
         let w = writer();
         (
             w.counters.iter().map(|s| s.name).collect::<Vec<_>>(),
+            w.gauges.clone(),
             w.hists.iter().map(|s| s.name).collect::<Vec<_>>(),
         )
     };
     let mut out: Vec<Sample> = Vec::with_capacity(RING_CAPACITY);
     for slot in ring() {
-        if let Some(sample) = read_slot(slot, &counter_names, &hist_names) {
+        if let Some(sample) = read_slot(slot, &counter_names, &gauge_names, &hist_names) {
             out.push(sample);
         }
     }
@@ -338,6 +379,7 @@ pub fn samples() -> Vec<Sample> {
 fn read_slot(
     slot: &Slot,
     counter_names: &[&'static str],
+    gauge_names: &[&'static str],
     hist_names: &[&'static str],
 ) -> Option<Sample> {
     for _ in 0..16 {
@@ -355,6 +397,11 @@ fn read_slot(
             .iter()
             .enumerate()
             .map(|(i, &n)| (n, slot.counters[i].load(Ordering::SeqCst)))
+            .collect();
+        let gauges: Vec<(&'static str, f64)> = gauge_names
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, f64::from_bits(slot.gauges[i].load(Ordering::SeqCst))))
             .collect();
         let histograms: Vec<HistSample> = hist_names
             .iter()
@@ -378,6 +425,7 @@ fn read_slot(
                 seq,
                 at_ms,
                 counters,
+                gauges,
                 histograms,
             });
         }
@@ -387,7 +435,9 @@ fn read_slot(
 
 /// Windowed rate of a counter in events/second: deltas recorded strictly
 /// after the oldest sample inside `window`, divided by the covered span.
-/// `None` until at least two samples fall inside the window.
+/// `None` until at least two samples fall inside the window, and `None` —
+/// never a fabricated 0/s — for a counter the ring does not track (unknown
+/// name, or a series that arrived after the table overflowed).
 pub fn window_rate(counter: &str, window: Duration) -> Option<f64> {
     let all = samples();
     let newest = all.last()?.at_ms;
@@ -397,6 +447,12 @@ pub fn window_rate(counter: &str, window: Duration) -> Option<f64> {
         .filter(|s| s.at_ms + window_ms >= newest)
         .collect();
     if included.len() < 2 {
+        return None;
+    }
+    // Every sample carries the full tracked-series name list, so a missing
+    // name here means the counter is untracked — an absent series must not
+    // alias a present-but-idle one.
+    if !included[0].counters.iter().any(|&(n, _)| n == counter) {
         return None;
     }
     let span_ms = included[included.len() - 1].at_ms - included[0].at_ms;
@@ -479,6 +535,11 @@ pub fn series_overflow() -> (u64, u64) {
     (w.counter_overflow, w.hist_overflow)
 }
 
+/// Gauge series-table overflow event count (see [`series_overflow`]).
+pub fn gauge_series_overflow() -> u64 {
+    writer().gauge_overflow
+}
+
 /// Clear the ring and all writer bookkeeping (series, evicted totals,
 /// epoch). Used by [`crate::reset`].
 pub fn reset() {
@@ -491,6 +552,9 @@ pub fn reset() {
         slot.at_ms.store(0, Ordering::SeqCst);
         for c in &slot.counters {
             c.store(0, Ordering::SeqCst);
+        }
+        for g in &slot.gauges {
+            g.store(0, Ordering::SeqCst);
         }
         for i in 0..MAX_HISTOGRAM_SERIES {
             slot.hist_count[i].store(0, Ordering::SeqCst);
@@ -587,6 +651,106 @@ mod tests {
             assert!(r > 0.0);
         }
         assert_eq!(series_overflow(), (0, 0));
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn empty_ring_yields_none_not_zero() {
+        let _lock = crate::test_lock();
+        crate::reset_for_tests();
+        assert_eq!(
+            window_rate("test.ts.counter", Duration::from_secs(60)),
+            None
+        );
+        assert_eq!(
+            window_quantile("test.ts.hist", 0.5, Duration::from_secs(60)),
+            None
+        );
+    }
+
+    #[test]
+    fn single_sample_window_yields_none() {
+        let _lock = crate::test_lock();
+        crate::reset_for_tests();
+        crate::set_enabled(true);
+        TS_COUNTER.add(7);
+        collect_now();
+        crate::set_enabled(false);
+        // One sample: no span to rate over, and the (empty-delta) histogram
+        // has no observations in the window.
+        assert_eq!(
+            window_rate("test.ts.counter", Duration::from_secs(60)),
+            None
+        );
+        assert_eq!(
+            window_quantile("test.ts.hist", 0.5, Duration::from_secs(60)),
+            None
+        );
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn untracked_counter_yields_none_not_fabricated_zero_rate() {
+        let _lock = crate::test_lock();
+        crate::reset_for_tests();
+        crate::set_enabled(true);
+        for _ in 0..3 {
+            TS_COUNTER.add(2);
+            collect_now();
+            // Force distinct timestamps so the covered span is nonzero and
+            // the rate path runs to completion for the tracked series.
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        crate::set_enabled(false);
+        let tracked = window_rate("test.ts.counter", Duration::from_secs(60));
+        assert!(matches!(tracked, Some(r) if r > 0.0), "got {tracked:?}");
+        // An unknown series must be None, never a fabricated 0/s that is
+        // indistinguishable from a present-but-idle counter.
+        assert_eq!(
+            window_rate("no.such.counter", Duration::from_secs(60)),
+            None
+        );
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn fully_evicted_window_yields_none() {
+        let _lock = crate::test_lock();
+        crate::reset_for_tests();
+        crate::set_enabled(true);
+        TS_COUNTER.add(1);
+        collect_now();
+        std::thread::sleep(Duration::from_millis(3));
+        TS_COUNTER.add(1);
+        collect_now();
+        crate::set_enabled(false);
+        // A zero-length window keeps only the newest sample — every older
+        // one has aged out, so there is nothing to rate over.
+        assert_eq!(window_rate("test.ts.counter", Duration::ZERO), None);
+        assert_eq!(window_quantile("test.ts.hist", 0.5, Duration::ZERO), None);
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn gauge_series_ride_the_ring() {
+        let _lock = crate::test_lock();
+        crate::reset_for_tests();
+        static TS_GAUGE: crate::Gauge = crate::Gauge::new("test.ts.gauge");
+        crate::set_enabled(true);
+        TS_GAUGE.set(12.5);
+        collect_now();
+        TS_GAUGE.set(99.0);
+        collect_now();
+        crate::set_enabled(false);
+        let all = samples();
+        let last = all.last().unwrap();
+        let got = last
+            .gauges
+            .iter()
+            .find(|&&(n, _)| n == "test.ts.gauge")
+            .map(|&(_, v)| v);
+        assert_eq!(got, Some(99.0), "newest slot holds the point-in-time value");
+        assert_eq!(gauge_series_overflow(), 0);
         crate::reset_for_tests();
     }
 

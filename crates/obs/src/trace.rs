@@ -18,6 +18,14 @@ pub struct SpanStat {
     pub count: u64,
     /// Total wall time across all completions, in nanoseconds.
     pub total_ns: u128,
+    /// Completions that captured OS resource deltas (phase spans with
+    /// `/proc` readable). Zero when the resource layer is degraded.
+    pub resourced: u64,
+    /// Total process CPU time (utime + stime, all threads) across all
+    /// resourced completions, in seconds.
+    pub cpu_secs: f64,
+    /// Highest RSS observed at any resourced completion's boundary, bytes.
+    pub peak_rss_bytes: u64,
 }
 
 impl SpanStat {
@@ -58,11 +66,32 @@ pub struct SpanGuard {
     /// Whether to feed the aggregate table at drop (the aggregate gate's
     /// state at entry — a mid-span toggle must not record a lone exit).
     aggregate: bool,
+    /// Process CPU seconds at entry, for phase spans that attribute OS
+    /// resources ([`SpanGuard::enter_phase`]); `None` for plain spans or
+    /// when the resource layer is degraded.
+    cpu_secs_at_entry: Option<f64>,
+    /// RSS in bytes at entry (phase spans only).
+    rss_at_entry: Option<u64>,
 }
 
 impl SpanGuard {
     /// Open a span named `name` nested under the thread's live spans.
     pub fn enter(name: &'static str) -> SpanGuard {
+        Self::enter_impl(name, false)
+    }
+
+    /// Open a *phase* span: like [`SpanGuard::enter`], but additionally
+    /// captures process CPU time and RSS from `/proc` at entry and exit so
+    /// the aggregate table attributes `cpu_secs` and peak RSS to the path.
+    /// Falls back to a plain span when the resource layer is unavailable
+    /// (gate off, no `/proc`) — degradation never loses the wall timing.
+    /// Intended for the coarse `run_stpt` phases, not hot inner loops: each
+    /// boundary costs two small `/proc` file reads.
+    pub fn enter_phase(name: &'static str) -> SpanGuard {
+        Self::enter_impl(name, true)
+    }
+
+    fn enter_impl(name: &'static str, phase: bool) -> SpanGuard {
         let aggregate = crate::collecting();
         let events = crate::events_enabled();
         if !aggregate && !events {
@@ -71,6 +100,8 @@ impl SpanGuard {
                 start: None,
                 name,
                 aggregate: false,
+                cpu_secs_at_entry: None,
+                rss_at_entry: None,
             };
         }
         let path = STACK.with(|stack| {
@@ -81,11 +112,22 @@ impl SpanGuard {
         if events {
             crate::events::record(crate::events::EventPhase::Begin, name, &path);
         }
+        let (cpu_secs_at_entry, rss_at_entry) =
+            if phase && aggregate && crate::resources::available() {
+                (
+                    crate::resources::process_cpu_secs(),
+                    crate::resources::observe_rss(),
+                )
+            } else {
+                (None, None)
+            };
         SpanGuard {
             path: Some(path),
             start: Some(Instant::now()),
             name,
             aggregate,
+            cpu_secs_at_entry,
+            rss_at_entry,
         }
     }
 }
@@ -108,10 +150,24 @@ impl Drop for SpanGuard {
         if !self.aggregate {
             return;
         }
+        // Exit-side resource capture, outside the table lock. Attribution
+        // is best-effort: if `/proc` vanished mid-span the completion is
+        // recorded without resource deltas.
+        let resource_delta = self.cpu_secs_at_entry.and_then(|cpu0| {
+            let cpu1 = crate::resources::process_cpu_secs()?;
+            let rss1 = crate::resources::observe_rss();
+            let rss_high = rss1.unwrap_or(0).max(self.rss_at_entry.unwrap_or(0));
+            Some(((cpu1 - cpu0).max(0.0), rss_high))
+        });
         let mut table = table();
         let stat = table.entry(path).or_default();
         stat.count += 1;
         stat.total_ns += elapsed_ns;
+        if let Some((cpu_secs, rss_high)) = resource_delta {
+            stat.resourced += 1;
+            stat.cpu_secs += cpu_secs;
+            stat.peak_rss_bytes = stat.peak_rss_bytes.max(rss_high);
+        }
     }
 }
 
@@ -130,6 +186,7 @@ pub fn reset() {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -154,6 +211,57 @@ mod tests {
         assert!(paths.contains(&"outer/inner"), "{paths:?}");
         let inner = snap.iter().find(|(p, _)| p == "outer/inner").unwrap();
         assert_eq!(inner.1.count, 2);
+    }
+
+    #[test]
+    fn phase_spans_attribute_cpu_and_rss_when_proc_is_available() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        crate::resources::set_proc_root_override(None);
+        reset();
+        {
+            let _p = SpanGuard::enter_phase("phase");
+            // Burn a little CPU so the delta is non-negative and finite.
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        }
+        crate::set_enabled(false);
+        let snap = snapshot();
+        let (_, stat) = snap.iter().find(|(p, _)| p == "phase").unwrap();
+        assert_eq!(stat.count, 1);
+        if crate::resources::available() {
+            assert_eq!(stat.resourced, 1, "resourced completion expected");
+            assert!(stat.cpu_secs >= 0.0 && stat.cpu_secs.is_finite());
+            assert!(stat.peak_rss_bytes > 0, "a live process has resident pages");
+        } else {
+            assert_eq!(stat.resourced, 0, "degraded layer records wall time only");
+        }
+        reset();
+    }
+
+    #[test]
+    fn phase_spans_degrade_to_plain_spans_without_proc() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        crate::resources::set_proc_root_override(Some(std::path::PathBuf::from(
+            "/nonexistent/proc-root",
+        )));
+        reset();
+        {
+            let _p = SpanGuard::enter_phase("degraded.phase");
+        }
+        crate::resources::set_proc_root_override(None);
+        crate::set_enabled(false);
+        let snap = snapshot();
+        let (_, stat) = snap.iter().find(|(p, _)| p == "degraded.phase").unwrap();
+        assert_eq!(stat.count, 1, "wall timing survives degradation");
+        assert_eq!(stat.resourced, 0);
+        assert_eq!(stat.cpu_secs, 0.0);
+        assert_eq!(stat.peak_rss_bytes, 0);
+        reset();
     }
 
     #[test]

@@ -39,6 +39,12 @@
 //!   `unchecked` and fails on `inconsistent`.
 //! * `span_share` — `span`'s share of `parent`'s wall time stays within
 //!   [share/3, 3·share] (a coarse phase-profile invariant).
+//! * `pool_utilization` — the phase span's `cpu_efficiency`
+//!   (cpu ÷ wall ÷ pool threads) stays above a floor derived from the
+//!   reference run. Skips with a named reason when the run carries no
+//!   resource attribution (`/proc` absent or `STPT_RESOURCES=0`).
+//! * `rss_ceiling` — the run's `process.peak_rss_bytes` gauge stays under a
+//!   ceiling (2× the reference peak). Same resource-availability skip.
 //!
 //! `scale_bound: true` marks checks whose expected values depend on the
 //! experiment scale; `cargo xtask regress` skips them when the run's `env`
@@ -117,6 +123,20 @@ pub enum CheckKind {
         parent: String,
         /// Reference share (child total_ms / parent total_ms).
         share: f64,
+    },
+    /// The phase span's `cpu_efficiency` (cpu ÷ wall ÷ pool threads) stays
+    /// at or above `min`. Skips when the run lacks resource attribution.
+    PoolUtilization {
+        /// Phase span path (e.g. `stpt/sanitize`).
+        span: String,
+        /// Efficiency floor (reference value / 3).
+        min: f64,
+    },
+    /// The `process.peak_rss_bytes` gauge stays at or below `max_bytes`.
+    /// Skips when the run lacks resource attribution.
+    RssCeiling {
+        /// Peak-RSS ceiling in bytes (2× the reference peak).
+        max_bytes: f64,
     },
 }
 
@@ -327,6 +347,33 @@ impl Check {
                     ),
                 }
             }
+            CheckKind::PoolUtilization { span, min } => match run.span_cpu_efficiency(span) {
+                None => Outcome::Skip {
+                    reason: format!(
+                        "resource sampling unavailable (no `cpu_efficiency` on `{span}`: \
+                         /proc absent or STPT_RESOURCES=0)"
+                    ),
+                },
+                Some(obs) if obs >= *min => Outcome::Pass,
+                Some(obs) => Outcome::Fail {
+                    observed: format!("cpu_efficiency {obs:.3} on `{span}`"),
+                    expected: format!("≥ {min:.3}"),
+                    delta: format!("{:+.3}", obs - min),
+                },
+            },
+            CheckKind::RssCeiling { max_bytes } => match run.gauge("process.peak_rss_bytes") {
+                None => Outcome::Skip {
+                    reason: "resource sampling unavailable (no `process.peak_rss_bytes` \
+                             gauge: /proc absent or STPT_RESOURCES=0)"
+                        .to_owned(),
+                },
+                Some(obs) if obs <= *max_bytes => Outcome::Pass,
+                Some(obs) => Outcome::Fail {
+                    observed: format!("peak RSS {} bytes", fmt_num(obs)),
+                    expected: format!("≤ {} bytes", fmt_num(*max_bytes)),
+                    delta: format!("{:+}", (obs - max_bytes) as i64),
+                },
+            },
         }
     }
 
@@ -337,6 +384,8 @@ impl Check {
                 | CheckKind::LedgerConsistent
                 | CheckKind::NoiseConsistent
                 | CheckKind::SpanShare { .. }
+                | CheckKind::PoolUtilization { .. }
+                | CheckKind::RssCeiling { .. }
         )
     }
 }
@@ -416,6 +465,15 @@ impl Check {
                 fields.push(("parent".to_owned(), s(parent)));
                 fields.push(("share".to_owned(), num(*share)));
             }
+            CheckKind::PoolUtilization { span, min } => {
+                fields.push(("kind".to_owned(), s("pool_utilization")));
+                fields.push(("span".to_owned(), s(span)));
+                fields.push(("min".to_owned(), num(*min)));
+            }
+            CheckKind::RssCeiling { max_bytes } => {
+                fields.push(("kind".to_owned(), s("rss_ceiling")));
+                fields.push(("max_bytes".to_owned(), num(*max_bytes)));
+            }
         }
         Value::Object(fields)
     }
@@ -469,6 +527,13 @@ impl Check {
                 span: text("span")?,
                 parent: text("parent")?,
                 share: number("share")?,
+            },
+            "pool_utilization" => CheckKind::PoolUtilization {
+                span: text("span")?,
+                min: number("min")?,
+            },
+            "rss_ceiling" => CheckKind::RssCeiling {
+                max_bytes: number("max_bytes")?,
             },
             other => return Err(format!("unknown check kind `{other}`")),
         };
@@ -952,6 +1017,21 @@ fn telemetry_checks(run: &RunDoc) -> Vec<Check> {
                 .find(|(k, _)| k == "value")
                 .and_then(|(_, v)| v.as_f64());
             if let (Some(name), Some(value)) = (name, value) {
+                // Only genuinely deterministic event counts can be pinned
+                // exactly. Duration counters (`*_ms`/`*_us`) are wall-clock
+                // accumulations, and the resource/scheduler families
+                // (`process.*`, `worker.*`, `pool.*`) depend on machine
+                // timing or the thread count — which, by design, is *not*
+                // part of the envelope's scale env (results are
+                // thread-invariant; telemetry is not).
+                if name.ends_with("_ms")
+                    || name.ends_with("_us")
+                    || name.starts_with("process.")
+                    || name.starts_with("worker.")
+                    || name.starts_with("pool.")
+                {
+                    continue;
+                }
                 out.push(Check {
                     id: format!("counter:{name}"),
                     note: format!("deterministic event count `{name}`"),
@@ -1003,6 +1083,37 @@ fn telemetry_checks(run: &RunDoc) -> Vec<Check> {
             });
         }
     }
+
+    // Resource-attribution invariants: commit them only when the reference
+    // run actually sampled resources, so an un-sampled regeneration cannot
+    // silently drop the gate.
+    if let Some(eff) = run.span_cpu_efficiency("stpt/sanitize") {
+        if eff.is_finite() && eff > 0.0 {
+            out.push(Check {
+                id: "pool-utilization:stpt/sanitize".to_owned(),
+                note: "sanitize-phase CPU efficiency (cpu ÷ wall ÷ pool threads) keeps \
+                       at least a third of its reference level"
+                    .to_owned(),
+                scale_bound: true,
+                kind: CheckKind::PoolUtilization {
+                    span: "stpt/sanitize".to_owned(),
+                    min: (eff / 3.0).min(0.9),
+                },
+            });
+        }
+    }
+    if let Some(peak) = run.gauge("process.peak_rss_bytes") {
+        if peak.is_finite() && peak > 0.0 {
+            out.push(Check {
+                id: "rss-ceiling".to_owned(),
+                note: "peak RSS stays under twice the reference run's footprint".to_owned(),
+                scale_bound: true,
+                kind: CheckKind::RssCeiling {
+                    max_bytes: 2.0 * peak,
+                },
+            });
+        }
+    }
     out
 }
 
@@ -1018,9 +1129,16 @@ mod tests {
         )
         .unwrap();
         let telemetry: Value = serde_json::from_str(
-            r#"{ "counters": [ { "name": "dp.noise_draws.laplace", "value": 42 } ],
+            r#"{ "counters": [ { "name": "dp.noise_draws.laplace", "value": 42 },
+                               { "name": "process.cpu_ms", "value": 1234 },
+                               { "name": "worker.0.busy_us", "value": 98765 },
+                               { "name": "pool.chunks_claimed", "value": 17 } ],
+                 "gauges": [ { "name": "process.peak_rss_bytes", "value": 67108864.0 } ],
                  "spans": [ { "path": "stpt", "count": 1, "total_ms": 100.0 },
-                            { "path": "stpt/pattern", "count": 1, "total_ms": 40.0 } ],
+                            { "path": "stpt/pattern", "count": 1, "total_ms": 40.0 },
+                            { "path": "stpt/sanitize", "count": 1, "total_ms": 50.0,
+                              "cpu_secs": 0.045, "cpu_efficiency": 0.9,
+                              "peak_rss_bytes": 67108864 } ],
                  "ledger": { "check": { "consistent": true, "noise": "consistent" } } }"#,
         )
         .unwrap();
@@ -1054,6 +1172,12 @@ mod tests {
         assert!(ids.contains(&"noise"), "{ids:?}");
         assert!(ids.contains(&"counter:dp.noise_draws.laplace"), "{ids:?}");
         assert!(ids.contains(&"share:stpt/pattern"), "{ids:?}");
+        assert!(ids.contains(&"pool-utilization:stpt/sanitize"), "{ids:?}");
+        assert!(ids.contains(&"rss-ceiling"), "{ids:?}");
+        // Timing-dependent counters must never be pinned exactly.
+        assert!(!ids.contains(&"counter:process.cpu_ms"), "{ids:?}");
+        assert!(!ids.contains(&"counter:worker.0.busy_us"), "{ids:?}");
+        assert!(!ids.contains(&"counter:pool.chunks_claimed"), "{ids:?}");
 
         let ctx = EvalCtx {
             env_matches: true,
@@ -1143,5 +1267,79 @@ mod tests {
             counter.evaluate(&bare, strict),
             Outcome::Fail { .. }
         ));
+    }
+
+    #[test]
+    fn resource_checks_pass_fail_and_skip_by_name() {
+        let run = run_doc();
+        let ctx = EvalCtx {
+            env_matches: true,
+            require_telemetry: false,
+        };
+        let pool = Check {
+            id: "pool-utilization:stpt/sanitize".to_owned(),
+            note: "floor".to_owned(),
+            scale_bound: true,
+            kind: CheckKind::PoolUtilization {
+                span: "stpt/sanitize".to_owned(),
+                min: 0.3,
+            },
+        };
+        assert_eq!(pool.evaluate(&run, ctx), Outcome::Pass);
+        let pool_high = Check {
+            kind: CheckKind::PoolUtilization {
+                span: "stpt/sanitize".to_owned(),
+                min: 0.95,
+            },
+            ..pool.clone()
+        };
+        assert!(matches!(
+            pool_high.evaluate(&run, ctx),
+            Outcome::Fail { .. }
+        ));
+
+        let rss = Check {
+            id: "rss-ceiling".to_owned(),
+            note: "ceiling".to_owned(),
+            scale_bound: true,
+            kind: CheckKind::RssCeiling {
+                max_bytes: 2.0 * 67108864.0,
+            },
+        };
+        assert_eq!(rss.evaluate(&run, ctx), Outcome::Pass);
+        let rss_tight = Check {
+            kind: CheckKind::RssCeiling { max_bytes: 1024.0 },
+            ..rss.clone()
+        };
+        assert!(matches!(
+            rss_tight.evaluate(&run, ctx),
+            Outcome::Fail { .. }
+        ));
+
+        // A run whose resource layer was degraded (no /proc, or
+        // STPT_RESOURCES=0) skips both kinds with a named reason — it must
+        // NOT fail even under --require-telemetry, because telemetry itself
+        // is present.
+        let mut degraded = run.clone();
+        degraded.telemetry = Some(
+            serde_json::from_str(
+                r#"{ "counters": [], "gauges": [],
+                     "spans": [ { "path": "stpt/sanitize", "count": 1, "total_ms": 50.0 } ] }"#,
+            )
+            .unwrap(),
+        );
+        let strict = EvalCtx {
+            env_matches: true,
+            require_telemetry: true,
+        };
+        for check in [&pool, &rss] {
+            match check.evaluate(&degraded, strict) {
+                Outcome::Skip { reason } => {
+                    assert!(reason.contains("resource sampling unavailable"), "{reason}");
+                    assert!(reason.contains("STPT_RESOURCES"), "{reason}");
+                }
+                other => panic!("{}: expected Skip, got {other:?}", check.id),
+            }
+        }
     }
 }

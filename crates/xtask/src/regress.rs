@@ -208,8 +208,13 @@ mod tests {
         "data": { "mre": { "STPT": { "mean": 5.0, "std": 0.2, "min": 4.8, "max": 5.2, "n": 3 },
                            "WPO": 60.0 } },
         "telemetry": { "counters": [ { "name": "dp.noise_draws.laplace", "value": 42 } ],
+                       "gauges": [ { "name": "process.peak_rss_bytes", "value": 67108864.0 },
+                                   { "name": "pool.utilization", "value": 0.93 } ],
                        "spans": [ { "path": "stpt", "count": 1, "total_ms": 100.0 },
-                                  { "path": "stpt/pattern", "count": 1, "total_ms": 40.0 } ],
+                                  { "path": "stpt/pattern", "count": 1, "total_ms": 40.0 },
+                                  { "path": "stpt/sanitize", "count": 1, "total_ms": 50.0,
+                                    "cpu_secs": 0.045, "cpu_efficiency": 0.9,
+                                    "peak_rss_bytes": 67108864 } ],
                        "events": { "recorded": 4, "dropped": 0, "capacity": 65536 },
                        "ledger": { "check": { "consistent": true,
                                               "noise": "consistent" } } } }"#;
@@ -283,6 +288,61 @@ mod tests {
                 assert!(observed.contains("STPT_TRACE_EVENT_CAP"), "{observed}");
             }
             other => panic!("expected Fail, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resourceless_runs_skip_resource_checks_with_a_named_reason() {
+        let (dir, doc) = fixture("xtask_regress_resourceless", ENVELOPE);
+        // The committed baseline carries both resource-gate kinds.
+        assert!(
+            doc.checks
+                .iter()
+                .any(|c| c.id == "pool-utilization:stpt/sanitize"),
+            "{doc:?}"
+        );
+        assert!(doc.checks.iter().any(|c| c.id == "rss-ceiling"), "{doc:?}");
+
+        // Re-run the experiment with resource sampling degraded: telemetry
+        // present, but no gauges and no cpu fields on the sanitize span.
+        let degraded = ENVELOPE
+            .replace(
+                r#""gauges": [ { "name": "process.peak_rss_bytes", "value": 67108864.0 },
+                                   { "name": "pool.utilization", "value": 0.93 } ],"#,
+                r#""gauges": [],"#,
+            )
+            .replace(
+                r#""cpu_secs": 0.045, "cpu_efficiency": 0.9,
+                                    "peak_rss_bytes": 67108864 } ],"#,
+                r#""count_": 0 } ],"#,
+            );
+        assert!(!degraded.contains("cpu_efficiency"), "replace failed");
+        std::fs::write(dir.join("unit.json"), degraded).unwrap();
+
+        // Even under --require-telemetry the gate must skip (not fail): the
+        // telemetry block exists, only the resource layer was unavailable.
+        let strict = evaluate_baseline(
+            &doc,
+            &dir,
+            RegressOpts {
+                require_telemetry: true,
+            },
+        );
+        let t = totals(&strict);
+        assert_eq!(t.failed, 0, "{strict:?}");
+        for id in ["pool-utilization:stpt/sanitize", "rss-ceiling"] {
+            let row = strict
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap_or_else(|| panic!("no {id} row: {strict:?}"));
+            match &row.outcome {
+                Outcome::Skip { reason } => {
+                    assert!(reason.contains("resource sampling unavailable"), "{reason}");
+                    assert!(reason.contains("STPT_RESOURCES"), "{reason}");
+                }
+                other => panic!("{id}: expected Skip, got {other:?}"),
+            }
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

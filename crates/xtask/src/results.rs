@@ -128,6 +128,42 @@ impl RunDoc {
         })
     }
 
+    /// Look up a gauge value in the telemetry snapshot.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let t = self.telemetry.as_ref()?;
+        let gauges = crate::jsonsel::select(t, "gauges").ok()?.as_array()?;
+        gauges.iter().find_map(|g| {
+            let fields = g.as_object()?;
+            let n = fields.iter().find(|(k, _)| k == "name")?.1.as_str()?;
+            if n != name {
+                return None;
+            }
+            fields.iter().find(|(k, _)| k == "value")?.1.as_f64()
+        })
+    }
+
+    /// A numeric resource-attribution field on a span entry
+    /// (`cpu_secs`, `cpu_efficiency`, `peak_rss_bytes`). `None` when the
+    /// run's resource layer was degraded — the fields are simply absent.
+    pub fn span_resource_field(&self, path: &str, field_name: &str) -> Option<f64> {
+        let t = self.telemetry.as_ref()?;
+        let spans = crate::jsonsel::select(t, "spans").ok()?.as_array()?;
+        spans.iter().find_map(|s| {
+            let fields = s.as_object()?;
+            let p = fields.iter().find(|(k, _)| k == "path")?.1.as_str()?;
+            if p != path {
+                return None;
+            }
+            fields.iter().find(|(k, _)| k == field_name)?.1.as_f64()
+        })
+    }
+
+    /// `cpu_efficiency = cpu_secs / wall_secs / pool_threads` of a phase
+    /// span, when the run captured resources.
+    pub fn span_cpu_efficiency(&self, path: &str) -> Option<f64> {
+        self.span_resource_field(path, "cpu_efficiency")
+    }
+
     /// The ledger's `consistent` verdict, if a ledger was exported.
     pub fn ledger_consistent(&self) -> Option<bool> {
         let t = self.telemetry.as_ref()?;
@@ -236,7 +272,10 @@ mod tests {
                  "env": { "reps": 3, "queries": 300, "grid": 32, "hours": 220, "t_train": 100 },
                  "data": [1.0, 2.0],
                  "telemetry": { "counters": [ { "name": "c", "value": 7 } ],
-                                "spans": [ { "path": "stpt", "count": 1, "total_ms": 10.0 } ],
+                                "gauges": [ { "name": "process.peak_rss_bytes", "value": 1048576.0 } ],
+                                "spans": [ { "path": "stpt", "count": 1, "total_ms": 10.0,
+                                             "cpu_secs": 0.009, "cpu_efficiency": 0.9,
+                                             "peak_rss_bytes": 1048576 } ],
                                 "ledger": { "check": { "consistent": true } } } }"#,
         );
         write(&dir, "legacy.json", r#"[ { "dataset": "CER" } ]"#);
@@ -252,6 +291,14 @@ mod tests {
         assert_eq!(run.counter("c"), Some(7));
         assert_eq!(run.counter("missing"), None);
         assert_eq!(run.span_total_ms("stpt"), Some(10.0));
+        assert_eq!(run.gauge("process.peak_rss_bytes"), Some(1048576.0));
+        assert_eq!(run.gauge("missing.gauge"), None);
+        assert_eq!(run.span_cpu_efficiency("stpt"), Some(0.9));
+        assert_eq!(
+            run.span_resource_field("stpt", "peak_rss_bytes"),
+            Some(1048576.0)
+        );
+        assert_eq!(run.span_cpu_efficiency("no.such.span"), None);
         assert_eq!(run.ledger_consistent(), Some(true));
 
         let err = load_run(&dir, "legacy").err().unwrap_or_default();

@@ -568,7 +568,7 @@ fn xt10_hermeticity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 message: format!(
                     "`env::{name}` outside the configuration choke points \
                      (vendor/rayon STPT_THREADS, crates/obs \
-                     STPT_TRACE*/STPT_METRICS_*/telemetry) \
+                     STPT_TRACE*/STPT_METRICS_*/STPT_RESOURCES/telemetry) \
                      — ambient env reads make runs non-hermetic; plumb the value \
                      through explicit config or justify with \
                      `// xtask-allow(XT10): <reason>`"

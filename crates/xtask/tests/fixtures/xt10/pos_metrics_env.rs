@@ -1,5 +1,6 @@
 //! Violating: the live-metrics env vars (`STPT_METRICS_ADDR`,
-//! `STPT_METRICS_PERIOD`) are sanctioned only inside `crates/obs` —
+//! `STPT_METRICS_PERIOD`) and the resource-sampling gate
+//! (`STPT_RESOURCES`) are sanctioned only inside `crates/obs` —
 //! reading them anywhere else would fork the exporter's configuration
 //! surface and break hermeticity.
 pub fn rogue_scrape_addr() -> Option<String> {
@@ -8,4 +9,8 @@ pub fn rogue_scrape_addr() -> Option<String> {
 
 pub fn rogue_period() -> bool {
     std::env::var_os("STPT_METRICS_PERIOD").is_some()
+}
+
+pub fn rogue_resource_gate() -> bool {
+    std::env::var("STPT_RESOURCES").map_or(true, |v| v != "0")
 }

@@ -138,15 +138,16 @@ fn xt10_choke_points_and_tests_are_exempt() {
 }
 
 #[test]
-fn xt10_covers_the_live_metrics_env_vars() {
-    // STPT_METRICS_ADDR / STPT_METRICS_PERIOD are sanctioned only inside
-    // the `crates/obs` choke point; reads elsewhere are flagged with a
-    // message that names the metrics surface.
+fn xt10_covers_the_live_metrics_and_resource_env_vars() {
+    // STPT_METRICS_ADDR / STPT_METRICS_PERIOD / STPT_RESOURCES are
+    // sanctioned only inside the `crates/obs` choke point; reads elsewhere
+    // are flagged with a message that names both the metrics surface and
+    // the resource-sampling gate.
     let src = include_str!("fixtures/xt10/pos_metrics_env.rs");
     let report = lint(&[(LIB_PATH, src)]);
     assert_eq!(
         rules_of(&report),
-        vec!["XT10", "XT10"],
+        vec!["XT10", "XT10", "XT10"],
         "{:?}",
         report.diags
     );
@@ -154,6 +155,11 @@ fn xt10_covers_the_live_metrics_env_vars() {
         report.diags[0].message.contains("STPT_METRICS_"),
         "{}",
         report.diags[0].message
+    );
+    assert!(
+        report.diags[2].message.contains("STPT_RESOURCES"),
+        "{}",
+        report.diags[2].message
     );
     assert!(lint(&[("crates/obs/src/lib.rs", src)]).diags.is_empty());
 }

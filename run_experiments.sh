@@ -30,6 +30,15 @@ for exp in table2 fig9 fig8d fig7 fig8ab fig8ef fig8c fig8g fig8h fig6 ablate fi
     echo "FAILED: $exp (see results/logs/$exp.txt)" >&2
     exit "$rc"
   fi
+  # Surface the run's memory high-water mark when the resource layer
+  # sampled it (traced runs with /proc readable and STPT_RESOURCES unset
+  # or non-zero).
+  peak=$(grep -o '{ "name": "process.peak_rss_bytes", "value": [0-9.e+]* }' \
+           results/telemetry/"$exp".json 2>/dev/null \
+         | grep -o '[0-9.e+]*' | tail -1 || true)
+  if [ -n "$peak" ]; then
+    echo "=== $exp peak RSS: $(awk "BEGIN { printf \"%.1f MiB\", $peak / 1048576 }") ==="
+  fi
 done
 echo ALL_EXPERIMENTS_DONE
 

@@ -27,7 +27,13 @@
 //!   holds as everywhere else in the workspace.
 //! * **Observable fan-out.** Workers are named `stpt-worker-{i}` via
 //!   `thread::Builder`, so `stpt-obs` per-thread span tracks and the
-//!   Chrome-trace export show the parallel sections on named tracks.
+//!   Chrome-trace export show the parallel sections on named tracks — and
+//!   the `/proc/self/task` resource sampler can attribute CPU time to
+//!   individual workers. When `stpt_obs::collecting()` is on, the chunk
+//!   cursor additionally records scheduler telemetry: per-worker busy
+//!   time (`worker.{i}.busy_us`), chunks claimed, regions run, and a
+//!   `pool.utilization` gauge (busy ÷ workers × wall). Off, the hot path
+//!   pays one relaxed atomic load and zero clock reads.
 //!
 //! Thread-count resolution: [`set_num_threads`] override (for tests) >
 //! `STPT_THREADS` env var > `std::thread::available_parallelism()`.
@@ -37,8 +43,9 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Worker threads are named `stpt-worker-{i}`; the prefix doubles as the
 /// nested-parallelism sentinel.
@@ -90,6 +97,73 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+// ---- scheduler telemetry -------------------------------------------------
+//
+// Recorded through the lock-free `stpt-obs` registry at the chunk-cursor
+// choke point. Everything is gated on `stpt_obs::collecting()`: with
+// observability off the hot path takes one relaxed atomic load and zero
+// clock reads, so the zero-alloc/zero-overhead guarantees of the pool
+// stand. Busy time accumulates in microseconds (chunks can be far shorter
+// than a millisecond); the Prometheus layer exposes `_us` counters as
+// `*_seconds_total`.
+
+/// Worker indices tracked as individual busy-time series; higher indices
+/// fold into `worker.other.busy_us`. Index 0 is the participating caller.
+const MAX_TRACKED_WORKERS: usize = 8;
+
+/// Pool width of the most recent parallel region.
+static POOL_THREADS: stpt_obs::Gauge = stpt_obs::Gauge::new("pool.threads");
+/// Cumulative busy ÷ (workers × wall) across all regions so far.
+static POOL_UTILIZATION: stpt_obs::Gauge = stpt_obs::Gauge::new("pool.utilization");
+/// Parallel regions executed (one `run_chunks` call each).
+static POOL_JOBS: stpt_obs::Counter = stpt_obs::Counter::new("pool.jobs");
+/// Chunks claimed off the shared cursor, all workers.
+static POOL_CHUNKS_CLAIMED: stpt_obs::Counter = stpt_obs::Counter::new("pool.chunks_claimed");
+/// Total in-chunk busy time, all workers, microseconds.
+static WORKER_BUSY_US: stpt_obs::Counter = stpt_obs::Counter::new("worker.busy_us");
+/// Per-worker in-chunk busy time, microseconds.
+static WORKER_BUSY_BY_INDEX_US: [stpt_obs::Counter; MAX_TRACKED_WORKERS] = [
+    stpt_obs::Counter::new("worker.0.busy_us"),
+    stpt_obs::Counter::new("worker.1.busy_us"),
+    stpt_obs::Counter::new("worker.2.busy_us"),
+    stpt_obs::Counter::new("worker.3.busy_us"),
+    stpt_obs::Counter::new("worker.4.busy_us"),
+    stpt_obs::Counter::new("worker.5.busy_us"),
+    stpt_obs::Counter::new("worker.6.busy_us"),
+    stpt_obs::Counter::new("worker.7.busy_us"),
+];
+/// Overflow series for workers beyond [`MAX_TRACKED_WORKERS`].
+static WORKER_BUSY_OVERFLOW_US: stpt_obs::Counter = stpt_obs::Counter::new("worker.other.busy_us");
+
+/// Lifetime busy-µs across all regions (utilization numerator).
+static BUSY_US_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Lifetime `threads × region-wall-µs` (utilization denominator).
+static CAPACITY_US_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Record one claimed chunk's busy time for worker `wi`.
+fn record_chunk(wi: usize, busy_us: u64) {
+    POOL_CHUNKS_CLAIMED.add(1);
+    WORKER_BUSY_US.add(busy_us);
+    match WORKER_BUSY_BY_INDEX_US.get(wi) {
+        Some(c) => c.add(busy_us),
+        None => WORKER_BUSY_OVERFLOW_US.add(busy_us),
+    }
+    BUSY_US_TOTAL.fetch_add(busy_us, Ordering::Relaxed);
+}
+
+/// Close one parallel region: fold its capacity into the lifetime totals
+/// and refresh the utilization gauge.
+fn record_region(threads: usize, region_us: u64) {
+    POOL_THREADS.set(threads as f64);
+    POOL_JOBS.add(1);
+    let cap = (threads as u64).saturating_mul(region_us);
+    let cap_total = CAPACITY_US_TOTAL.fetch_add(cap, Ordering::Relaxed) + cap;
+    let busy_total = BUSY_US_TOTAL.load(Ordering::Relaxed);
+    if cap_total > 0 {
+        POOL_UTILIZATION.set(busy_total as f64 / cap_total as f64);
+    }
+}
+
 /// True on a pool worker thread — nested parallel calls run inline.
 fn on_worker_thread() -> bool {
     std::thread::current()
@@ -110,22 +184,49 @@ where
     F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
 {
     let threads = current_num_threads().min(n.max(1));
-    if threads <= 1 || on_worker_thread() {
+    if on_worker_thread() {
+        // Nested region: runs inline on a worker already being measured —
+        // instrumenting it would double-count busy time.
         return run_chunk(0..n);
+    }
+    // Scheduler telemetry is gated once per region; with observability off
+    // the only cost on this path is the gate's relaxed atomic load.
+    let observing = stpt_obs::collecting();
+    if threads <= 1 {
+        // Sequential lane: still one region with one (inline) worker, so
+        // pool gauges exist at STPT_THREADS=1 and utilization ≈ 1.
+        if !observing {
+            return run_chunk(0..n);
+        }
+        let t0 = Instant::now();
+        let out = run_chunk(0..n);
+        let region_us = t0.elapsed().as_micros() as u64;
+        record_chunk(0, region_us);
+        record_region(1, region_us);
+        return out;
     }
 
     let step = (n / (threads * CHUNKS_PER_THREAD)).max(1);
     let cursor = AtomicUsize::new(0);
     let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
-    let work = || loop {
+    let region_start = observing.then(Instant::now);
+    let work = |wi: usize| loop {
         let start = cursor.fetch_add(step, Ordering::Relaxed);
         if start >= n {
             break;
         }
         let end = (start + step).min(n);
-        let out = run_chunk(start..end);
-        lock(&parts).push((start, out));
+        if observing {
+            let t0 = Instant::now();
+            let out = run_chunk(start..end);
+            record_chunk(wi, t0.elapsed().as_micros() as u64);
+            lock(&parts).push((start, out));
+        } else {
+            let out = run_chunk(start..end);
+            lock(&parts).push((start, out));
+        }
     };
+    let work = &work;
     // xtask-allow(XT07): this is the seam itself — the one sanctioned use of scoped threads
     std::thread::scope(|scope| {
         for i in 1..threads {
@@ -135,10 +236,13 @@ where
             let _ = std::thread::Builder::new()
                 .name(format!("{WORKER_PREFIX}{i}"))
                 // xtask-allow(XT07): scoped spawn inside the seam's own pool
-                .spawn_scoped(scope, work);
+                .spawn_scoped(scope, move || work(i));
         }
-        work();
+        work(0);
     });
+    if let Some(t0) = region_start {
+        record_region(threads, t0.elapsed().as_micros() as u64);
+    }
 
     let mut parts = parts.into_inner().unwrap_or_else(|p| p.into_inner());
     parts.sort_unstable_by_key(|&(start, _)| start);
@@ -522,5 +626,52 @@ mod tests {
     fn test_thread_prefix() -> String {
         // libtest names test threads after the test function.
         std::thread::current().name().unwrap_or("main").to_owned()
+    }
+
+    #[test]
+    fn scheduler_telemetry_records_pool_activity() {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(2);
+        stpt_obs::set_enabled(true);
+        let got: Vec<u64> = (0u64..4096)
+            .into_par_iter()
+            .map(|x| x.wrapping_mul(x))
+            .collect();
+        stpt_obs::set_enabled(false);
+        assert_eq!(got.len(), 4096);
+        let snap = stpt_obs::metrics::snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        assert!(counter("pool.jobs") >= 1, "at least one region recorded");
+        assert!(counter("pool.chunks_claimed") >= 1);
+        assert_eq!(gauge("pool.threads"), Some(2.0));
+        let util = gauge("pool.utilization").expect("utilization gauge set");
+        assert!(
+            util > 0.0 && util <= 1.5,
+            "busy/(workers×wall) should be a sane ratio, got {util}"
+        );
+        stpt_obs::reset_for_tests();
+    }
+
+    #[test]
+    fn telemetry_off_pool_still_computes_correctly() {
+        let _lock = lock_threads();
+        let _reset = ResetThreads;
+        crate::set_num_threads(3);
+        stpt_obs::set_enabled(false);
+        let got: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(got, (1u64..=1000).collect::<Vec<_>>());
     }
 }
