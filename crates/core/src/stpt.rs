@@ -116,6 +116,10 @@ pub struct StptOutput {
     pub releases: Vec<PartitionRelease>,
     /// Budget actually spent (should equal ε_tot).
     pub epsilon_spent: f64,
+    /// The accountant's full spend ledger, carried so downstream consumers
+    /// (the `stpt-serve` daemon) can replay it into a fresh accountant and
+    /// keep proving ε-freeness while they post-process the release.
+    pub ledger: Vec<stpt_obs::LedgerEntry>,
     /// Result of the budget-ledger audit: the accountant's spend ledger
     /// replayed through the composition rules and verified to telescope to
     /// ε_tot. `run_stpt` fails closed if the audit does, so a returned
@@ -170,6 +174,7 @@ pub fn run_stpt(
         partitions: extras.partitions,
         releases: extras.releases,
         epsilon_spent: release.epsilon_spent,
+        ledger: release.ledger,
         audit,
         pattern_mae: extras.pattern_mae,
         pattern_rmse: extras.pattern_rmse,

@@ -397,6 +397,49 @@ impl BudgetAccountant {
         Ok(())
     }
 
+    /// Reconstruct an accountant from a previously recorded ledger by
+    /// replaying every entry through the composition rules, preserving
+    /// mechanism attribution.
+    ///
+    /// This is how a *serving* process (e.g. `stpt-serve`) resumes budget
+    /// accounting for a release it did not sanitize in-process: the
+    /// release carries its ledger, the replay rebuilds the accountant
+    /// bit-exactly, and the server can then bracket its entire query-answer
+    /// lifetime with [`begin_postprocess`](Self::begin_postprocess) /
+    /// [`end_postprocess`](Self::end_postprocess) to prove — via
+    /// [`verify_postprocess`](Self::verify_postprocess) — that answering
+    /// queries spent zero ε (Thm. 3). Fails if any entry is invalid or the
+    /// replay would overdraw `total`.
+    pub fn replay(total: Epsilon, ledger: &[LedgerEntry]) -> Result<Self, DpError> {
+        let mut acc = BudgetAccountant::new(total);
+        for entry in ledger {
+            let eps = Epsilon::try_new(entry.epsilon)?;
+            let info = SpendInfo {
+                mechanism: entry.mechanism,
+                sensitivity: entry.sensitivity,
+            };
+            match (&entry.kind, &entry.sibling) {
+                (Composition::Sequential, _) => {
+                    acc.spend_sequential_with(&entry.phase, eps, info)?;
+                }
+                (Composition::Parallel, Some(sib)) => {
+                    acc.spend_parallel_with(&entry.phase, sib, eps, info)?;
+                }
+                (Composition::Parallel, None) => {
+                    return Err(DpError::AuditFailed {
+                        expected: total.value(),
+                        replayed: f64::NAN,
+                        detail: format!(
+                            "ledger entry for phase '{}' is parallel but has no sibling",
+                            entry.phase
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(acc)
+    }
+
     /// Replay the audit ledger from scratch through the composition rules
     /// and verify that
     ///
@@ -747,6 +790,59 @@ mod tests {
         acc.proofs[0].ledger_at = 0;
         acc.proofs[0].spends_during = 1;
         assert!(acc.verify_postprocess().is_err());
+    }
+
+    #[test]
+    fn replay_reconstructs_accountant_bit_exactly() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(30.0));
+        let per_slice = Epsilon::new(10.0).split(96);
+        for t in 0..96 {
+            acc.spend_sequential_with(&format!("pattern-t{t}"), per_slice, SpendInfo::laplace(1.0))
+                .unwrap();
+        }
+        for p in 0..8 {
+            acc.spend_parallel_with(
+                "sanitize",
+                &format!("part-{p}"),
+                Epsilon::new(20.0),
+                SpendInfo::laplace(0.5),
+            )
+            .unwrap();
+        }
+        let rebuilt = BudgetAccountant::replay(Epsilon::new(30.0), acc.ledger())
+            .expect("replaying a valid ledger");
+        assert_eq!(rebuilt.spent().to_bits(), acc.spent().to_bits());
+        assert_eq!(rebuilt.ledger().len(), acc.ledger().len());
+        // The rebuilt accountant supports the serving-proof bracket.
+        let mut rebuilt = rebuilt;
+        let token = rebuilt.begin_postprocess("serve");
+        rebuilt.end_postprocess(token);
+        assert_eq!(rebuilt.verify_postprocess().unwrap(), 1);
+        let check = rebuilt.audit(30.0).expect("rebuilt ledger audits");
+        assert!(check.consistent);
+    }
+
+    #[test]
+    fn replay_rejects_overdraw_and_bad_entries() {
+        let mut acc = BudgetAccountant::new(Epsilon::new(4.0));
+        acc.spend_sequential("a", Epsilon::new(3.0)).unwrap();
+        // Replaying into a smaller total must fail, not silently truncate.
+        assert!(matches!(
+            BudgetAccountant::replay(Epsilon::new(2.0), acc.ledger()),
+            Err(DpError::BudgetExhausted { .. })
+        ));
+        // A corrupted entry (non-positive ε) is rejected.
+        let mut ledger = acc.ledger().to_vec();
+        ledger[0].epsilon = -1.0;
+        assert!(BudgetAccountant::replay(Epsilon::new(4.0), &ledger).is_err());
+        // A parallel entry without a sibling is structurally invalid.
+        let mut ledger = acc.ledger().to_vec();
+        ledger[0].kind = Composition::Parallel;
+        ledger[0].sibling = None;
+        assert!(matches!(
+            BudgetAccountant::replay(Epsilon::new(4.0), &ledger),
+            Err(DpError::AuditFailed { .. })
+        ));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod events;
 pub mod export;
+pub mod httpd;
 pub mod ledger;
 pub mod metrics;
 pub mod noise;

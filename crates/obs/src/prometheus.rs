@@ -14,8 +14,9 @@
 //! never change what a result envelope contains (verified byte-for-byte in
 //! CI).
 
+use crate::httpd;
 use crate::metrics;
-use std::io::{BufRead, BufReader, Write};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
 
@@ -82,7 +83,13 @@ pub fn render() -> String {
             out.push_str(&format!("# TYPE {family} counter\n"));
             out.push_str(&format!("{family} {}\n", fmt_f64(*value as f64 / divisor)));
         } else {
-            let family = format!("{PREFIX}{n}_total");
+            // Names already following the Prometheus `_total` convention
+            // keep it; others get the suffix (never `_total_total`).
+            let family = if n.ends_with("_total") {
+                format!("{PREFIX}{n}")
+            } else {
+                format!("{PREFIX}{n}_total")
+            };
             push_help(&mut out, &family, name, "counter");
             out.push_str(&format!("# TYPE {family} counter\n"));
             out.push_str(&format!("{family} {value}\n"));
@@ -169,51 +176,49 @@ pub fn serve(addr: &str) -> Result<SocketAddr, String> {
 }
 
 /// Answer one HTTP request on `stream` (serial, connection-close).
+///
+/// The request is read through [`httpd::read_request`], whose hard byte
+/// cap bounds what a slow-drip client can make this loop buffer; an
+/// over-cap or malformed request gets `413`/`400` instead of unbounded
+/// memory growth.
 fn handle(stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
-    }
-    // Drain the remaining request headers up to the blank line so the
-    // client sees a clean close.
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) if line == "\r\n" || line == "\n" => break,
-            Ok(_) => continue,
-            Err(_) => break,
-        }
-    }
+    // A scrape request carries no body worth reading; cap it at zero.
+    let request = httpd::read_request(&mut reader, httpd::DEFAULT_HEAD_CAP, 0);
     let mut stream = reader.into_inner();
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let response = if method == "GET" && (path == "/metrics" || path == "/") {
-        let body = render();
-        format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        )
-    } else {
-        let body = "scrape endpoint: GET /metrics\n";
-        format!(
-            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        )
+    let request = match request {
+        Ok(r) => r,
+        Err(e) => {
+            // Bounded drain so the error response is not lost to a
+            // kernel RST on close-with-unread-data.
+            httpd::drain(&mut stream, 256 * 1024);
+            httpd::error_response(&mut stream, e);
+            return;
+        }
     };
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
+    if request.method == "GET" && (request.path == "/metrics" || request.path == "/") {
+        httpd::write_response(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &render(),
+        );
+    } else {
+        httpd::write_response(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "scrape endpoint: GET /metrics\n",
+        );
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
+    use std::io::{Read, Write};
 
     static PROM_COUNTER: crate::Counter = crate::Counter::new("test.prom.counter");
     static PROM_GAUGE: crate::Gauge = crate::Gauge::new("test.prom.gauge");
@@ -301,6 +306,20 @@ mod tests {
         assert!(ok.contains("# TYPE stpt_"));
         let missing = get("/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        // A slow-drip header flood is cut off at the byte cap with 413
+        // instead of growing the handler's buffer without bound.
+        let mut s = TcpStream::connect(bound).expect("connect for drip test");
+        s.write_all(b"GET /metrics HTTP/1.1\r\n").unwrap();
+        let filler = format!("X-Drip: {}\r\n", "a".repeat(120));
+        for _ in 0..200 {
+            if s.write_all(filler.as_bytes()).is_err() {
+                break; // handler already hung up at the cap
+            }
+        }
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 413"), "{out}");
         crate::reset_for_tests();
     }
 }

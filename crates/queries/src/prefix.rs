@@ -1,6 +1,6 @@
 //! 3-D prefix sums (summed-volume table) for O(1) range-sum evaluation.
 
-use crate::query::RangeQuery;
+use crate::query::{InvalidRangeQuery, RangeQuery};
 use stpt_data::ConsumptionMatrix;
 
 /// Precomputed inclusive prefix sums over a consumption matrix.
@@ -52,30 +52,56 @@ impl PrefixSum3D {
         self.sums[(x * (self.cy + 1) + y) * (self.ct + 1) + t]
     }
 
-    /// Sum over the query's orthotope in O(1).
+    /// Sum over the query's orthotope in O(1), panicking on out-of-bounds
+    /// or inverted ranges. For queries built from untrusted input use
+    /// [`PrefixSum3D::try_range_sum`] instead — this wrapper exists for the
+    /// bench/experiment paths whose queries come from
+    /// [`crate::generate_queries`] and are valid by construction.
     pub fn range_sum(&self, q: &RangeQuery) -> f64 {
+        let result = self.try_range_sum(q);
+        if let Err(e) = &result {
+            assert!(e.range.1 <= e.bound, "query out of bounds: {e}");
+            // An inverted range (lo > hi) would pass the upper-bound check
+            // yet make the inclusion–exclusion return a wrong — possibly
+            // negative — "sum". Reject it loudly.
+            assert!(
+                e.range.0 <= e.range.1,
+                "inverted query range: x={:?} y={:?} t={:?}",
+                q.x,
+                q.y,
+                q.t
+            );
+        }
+        result.unwrap_or_default()
+    }
+
+    /// Fallible [`PrefixSum3D::range_sum`]: rejects out-of-bounds and
+    /// inverted ranges with a structured error instead of panicking.
+    ///
+    /// This is the only range-sum entry point the `stpt-serve` daemon may
+    /// use — a hostile client must get an error response, never a panic.
+    /// Empty ranges (`lo == hi`) are accepted and sum to zero, matching the
+    /// asserting wrapper's historical semantics.
+    pub fn try_range_sum(&self, q: &RangeQuery) -> Result<f64, InvalidRangeQuery> {
+        for (axis, range, bound) in [
+            ('x', q.x, self.cx),
+            ('y', q.y, self.cy),
+            ('t', q.t, self.ct),
+        ] {
+            if range.0 > range.1 || range.1 > bound {
+                return Err(InvalidRangeQuery { axis, range, bound });
+            }
+        }
         let (x0, x1) = q.x;
         let (y0, y1) = q.y;
         let (t0, t1) = q.t;
-        assert!(
-            x1 <= self.cx && y1 <= self.cy && t1 <= self.ct,
-            "query out of bounds"
-        );
-        // A hand-built query with an inverted range (lo > hi) would pass
-        // the upper-bound check yet make the inclusion–exclusion below
-        // return a wrong — possibly negative — "sum". Reject it loudly.
-        assert!(
-            x0 <= x1 && y0 <= y1 && t0 <= t1,
-            "inverted query range: x={:?} y={:?} t={:?}",
-            q.x,
-            q.y,
-            q.t
-        );
-        self.at(x1, y1, t1) - self.at(x0, y1, t1) - self.at(x1, y0, t1) - self.at(x1, y1, t0)
-            + self.at(x0, y0, t1)
-            + self.at(x0, y1, t0)
-            + self.at(x1, y0, t0)
-            - self.at(x0, y0, t0)
+        Ok(
+            self.at(x1, y1, t1) - self.at(x0, y1, t1) - self.at(x1, y0, t1) - self.at(x1, y1, t0)
+                + self.at(x0, y0, t1)
+                + self.at(x0, y1, t0)
+                + self.at(x1, y0, t0)
+                - self.at(x0, y0, t0),
+        )
     }
 
     /// Total sum of the matrix.
@@ -143,6 +169,52 @@ mod tests {
             t: (0, 2),
         };
         let _ = ps.range_sum(&q);
+    }
+
+    #[test]
+    fn try_range_sum_matches_asserting_wrapper_on_valid_queries() {
+        let m = random_matrix(6, 5, 9, 7);
+        let ps = PrefixSum3D::new(&m);
+        let mut rng = StdRng::seed_from_u64(8);
+        for q in generate_queries(QueryClass::Random, 200, m.shape(), &mut rng) {
+            let fallible = ps.try_range_sum(&q).expect("valid query rejected");
+            assert!(fallible.to_bits() == ps.range_sum(&q).to_bits(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn try_range_sum_rejects_hostile_queries_without_panicking() {
+        let m = random_matrix(4, 4, 4, 9);
+        let ps = PrefixSum3D::new(&m);
+        // Inverted range: the daemon's bread-and-butter hostile input.
+        let e = ps
+            .try_range_sum(&RangeQuery {
+                x: (3, 1),
+                y: (0, 2),
+                t: (0, 2),
+            })
+            .unwrap_err();
+        assert_eq!(e.axis, 'x');
+        assert_eq!(e.range, (3, 1));
+        // Out of bounds on the last axis checked.
+        let e = ps
+            .try_range_sum(&RangeQuery {
+                x: (0, 1),
+                y: (0, 1),
+                t: (0, usize::MAX),
+            })
+            .unwrap_err();
+        assert_eq!(e.axis, 't');
+        assert_eq!(e.bound, 4);
+        // Empty ranges are valid and sum to zero.
+        let zero = ps
+            .try_range_sum(&RangeQuery {
+                x: (2, 2),
+                y: (0, 4),
+                t: (0, 4),
+            })
+            .expect("empty range is valid");
+        assert!(zero.abs() < 1e-12);
     }
 
     #[test]

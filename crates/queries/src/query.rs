@@ -7,7 +7,14 @@ use serde::{Deserialize, Serialize};
 
 /// A 3-orthotope over the consumption matrix: half-open index ranges in
 /// `x`, `y` and `t`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand rather than derived: the public
+/// fields would otherwise let wire input bypass [`RangeQuery::try_new`]
+/// validation entirely. Structural validity (non-empty, non-inverted
+/// ranges) is enforced at deserialization time; upper bounds depend on the
+/// target matrix's shape and are enforced at evaluation time by
+/// [`crate::PrefixSum3D::try_range_sum`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct RangeQuery {
     /// `[x0, x1)` spatial range.
     pub x: (usize, usize),
@@ -15,6 +22,25 @@ pub struct RangeQuery {
     pub y: (usize, usize),
     /// `[t0, t1)` time range.
     pub t: (usize, usize),
+}
+
+impl Deserialize for RangeQuery {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for RangeQuery"))?;
+        let x = <(usize, usize)>::from_value(serde::get_field(fields, "x")?)?;
+        let y = <(usize, usize)>::from_value(serde::get_field(fields, "y")?)?;
+        let t = <(usize, usize)>::from_value(serde::get_field(fields, "t")?)?;
+        for (axis, range) in [('x', x), ('y', y), ('t', t)] {
+            if range.0 >= range.1 {
+                return Err(serde::DeError::custom(format!(
+                    "invalid {axis} range {range:?}: empty or inverted"
+                )));
+            }
+        }
+        Ok(RangeQuery { x, y, t })
+    }
 }
 
 /// Error from [`RangeQuery::try_new`]: which axis failed validation and
@@ -217,6 +243,28 @@ mod tests {
         let e = RangeQuery::try_new((0, 1), (0, 1), (0, 10), shape).unwrap_err();
         assert_eq!(e.axis, 't');
         assert_eq!(e.bound, 4);
+    }
+
+    #[test]
+    fn deserialize_round_trips_valid_queries() {
+        let q = RangeQuery::new((1, 3), (0, 2), (4, 9), (4, 4, 16));
+        let json = serde_json::to_string(&q).expect("serialize");
+        let back: RangeQuery = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn deserialize_rejects_inverted_and_empty_ranges() {
+        // Inverted: would previously deserialize fine and later poison
+        // range_sum's inclusion–exclusion.
+        let err = serde_json::from_str::<RangeQuery>(r#"{"x":[3,1],"y":[0,2],"t":[0,2]}"#)
+            .expect_err("inverted range must be rejected");
+        assert!(err.to_string().contains("invalid x range"), "{err}");
+        // Empty.
+        assert!(serde_json::from_str::<RangeQuery>(r#"{"x":[0,1],"y":[2,2],"t":[0,2]}"#).is_err());
+        // Structurally malformed.
+        assert!(serde_json::from_str::<RangeQuery>(r#"{"x":[0,1],"y":[0,2]}"#).is_err());
+        assert!(serde_json::from_str::<RangeQuery>(r#"[1,2,3]"#).is_err());
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub fn evaluate_workspace(root: &Path, opts: RegressOpts) -> Result<Vec<CheckRes
         let doc = BaselineDoc::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         out.extend(evaluate_baseline(&doc, &results_dir, opts));
     }
+    // The serve bench is a committed artifact, gated unconditionally
+    // (missing/unparseable is a failure, not a skip).
+    out.extend(crate::servegate::evaluate_serve_bench(root));
     Ok(out)
 }
 
